@@ -1,0 +1,63 @@
+"""Ablation — multi-start budget vs fit quality.
+
+The competing-risks and mixture LSE problems are non-convex; DESIGN.md
+§5.2 calls out the multi-start budget as a design choice. This ablation
+fits the hardest dataset/family pairs with increasing random-start
+budgets and tabulates the best SSE found.
+
+Expected shape: SSE is non-increasing in the budget (more starts never
+hurt — the engine keeps the best optimum), and the heuristic seeds
+alone (budget 0) already land within 2x of the best-known SSE,
+validating the initial-guess heuristics.
+"""
+
+from benchmarks.conftest import run_once
+from repro.datasets.recessions import load_recession
+from repro.fitting.least_squares import fit_least_squares
+from repro.models.registry import make_model
+from repro.utils.tables import format_table
+
+BUDGETS = (0, 4, 12, 24)
+CASES = (
+    ("competing_risks", "1980"),
+    ("competing_risks", "2020-21"),
+    ("wei-wei", "1980"),
+    ("wei-wei", "2020-21"),
+    ("wei-exp", "2007-09"),
+)
+
+
+def _sweep() -> dict[tuple[str, str], dict[int, float]]:
+    results: dict[tuple[str, str], dict[int, float]] = {}
+    for model_name, dataset in CASES:
+        curve = load_recession(dataset).train_test_split(0.9)[0]
+        results[(model_name, dataset)] = {}
+        for budget in BUDGETS:
+            fit = fit_least_squares(
+                make_model(model_name), curve, n_random_starts=budget
+            )
+            results[(model_name, dataset)][budget] = fit.sse
+    return results
+
+
+def test_ablation_multistart(benchmark, save_artifact):
+    results = run_once(benchmark, _sweep)
+
+    rows = [
+        [model, dataset] + [results[(model, dataset)][b] for b in BUDGETS]
+        for model, dataset in CASES
+    ]
+    table = format_table(
+        ["Model", "Recession"] + [f"starts+{b}" for b in BUDGETS],
+        rows,
+        title="Ablation — training SSE vs random multi-start budget",
+    )
+    save_artifact("ablation_multistart.txt", table)
+
+    for case, by_budget in results.items():
+        sses = [by_budget[b] for b in BUDGETS]
+        # Non-increasing in the budget.
+        for earlier, later in zip(sses, sses[1:]):
+            assert later <= earlier + 1e-12, case
+        # Heuristic seeds alone are within 2x of the best found.
+        assert sses[0] <= 2.0 * sses[-1] + 1e-12, case

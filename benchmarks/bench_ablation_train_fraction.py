@@ -1,0 +1,66 @@
+"""Ablation — sensitivity to the fitting-window fraction.
+
+The paper fixes the fit/predict split at 90/10 without justification.
+This ablation sweeps the training fraction and tracks held-out PMSE
+for the competing-risks model on three representative datasets,
+quantifying how much of the reported predictive accuracy depends on
+the split choice.
+
+Expected shape: on curves whose trough is early (1990-93), PMSE decays
+steeply once the training window covers the trough and then plateaus —
+the 90% split sits comfortably on the plateau. On the late-trough
+2001-05 curve, small fractions must extrapolate through the turning
+point and are several times worse.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.datasets.recessions import load_recession
+from repro.models.registry import make_model
+from repro.utils.tables import format_table
+from repro.validation.crossval import evaluate_predictive
+
+FRACTIONS = (0.5, 0.6, 0.7, 0.8, 0.9)
+DATASETS = ("1990-93", "2001-05", "2007-09")
+
+
+def _sweep() -> dict[str, dict[float, float]]:
+    results: dict[str, dict[float, float]] = {}
+    for dataset in DATASETS:
+        curve = load_recession(dataset)
+        results[dataset] = {}
+        for fraction in FRACTIONS:
+            evaluation = evaluate_predictive(
+                make_model("competing_risks"),
+                curve,
+                train_fraction=fraction,
+                n_random_starts=4,
+            )
+            results[dataset][fraction] = evaluation.measures.pmse
+    return results
+
+
+def test_ablation_train_fraction(benchmark, save_artifact):
+    results = run_once(benchmark, _sweep)
+
+    rows = [
+        [dataset] + [results[dataset][fraction] for fraction in FRACTIONS]
+        for dataset in DATASETS
+    ]
+    table = format_table(
+        ["Recession"] + [f"fit {f:.0%}" for f in FRACTIONS],
+        rows,
+        title="Ablation — held-out PMSE vs training fraction (competing risks)",
+    )
+    save_artifact("ablation_train_fraction.txt", table)
+
+    for dataset in DATASETS:
+        values = [results[dataset][fraction] for fraction in FRACTIONS]
+        assert all(np.isfinite(v) and v >= 0.0 for v in values)
+        # The paper's 90% split is never the *worst* choice.
+        assert results[dataset][0.9] <= max(values)
+
+    # Late-trough curve: fitting half the data (pre-trough) must be
+    # several times worse than fitting 90%.
+    assert results["2001-05"][0.5] > 3.0 * results["2001-05"][0.9]

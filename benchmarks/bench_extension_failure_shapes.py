@@ -1,0 +1,64 @@
+"""Extension — models for the shapes the paper could not fit.
+
+The paper's conclusion calls for "additional modeling efforts that can
+capture these more general scenarios" — the W-shaped 1980 and
+L/K-shaped 2020-21 recessions on which every proposed family fails.
+This bench evaluates the two extensions implementing that future work:
+
+* :class:`SegmentedBathtubModel` — two bathtub episodes joined at a
+  fitted changepoint, for W shapes;
+* :class:`PartialDegradationMixtureModel` — Eq. (7) with a fitted
+  degradation amplitude ``w`` instead of the paper's ``a₁ = 1``, for
+  L/K shapes with a sudden partial drop.
+
+Expected shape: on 1980 the segmented model lifts r²adj above 0.8
+(paper's families: ≈ 0 in the paper, ≤ 0.6 here); on 2020-21 the
+partial mixture lifts r²adj above 0.9 (paper's families: 0.11–0.40).
+"""
+
+from benchmarks.conftest import run_once
+from repro.datasets.recessions import load_recession
+from repro.models.registry import make_model
+from repro.utils.tables import format_table
+from repro.validation.crossval import evaluate_predictive
+
+CASES = {
+    "1980": ("competing_risks", "segmented", "segmented(quadratic)"),
+    "2020-21": ("wei-exp", "partial-wei-exp", "partial-wei-wei"),
+}
+
+
+def _sweep() -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+    for dataset, model_names in CASES.items():
+        curve = load_recession(dataset)
+        results[dataset] = {}
+        for model_name in model_names:
+            evaluation = evaluate_predictive(
+                make_model(model_name), curve, train_fraction=0.9, n_random_starts=8
+            )
+            results[dataset][model_name] = evaluation.measures.r2_adjusted
+    return results
+
+
+def test_extension_failure_shapes(benchmark, save_artifact):
+    results = run_once(benchmark, _sweep)
+
+    rows = []
+    for dataset, by_model in results.items():
+        for model_name, r2 in by_model.items():
+            rows.append([dataset, model_name, r2])
+    table = format_table(
+        ["Recession", "Model", "r2_adj"],
+        rows,
+        title="Extension — fixing the paper's W and L/K failure cases",
+        float_digits=4,
+    )
+    save_artifact("extension_failure_shapes.txt", table)
+
+    # W shape: the paper's best family fails, the segmented model does not.
+    assert results["1980"]["competing_risks"] < 0.6
+    assert results["1980"]["segmented"] > 0.8
+    # L/K shape: the paper's best mixture fails, the partial mixture does not.
+    assert results["2020-21"]["wei-exp"] < 0.75
+    assert results["2020-21"]["partial-wei-exp"] > 0.9

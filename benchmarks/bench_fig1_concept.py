@@ -1,0 +1,24 @@
+"""Figure 1 — the conceptual resilience curve.
+
+Regenerates the paper's Figure 1: a bathtub-shaped performance curve
+with the three recovery outcomes (degraded / nominal / improved)
+branching after the trough.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import figure1
+
+
+def test_figure1(benchmark, save_figure):
+    figure = run_once(benchmark, figure1)
+    save_figure("figure1", figure)
+
+    final = {name: series[1][-1] for name, series in figure.series.items()}
+    assert (
+        final["improved recovery"]
+        > final["nominal recovery"]
+        > final["degraded recovery"]
+    )
+    # All three variants share the degradation branch and the trough.
+    troughs = {name: min(series[1]) for name, series in figure.series.items()}
+    assert max(troughs.values()) - min(troughs.values()) < 1e-9

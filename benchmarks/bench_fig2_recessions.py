@@ -1,0 +1,31 @@
+"""Figure 2 — payroll change in seven U.S. recessions.
+
+Regenerates the paper's Figure 2: the seven normalized
+payroll-employment curves from the employment peak. Asserts the
+headline facts visible in the figure: every curve starts at 1.0, the
+2020-21 curve has by far the deepest and fastest drop, the 2007-09
+curve the deepest among the 48-month recessions, and 1980 is the only
+double-dip.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import figure2
+from repro.core.shapes import count_significant_dips
+from repro.datasets.recessions import RECESSION_NAMES, load_recession
+
+
+def test_figure2(benchmark, save_figure):
+    figure = run_once(benchmark, figure2)
+    save_figure("figure2", figure, height=24)
+
+    assert set(figure.series) == set(RECESSION_NAMES)
+    minima = {name: min(series[1]) for name, series in figure.series.items()}
+    for name, (times, values) in figure.series.items():
+        assert values[0] == 1.0
+
+    assert minima["2020-21"] == min(minima.values())
+    deepest_48 = min((v, k) for k, v in minima.items() if k != "2020-21")[1]
+    assert deepest_48 == "2007-09"
+    dips = {name: count_significant_dips(load_recession(name)) for name in RECESSION_NAMES}
+    assert dips["1980"] >= 2
+    assert all(count < 2 for name, count in dips.items() if name != "1980")

@@ -1,0 +1,27 @@
+"""Figure 3 — quadratic model fit to the 2001-05 recession with 95% CI.
+
+Expected shape (paper): a close fit to the slow U-shaped curve with the
+confidence band covering nearly all observations (the paper reports
+EC = 95.83%, "slightly conservative").
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import figure3
+from repro.datasets.recessions import load_recession
+from repro.validation.intervals import empirical_coverage
+
+
+def test_figure3(benchmark, save_figure):
+    figure = run_once(benchmark, figure3, n_random_starts=4)
+    save_figure("figure3", figure)
+
+    curve = load_recession("2001-05")
+    lower = figure.series["quadratic CI lower"][1]
+    upper = figure.series["quadratic CI upper"][1]
+    coverage = empirical_coverage(curve.performance, lower, upper)
+    assert coverage >= 0.85
+
+    fit = figure.series["quadratic fit"][1]
+    # The fitted parabola dips and recovers: interior minimum.
+    trough_index = fit.index(min(fit))
+    assert 0 < trough_index < len(fit) - 1

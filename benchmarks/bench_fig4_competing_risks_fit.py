@@ -1,0 +1,24 @@
+"""Figure 4 — competing-risks model fit to the 1990-93 recession with 95% CI.
+
+Expected shape (paper): an excellent fit (the paper's best bathtub
+r²adj, 0.9964) with near-total band coverage (97.91% reported).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import figure4
+from repro.datasets.recessions import load_recession
+from repro.validation.gof import r_squared
+from repro.validation.intervals import empirical_coverage
+
+
+def test_figure4(benchmark, save_figure):
+    figure = run_once(benchmark, figure4, n_random_starts=4)
+    save_figure("figure4", figure)
+
+    curve = load_recession("1990-93")
+    fit = figure.series["competing_risks fit"][1]
+    assert r_squared(curve.performance, fit) > 0.9
+
+    lower = figure.series["competing_risks CI lower"][1]
+    upper = figure.series["competing_risks CI upper"][1]
+    assert empirical_coverage(curve.performance, lower, upper) >= 0.9

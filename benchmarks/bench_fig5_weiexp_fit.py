@@ -1,0 +1,24 @@
+"""Figure 5 — Weibull-Exponential mixture fit to 1990-93 with 95% CI.
+
+Expected shape (paper): a tight fit (r²adj = 0.9809 reported) whose
+confidence band covers essentially every observation (100% reported).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import figure5
+from repro.datasets.recessions import load_recession
+from repro.validation.gof import r_squared
+from repro.validation.intervals import empirical_coverage
+
+
+def test_figure5(benchmark, save_figure):
+    figure = run_once(benchmark, figure5, n_random_starts=4)
+    save_figure("figure5", figure)
+
+    curve = load_recession("1990-93")
+    fit = figure.series["wei-exp fit"][1]
+    assert r_squared(curve.performance, fit) > 0.9
+
+    lower = figure.series["wei-exp CI lower"][1]
+    upper = figure.series["wei-exp CI upper"][1]
+    assert empirical_coverage(curve.performance, lower, upper) >= 0.9

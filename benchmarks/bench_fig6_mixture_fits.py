@@ -1,0 +1,24 @@
+"""Figure 6 — Exp-Wei and Wei-Wei mixture fits to 1981-83 with 95% CIs.
+
+Expected shape (paper): both mixtures track the sharp V of 1981-83;
+the figure overlays both fits and both confidence bands (the paper
+contrasts Exp-Wei's better SSE/r²adj with Wei-Wei's better PMSE).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import figure6
+from repro.datasets.recessions import load_recession
+from repro.validation.gof import r_squared
+
+
+def test_figure6(benchmark, save_figure):
+    figure = run_once(benchmark, figure6, n_random_starts=4)
+    save_figure("figure6", figure, height=24)
+
+    curve = load_recession("1981-83")
+    for model in ("exp-wei", "wei-wei"):
+        fit = figure.series[f"{model} fit"][1]
+        assert r_squared(curve.performance, fit) > 0.9, model
+        lower = figure.series[f"{model} CI lower"][1]
+        upper = figure.series[f"{model} CI upper"][1]
+        assert all(lo < hi for lo, hi in zip(lower, upper))

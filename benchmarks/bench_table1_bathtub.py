@@ -1,0 +1,32 @@
+"""Table I — validation of the two bathtub models on seven recessions.
+
+Regenerates the paper's Table I: SSE, PMSE, adjusted R², and empirical
+coverage for the quadratic and competing-risks models, fit to the first
+90% of each recession curve with a 95% confidence band.
+
+Expected shape (paper Section V): both models strong (r²adj > 0.85) on
+the V/U recessions, poor (< 0.6) on the W-shaped 1980 and L/K-shaped
+2020-21 curves; the competing-risks model at least as flexible as the
+quadratic on a majority of datasets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import table1
+
+GOOD = ("1974-76", "1981-83", "1990-93", "2001-05", "2007-09")
+BAD = ("1980", "2020-21")
+
+
+def test_table1(benchmark, save_artifact):
+    result = run_once(benchmark, table1, n_random_starts=4)
+    save_artifact("table1.txt", result.to_table())
+
+    for dataset in GOOD:
+        for model in ("quadratic", "competing_risks"):
+            assert result.measure(dataset, model, "r2_adjusted") > 0.85
+    for dataset in BAD:
+        for model in ("quadratic", "competing_risks"):
+            assert result.measure(dataset, model, "r2_adjusted") < 0.6
+    for dataset in GOOD + BAD:
+        for model in ("quadratic", "competing_risks"):
+            assert 0.8 <= result.measure(dataset, model, "empirical_coverage") <= 1.0

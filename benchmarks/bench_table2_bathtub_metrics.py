@@ -1,0 +1,37 @@
+"""Table II — interval-based resilience metrics, bathtub models, 1990-93.
+
+Regenerates the paper's Table II: the eight interval metrics computed
+from the data ("Actual") and from each fitted bathtub model
+("Predicted") over the held-out window, with Eq. (22) relative errors
+(α = 0.5 for the weighted metric).
+
+Expected shape: area-style metrics predicted within 1% relative error
+by both models; the normalized performance-lost metric amplified by its
+normalization step (paper's Table II discussion).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import table2
+
+AREA_METRICS = (
+    "performance_preserved",
+    "normalized_average_performance_preserved",
+    "average_performance_preserved",
+    "weighted_average_preserved",
+)
+
+
+def test_table2(benchmark, save_artifact):
+    result = run_once(benchmark, table2, n_random_starts=4)
+    save_artifact("table2.txt", result.to_table())
+
+    assert set(result.reports) == {"quadratic", "competing_risks"}
+    for model, report in result.reports.items():
+        for metric in AREA_METRICS:
+            assert report.row(metric).delta < 0.01, (model, metric)
+        assert (
+            report.row("normalized_average_performance_lost").delta
+            > report.row("normalized_average_performance_preserved").delta
+        )
+        # 1990-93 ends above its level at the split: negative loss.
+        assert report.row("performance_lost").actual < 0.0

@@ -1,0 +1,36 @@
+"""Table III — validation of the four mixture pairings on seven recessions.
+
+Regenerates the paper's Table III: SSE, PMSE, adjusted R², and
+empirical coverage for the Exp-Exp, Wei-Exp, Exp-Wei, and Wei-Wei
+mixtures (recovery trend a₂(t) = β·ln t) on all seven recessions.
+
+Expected shape (paper Section V-A): at least one Weibull-bearing
+mixture reaches r²adj > 0.9 on every dataset except 1980 and 2020-21;
+the all-exponential pairing is never the best performer. (Our optimizer
+finds better Exp-Exp optima than the paper reports, so its *absolute*
+failure is softer here — see EXPERIMENTS.md.)
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import table3
+
+GOOD = ("1974-76", "1981-83", "1990-93", "2001-05", "2007-09")
+BAD = ("1980", "2020-21")
+WEIBULL_MIXTURES = ("wei-exp", "exp-wei", "wei-wei")
+
+
+def test_table3(benchmark, save_artifact):
+    result = run_once(benchmark, table3, n_random_starts=4)
+    save_artifact("table3.txt", result.to_table())
+
+    for dataset in GOOD:
+        best = max(
+            result.measure(dataset, m, "r2_adjusted") for m in WEIBULL_MIXTURES
+        )
+        assert best > 0.9, dataset
+    for dataset in BAD:
+        assert result.measure(dataset, "exp-exp", "r2_adjusted") < 0.75
+    for dataset in GOOD + BAD:
+        exp_exp_sse = result.measure(dataset, "exp-exp", "sse")
+        best_other = min(result.measure(dataset, m, "sse") for m in WEIBULL_MIXTURES)
+        assert best_other <= exp_exp_sse * 1.001, dataset

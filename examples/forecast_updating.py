@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Rolling forecasts: how the recovery prediction sharpens with data.
+
+A predictive model is only useful if it stabilizes *before* recovery
+happens. This example refits the competing-risks model to the 2007-09
+recession every six months of "elapsed" data and tracks two things:
+
+* the predicted month of recovery to the pre-recession peak, and
+* the held-out PMSE (Eq. 10) of each refit,
+
+showing how the forecast converges as the trough passes — and how
+unreliable extrapolation is while employment is still falling.
+
+Run:  python examples/forecast_updating.py
+"""
+
+from repro import fit_least_squares, load_recession, make_model
+from repro.utils.tables import format_table
+from repro.validation.gof import pmse
+
+DATASET = "2007-09"
+MIN_MONTHS = 12
+STEP_MONTHS = 6
+
+
+def main() -> None:
+    curve = load_recession(DATASET)
+    print(
+        f"{DATASET}: trough at month {curve.trough_time:.0f}, "
+        f"index {curve.min_performance:.4f}; not yet recovered by month "
+        f"{curve.times[-1]:.0f}.\n"
+    )
+
+    rows = []
+    for months in range(MIN_MONTHS, len(curve), STEP_MONTHS):
+        observed = curve.head(months)
+        fit = fit_least_squares(make_model("competing_risks"), observed)
+        heldout_times = curve.times[months:]
+        heldout_perf = curve.performance[months:]
+        heldout_pmse = pmse(heldout_perf, fit.predict(heldout_times))
+        try:
+            recovery = fit.model.recovery_time(curve.nominal, horizon=240.0)
+            recovery_text = f"{recovery:7.1f}"
+        except ValueError:
+            recovery_text = "  never"
+        trough_t, trough_v = fit.model.minimum(240.0)
+        rows.append(
+            [
+                months,
+                recovery_text,
+                f"{trough_t:.1f}",
+                f"{trough_v:.4f}",
+                heldout_pmse,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "Months observed",
+                "Predicted recovery month",
+                "Predicted trough month",
+                "Predicted trough index",
+                "PMSE on remainder",
+            ],
+            rows,
+            title=f"Rolling-origin forecasts, competing-risks model, {DATASET}",
+            float_digits=6,
+        )
+    )
+    print()
+    print("Before the trough (~month 26) the model extrapolates the decline and")
+    print("recovery forecasts swing widely; once the upturn is visible, the")
+    print("prediction converges and the held-out PMSE collapses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Maintenance policies scored with resilience metrics.
+
+The paper frames resilience engineering as repairable systems that are
+"proactively maintained to preserve nominal performance". This example
+closes that loop: simulate an aging system under competing maintenance
+policies and score each policy with the paper's interval-based
+resilience metrics — average performance preserved (Eq. 19) becomes the
+policy's figure of merit, and the maintenance count its cost proxy.
+
+Run:  python examples/maintenance_policies.py
+"""
+
+from repro.metrics.interval import (
+    MetricContext,
+    average_performance_preserved,
+    normalized_performance_lost,
+)
+from repro.simulation.degradation import AgingSystem, MaintenancePolicy
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import format_table
+
+HORIZON = 365.0
+
+POLICIES = {
+    "periodic / 30d": MaintenancePolicy(kind="periodic", interval=30.0),
+    "periodic / 90d": MaintenancePolicy(kind="periodic", interval=90.0),
+    "condition @ 0.90": MaintenancePolicy(kind="condition", threshold=0.90),
+    "condition @ 0.75": MaintenancePolicy(kind="condition", threshold=0.75),
+    "imperfect periodic / 30d": MaintenancePolicy(
+        kind="periodic", interval=30.0, restoration=0.5
+    ),
+}
+
+
+def main() -> None:
+    system = AgingSystem(wear_rate=0.004, wear_volatility=0.001)
+    rows = []
+    curves = {}
+    for label, policy in POLICIES.items():
+        curve = system.simulate(HORIZON, policy, seed=11, name=label)
+        curves[label] = curve
+        ctx = MetricContext.from_curve(curve)
+        rows.append(
+            [
+                label,
+                average_performance_preserved(ctx),
+                normalized_performance_lost(ctx),
+                curve.min_performance,
+                curve.metadata["n_maintenance_actions"],
+            ]
+        )
+
+    rows.sort(key=lambda row: row[1], reverse=True)
+    print(
+        format_table(
+            [
+                "Policy",
+                "Avg perf preserved (Eq. 19)",
+                "Norm. perf lost (Eq. 17)",
+                "Worst level",
+                "Actions",
+            ],
+            rows,
+            title=f"Maintenance policies over {HORIZON:.0f} days of aging",
+            float_digits=4,
+        )
+    )
+
+    best = rows[0][0]
+    worst = rows[-1][0]
+    print()
+    print(
+        ascii_plot(
+            {
+                f"best: {best}": (curves[best].times, curves[best].performance),
+                f"worst: {worst}": (curves[worst].times, curves[worst].performance),
+            },
+            title="Best vs worst policy trajectories",
+            height=14,
+        )
+    )
+    print()
+    print("Tighter condition thresholds and shorter periods preserve more")
+    print("performance but spend more maintenance actions; the interval")
+    print("metrics turn that trade-off into one comparable number.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "ArrayLike",
+    "FloatArray",
+    "ParamDict",
+    "ParamVector",
+    "ScalarFunction",
+]
+
+#: Anything convertible to a 1-D float array (lists, tuples, ndarrays).
+ArrayLike = Union[Sequence[float], npt.NDArray[np.floating]]
+
+#: A 1-D numpy array of float64.
+FloatArray = npt.NDArray[np.float64]
+
+#: Mapping from parameter name to value.
+ParamDict = Mapping[str, float]
+
+#: A flat parameter vector in a model's canonical parameter order.
+ParamVector = Sequence[float]
+
+#: A scalar function of time, vectorized over numpy arrays.
+ScalarFunction = Callable[[FloatArray], FloatArray]

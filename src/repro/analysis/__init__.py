@@ -1,0 +1,66 @@
+"""One-call reproduction of every table and figure in the paper.
+
+:mod:`repro.analysis.experiments` has one function per artifact
+(``table1()`` … ``table4()``, ``figure1()`` … ``figure6()``);
+:mod:`repro.analysis.pipeline` runs them all and
+:mod:`repro.analysis.report` renders the combined text report the
+benchmark harness prints.
+"""
+
+from repro.analysis.experiments import (
+    BATHTUB_MODEL_NAMES,
+    MIXTURE_MODEL_NAMES,
+    FigureResult,
+    TableOneResult,
+    TableMetricsResult,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.analysis.pipeline import ReproductionResults, run_full_reproduction
+from repro.analysis.report import render_report
+from repro.analysis.report_card import ReportCard, build_report_card
+from repro.analysis.fleet import EpisodeScore, EpisodeScorecard, episode_scorecard
+from repro.analysis.export import (
+    figure_to_svg,
+    table_rows,
+    write_table_csv,
+    write_table_json,
+)
+
+__all__ = [
+    "BATHTUB_MODEL_NAMES",
+    "MIXTURE_MODEL_NAMES",
+    "TableOneResult",
+    "TableMetricsResult",
+    "FigureResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "ReproductionResults",
+    "run_full_reproduction",
+    "render_report",
+    "ReportCard",
+    "build_report_card",
+    "EpisodeScore",
+    "EpisodeScorecard",
+    "episode_scorecard",
+    "table_rows",
+    "write_table_csv",
+    "write_table_json",
+    "figure_to_svg",
+]

@@ -1,0 +1,357 @@
+"""Per-artifact reproduction functions (Tables I–IV, Figures 1–6).
+
+Every function is deterministic and parameterized only by protocol
+knobs (training fraction, confidence level, multi-start budget) so the
+benchmark harness can regenerate each artifact in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.datasets.recessions import RECESSION_NAMES, load_all_recessions, load_recession
+from repro.datasets.synthetic import make_shape_curve
+from repro.exceptions import DataError
+from repro.metrics.predictive import PredictiveMetricReport, predictive_metric_report
+from repro.models.registry import make_model
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import format_table
+from repro.validation.crossval import PredictiveEvaluation, evaluate_predictive
+
+__all__ = [
+    "BATHTUB_MODEL_NAMES",
+    "MIXTURE_MODEL_NAMES",
+    "TableOneResult",
+    "TableMetricsResult",
+    "FigureResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+]
+
+#: The two bathtub families of Table I.
+BATHTUB_MODEL_NAMES: tuple[str, ...] = ("quadratic", "competing_risks")
+
+#: The four mixture pairings of Table III (with the β·ln t trend).
+MIXTURE_MODEL_NAMES: tuple[str, ...] = ("exp-exp", "wei-exp", "exp-wei", "wei-wei")
+
+#: Fitting fraction: the paper fits "the first 90% of each data set".
+DEFAULT_TRAIN_FRACTION = 0.9
+
+
+@dataclass
+class TableOneResult:
+    """Validation measures for a set of models on every recession.
+
+    ``cells[dataset][model]`` is the :class:`PredictiveEvaluation` for
+    that pair. Covers both Table I (bathtub models) and Table III
+    (mixtures) — they share the layout.
+    """
+
+    model_names: tuple[str, ...]
+    cells: dict[str, dict[str, PredictiveEvaluation]] = field(default_factory=dict)
+    title: str = ""
+
+    def measure(self, dataset: str, model: str, name: str) -> float:
+        """One measure value, e.g. ``measure("1990-93", "quadratic", "pmse")``."""
+        return float(getattr(self.cells[dataset][model].measures, name))
+
+    def to_table(self) -> str:
+        """Aligned text table in the paper's layout (one row block per
+        dataset, one column per model)."""
+        headers = ["Recession", "n", "Measure"] + list(self.model_names)
+        rows: list[list[object]] = []
+        for dataset, by_model in self.cells.items():
+            any_eval = next(iter(by_model.values()))
+            n = len(any_eval.train) + len(any_eval.test)
+            for measure, label in (
+                ("sse", "SSE"),
+                ("pmse", "PMSE"),
+                ("r2_adjusted", "r2_adj"),
+                ("empirical_coverage", "EC"),
+            ):
+                row: list[object] = [dataset, n, label]
+                for model in self.model_names:
+                    value = self.measure(dataset, model, measure)
+                    row.append(f"{value:.2%}" if measure == "empirical_coverage" else value)
+                rows.append(row)
+        return format_table(headers, rows, title=self.title)
+
+
+@dataclass
+class TableMetricsResult:
+    """Interval-metric reports for several models on one dataset
+    (Tables II and IV)."""
+
+    dataset: str
+    reports: dict[str, PredictiveMetricReport] = field(default_factory=dict)
+    title: str = ""
+
+    def to_table(self) -> str:
+        """Metrics as rows, models as (actual, predicted, δ) column
+        triples — the paper's Table II/IV layout."""
+        model_names = list(self.reports)
+        headers = ["Metric", "Actual"]
+        for model in model_names:
+            headers += [f"{model}:pred", f"{model}:delta"]
+        first = next(iter(self.reports.values()))
+        rows: list[list[object]] = []
+        for comparison in first.rows:
+            row: list[object] = [comparison.name, comparison.actual]
+            for model in model_names:
+                other = self.reports[model].row(comparison.name)
+                row += [other.predicted, other.delta]
+            rows.append(row)
+        return format_table(headers, rows, title=self.title)
+
+
+@dataclass
+class FigureResult:
+    """Data behind one figure: named (times, values) series.
+
+    ``series`` maps a label to a pair of lists; :meth:`to_ascii`
+    renders the terminal chart the figure benches print.
+    """
+
+    figure_id: str
+    caption: str
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+
+    def to_ascii(self, width: int = 72, height: int = 20) -> str:
+        """ASCII rendering of all series on shared axes."""
+        chart = ascii_plot(
+            {label: (t, v) for label, (t, v) in self.series.items()},
+            width=width,
+            height=height,
+            title=f"{self.figure_id}: {self.caption}",
+        )
+        return chart
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def _validation_sweep(
+    model_names: tuple[str, ...],
+    *,
+    train_fraction: float,
+    confidence: float,
+    title: str,
+    **fit_kwargs: object,
+) -> TableOneResult:
+    result = TableOneResult(model_names=model_names, title=title)
+    for dataset_name, curve in load_all_recessions().items():
+        result.cells[dataset_name] = {}
+        for model_name in model_names:
+            result.cells[dataset_name][model_name] = evaluate_predictive(
+                make_model(model_name),
+                curve,
+                train_fraction=train_fraction,
+                confidence=confidence,
+                **fit_kwargs,
+            )
+    return result
+
+
+def table1(
+    *,
+    train_fraction: float = DEFAULT_TRAIN_FRACTION,
+    confidence: float = 0.95,
+    **fit_kwargs: object,
+) -> TableOneResult:
+    """Table I: quadratic vs competing-risks on all seven recessions."""
+    return _validation_sweep(
+        BATHTUB_MODEL_NAMES,
+        train_fraction=train_fraction,
+        confidence=confidence,
+        title="Table I — Validation of prediction using two bathtub functions",
+        **fit_kwargs,
+    )
+
+
+def table3(
+    *,
+    train_fraction: float = DEFAULT_TRAIN_FRACTION,
+    confidence: float = 0.95,
+    **fit_kwargs: object,
+) -> TableOneResult:
+    """Table III: the four mixture pairings on all seven recessions."""
+    return _validation_sweep(
+        MIXTURE_MODEL_NAMES,
+        train_fraction=train_fraction,
+        confidence=confidence,
+        title="Table III — Validation of prediction using mixture distributions",
+        **fit_kwargs,
+    )
+
+
+def _metric_table(
+    model_names: tuple[str, ...],
+    dataset: str,
+    *,
+    train_fraction: float,
+    alpha: float,
+    title: str,
+    **fit_kwargs: object,
+) -> TableMetricsResult:
+    curve = load_recession(dataset)
+    result = TableMetricsResult(dataset=dataset, title=title)
+    for model_name in model_names:
+        evaluation = evaluate_predictive(
+            make_model(model_name), curve, train_fraction=train_fraction, **fit_kwargs
+        )
+        result.reports[model_name] = predictive_metric_report(
+            evaluation.model, curve, evaluation.split_time, alpha=alpha
+        )
+    return result
+
+
+def table2(
+    dataset: str = "1990-93",
+    *,
+    train_fraction: float = DEFAULT_TRAIN_FRACTION,
+    alpha: float = 0.5,
+    **fit_kwargs: object,
+) -> TableMetricsResult:
+    """Table II: interval metrics for the bathtub models on 1990-93."""
+    return _metric_table(
+        BATHTUB_MODEL_NAMES,
+        dataset,
+        train_fraction=train_fraction,
+        alpha=alpha,
+        title="Table II — Interval-based resilience metrics (bathtub models)",
+        **fit_kwargs,
+    )
+
+
+def table4(
+    dataset: str = "1990-93",
+    *,
+    train_fraction: float = DEFAULT_TRAIN_FRACTION,
+    alpha: float = 0.5,
+    **fit_kwargs: object,
+) -> TableMetricsResult:
+    """Table IV: interval metrics for the four mixtures on 1990-93."""
+    return _metric_table(
+        MIXTURE_MODEL_NAMES,
+        dataset,
+        train_fraction=train_fraction,
+        alpha=alpha,
+        title="Table IV — Interval-based resilience metrics (mixture models)",
+        **fit_kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+def _as_series(times: np.ndarray, values: np.ndarray) -> tuple[list[float], list[float]]:
+    return [float(t) for t in times], [float(v) for v in values]
+
+
+def figure1() -> FigureResult:
+    """Figure 1: conceptual resilience curve with three recovery outcomes
+    (degraded, nominal, improved), drawn from synthetic U curves."""
+    base = make_shape_curve("U", depth=0.10, noise_std=0.0, n_points=60, horizon=59.0)
+    result = FigureResult(
+        figure_id="Figure 1",
+        caption="Conceptual resilience curve (bathtub shape)",
+    )
+    times = base.times
+    nominal_curve = base.performance
+    # Recovery outcome variants: scale the post-trough branch.
+    trough = int(np.argmin(nominal_curve))
+    degraded = nominal_curve.copy()
+    degraded[trough:] = nominal_curve[trough] + 0.6 * (
+        nominal_curve[trough:] - nominal_curve[trough]
+    )
+    improved = nominal_curve.copy()
+    improved[trough:] = nominal_curve[trough] + 1.4 * (
+        nominal_curve[trough:] - nominal_curve[trough]
+    )
+    result.series["nominal recovery"] = _as_series(times, nominal_curve)
+    result.series["degraded recovery"] = _as_series(times, degraded)
+    result.series["improved recovery"] = _as_series(times, improved)
+    return result
+
+
+def figure2() -> FigureResult:
+    """Figure 2: payroll change in the seven U.S. recessions."""
+    result = FigureResult(
+        figure_id="Figure 2",
+        caption="Payroll change in U.S. recessions from peak employment",
+    )
+    for name, curve in load_all_recessions().items():
+        result.series[name] = _as_series(curve.times, curve.performance)
+    return result
+
+
+def _fit_figure(
+    figure_id: str,
+    dataset: str,
+    model_names: tuple[str, ...],
+    *,
+    train_fraction: float = DEFAULT_TRAIN_FRACTION,
+    confidence: float = 0.95,
+    **fit_kwargs: object,
+) -> FigureResult:
+    curve = load_recession(dataset)
+    labels = " and ".join(model_names)
+    result = FigureResult(
+        figure_id=figure_id,
+        caption=f"{labels} fit to {dataset} U.S. recession data ({confidence:.0%} CI)",
+    )
+    result.series[f"{dataset} data"] = _as_series(curve.times, curve.performance)
+    for model_name in model_names:
+        evaluation = evaluate_predictive(
+            make_model(model_name),
+            curve,
+            train_fraction=train_fraction,
+            confidence=confidence,
+            **fit_kwargs,
+        )
+        band = evaluation.band
+        result.series[f"{model_name} fit"] = _as_series(curve.times, band.center)
+        result.series[f"{model_name} CI lower"] = _as_series(curve.times, band.lower)
+        result.series[f"{model_name} CI upper"] = _as_series(curve.times, band.upper)
+    return result
+
+
+def figure3(**kwargs: object) -> FigureResult:
+    """Figure 3: quadratic model fit to the 2001-05 recession."""
+    return _fit_figure("Figure 3", "2001-05", ("quadratic",), **kwargs)
+
+
+def figure4(**kwargs: object) -> FigureResult:
+    """Figure 4: competing-risks model fit to the 1990-93 recession."""
+    return _fit_figure("Figure 4", "1990-93", ("competing_risks",), **kwargs)
+
+
+def figure5(**kwargs: object) -> FigureResult:
+    """Figure 5: Weibull-Exponential mixture fit to the 1990-93 recession."""
+    return _fit_figure("Figure 5", "1990-93", ("wei-exp",), **kwargs)
+
+
+def figure6(**kwargs: object) -> FigureResult:
+    """Figure 6: Exp-Wei and Wei-Wei mixture fits to the 1981-83 recession."""
+    return _fit_figure("Figure 6", "1981-83", ("exp-wei", "wei-wei"), **kwargs)
+
+
+def figure_by_id(figure_id: int, **kwargs: object) -> FigureResult:
+    """Dispatch ``figure_by_id(3)`` → :func:`figure3` etc."""
+    dispatch = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5, 6: figure6}
+    if figure_id not in dispatch:
+        raise DataError(f"no figure {figure_id}; the paper has figures 1-6")
+    if figure_id in (1, 2):
+        return dispatch[figure_id]()
+    return dispatch[figure_id](**kwargs)

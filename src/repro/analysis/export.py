@@ -1,0 +1,129 @@
+"""Machine-readable export of regenerated tables and figures.
+
+The text tables in :mod:`repro.analysis.experiments` are for humans;
+this module flattens the same results into row dictionaries and writes
+CSV/JSON, so downstream analyses (spreadsheets, notebooks, papers) can
+consume the reproduction without re-running it. Figures export their
+raw series, and an :class:`~repro.utils.svg_plot.SvgChart` builder
+turns a :class:`FigureResult` into a vector image.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.experiments import FigureResult, TableMetricsResult, TableOneResult
+from repro.exceptions import DataError
+from repro.utils.svg_plot import SvgChart
+
+__all__ = [
+    "table_rows",
+    "write_table_csv",
+    "write_table_json",
+    "figure_to_svg",
+]
+
+
+def table_rows(result: TableOneResult | TableMetricsResult) -> list[dict[str, Any]]:
+    """Flatten a table result into one dict per (dataset/metric, model).
+
+    For validation tables (I/III) each row is
+    ``{dataset, model, sse, pmse, r2_adjusted, empirical_coverage}``;
+    for metric tables (II/IV) each row is
+    ``{dataset, model, metric, actual, predicted, delta}``.
+    """
+    rows: list[dict[str, Any]] = []
+    if isinstance(result, TableOneResult):
+        for dataset, by_model in result.cells.items():
+            for model, evaluation in by_model.items():
+                measures = evaluation.measures
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "model": model,
+                        "sse": measures.sse,
+                        "pmse": measures.pmse,
+                        "r2_adjusted": measures.r2_adjusted,
+                        "empirical_coverage": measures.empirical_coverage,
+                    }
+                )
+        return rows
+    if isinstance(result, TableMetricsResult):
+        for model, report in result.reports.items():
+            for comparison in report.rows:
+                rows.append(
+                    {
+                        "dataset": result.dataset,
+                        "model": model,
+                        "metric": comparison.name,
+                        "actual": comparison.actual,
+                        "predicted": comparison.predicted,
+                        "delta": comparison.delta,
+                    }
+                )
+        return rows
+    raise DataError(f"cannot export object of type {type(result).__name__}")
+
+
+def write_table_csv(
+    result: TableOneResult | TableMetricsResult, path: str | Path
+) -> Path:
+    """Write a table result as CSV; returns the path."""
+    rows = table_rows(result)
+    if not rows:
+        raise DataError("table result is empty; nothing to export")
+    file_path = Path(path)
+    with file_path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return file_path
+
+
+def write_table_json(
+    result: TableOneResult | TableMetricsResult, path: str | Path
+) -> Path:
+    """Write a table result as a JSON array of row objects."""
+    rows = table_rows(result)
+    file_path = Path(path)
+    file_path.write_text(json.dumps(rows, indent=2) + "\n")
+    return file_path
+
+
+def figure_to_svg(
+    figure: FigureResult,
+    *,
+    width: int = 720,
+    height: int = 440,
+) -> SvgChart:
+    """Build an :class:`SvgChart` from a figure's series.
+
+    ``… CI lower`` / ``… CI upper`` series pairs become shaded bands;
+    everything else becomes a line (data series solid, fits dashed).
+    """
+    chart = SvgChart(
+        title=f"{figure.figure_id}: {figure.caption}",
+        x_label="time",
+        y_label="performance",
+        width=width,
+        height=height,
+    )
+    band_prefixes = set()
+    for label in figure.series:
+        if label.endswith(" CI lower"):
+            band_prefixes.add(label[: -len(" CI lower")])
+    for prefix in sorted(band_prefixes):
+        lower_label = f"{prefix} CI lower"
+        upper_label = f"{prefix} CI upper"
+        if upper_label in figure.series:
+            t, lower = figure.series[lower_label]
+            _, upper = figure.series[upper_label]
+            chart.add_band(f"{prefix} CI", t, lower, upper)
+    for label, (times, values) in figure.series.items():
+        if label.endswith(" CI lower") or label.endswith(" CI upper"):
+            continue
+        chart.add_series(label, times, values, dashed=label.endswith(" fit"))
+    return chart

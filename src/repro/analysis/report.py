@@ -1,0 +1,31 @@
+"""Text-report rendering of a full reproduction run."""
+
+from __future__ import annotations
+
+from repro.analysis.pipeline import ReproductionResults
+
+__all__ = ["render_report"]
+
+_RULE = "=" * 78
+
+
+def render_report(results: ReproductionResults, *, include_figures: bool = True) -> str:
+    """Render every regenerated artifact as one plain-text report.
+
+    Tables appear in the paper's order, each under a rule; figures are
+    rendered as ASCII charts when *include_figures* is true.
+    """
+    sections: list[str] = [
+        _RULE,
+        "Reproduction of: Predictive Resilience Modeling (Silva et al., RWS 2022)",
+        _RULE,
+    ]
+    for label, table in results.tables.items():
+        sections.append(f"\n--- Table {label} " + "-" * 50)
+        sections.append(table.to_table())
+    if include_figures:
+        for figure_id in sorted(results.figures):
+            figure = results.figures[figure_id]
+            sections.append(f"\n--- Figure {figure_id} " + "-" * 50)
+            sections.append(figure.to_ascii())
+    return "\n".join(sections)

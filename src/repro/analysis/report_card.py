@@ -1,0 +1,162 @@
+"""One-page resilience report card for a single curve.
+
+Bundles everything the library knows how to compute about a disruption
+into a single renderable object: curve summary, shape class, phase
+boundaries, point metrics, the recommended model with its validation
+measures, and a probabilistic recovery forecast. This is the "what the
+emergency manager reads" artifact the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.core.phases import ResiliencePhases, detect_phases
+from repro.core.shapes import CurveShape
+from repro.exceptions import CurveError, FitError, MetricError
+from repro.metrics.point import POINT_METRICS
+from repro.fitting.uncertainty import parameter_uncertainty
+from repro.metrics.probabilistic import recovery_time_quantile
+from repro.validation.selection import ModelRecommendation, recommend_model
+
+__all__ = ["ReportCard", "build_report_card"]
+
+
+@dataclass
+class ReportCard:
+    """Everything the library can say about one disruption curve."""
+
+    curve: ResilienceCurve
+    shape: CurveShape | None
+    phases: ResiliencePhases | None
+    point_metrics: dict[str, float]
+    recommendation: ModelRecommendation
+    #: (quantile, recovery time) pairs; empty when forecasting failed.
+    recovery_forecast: list[tuple[float, float]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text one-pager."""
+        curve = self.curve
+        lines = [
+            f"Resilience report card — {curve.name or '<unnamed curve>'}",
+            "=" * 60,
+            f"observations : {len(curve)} over [{curve.times[0]:g}, {curve.times[-1]:g}]",
+            f"nominal      : {curve.nominal:g}",
+            f"trough       : {curve.min_performance:.4f} at t = {curve.trough_time:g} "
+            f"({curve.degradation_depth / curve.nominal:.1%} below nominal)",
+            f"shape class  : {self.shape if self.shape is not None else 'n/a'}",
+        ]
+        if self.phases is not None:
+            recovery = (
+                f"{self.phases.recovery_time:g}"
+                if self.phases.recovery_time is not None
+                else "not within window"
+            )
+            lines.append(
+                f"phases       : t_h = {self.phases.hazard_time:g}, "
+                f"t_d = {self.phases.trough_time:g}, t_r = {recovery}"
+            )
+        if self.point_metrics:
+            lines.append("point metrics:")
+            for name, value in self.point_metrics.items():
+                lines.append(f"  {name:18s} = {value:.6g}")
+        best = self.recommendation.best
+        lines.append(
+            f"best model   : {self.recommendation.best_name} "
+            f"(criterion {self.recommendation.criterion}; "
+            f"r2_adj = {best.measures.r2_adjusted:.4f}, "
+            f"PMSE = {best.measures.pmse:.3g}, "
+            f"EC = {best.measures.empirical_coverage:.1%})"
+        )
+        if self.recovery_forecast:
+            parts = ", ".join(
+                f"q{int(q * 100)} = " + (f"{t:.1f}" if np.isfinite(t) else "never")
+                for q, t in self.recovery_forecast
+            )
+            lines.append(f"recovery to nominal (forecast): {parts}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def build_report_card(
+    curve: ResilienceCurve,
+    *,
+    criterion: str = "aic",
+    train_fraction: float = 0.9,
+    forecast_quantiles: tuple[float, ...] = (0.1, 0.5, 0.9),
+    forecast_samples: int = 200,
+    **fit_kwargs: object,
+) -> ReportCard:
+    """Assemble a :class:`ReportCard` for *curve*.
+
+    Individual sections degrade gracefully: a curve that never recovers
+    still gets a card, with the failure recorded in :attr:`notes`
+    rather than raised.
+    """
+    notes: list[str] = []
+
+    phases: ResiliencePhases | None
+    try:
+        phases = detect_phases(curve)
+    except CurveError as exc:
+        phases = None
+        notes.append(str(exc))
+
+    point_metrics: dict[str, float] = {}
+    for name, metric in POINT_METRICS.items():
+        try:
+            point_metrics[name] = float(metric(curve, phases))
+        except (MetricError, CurveError):
+            notes.append(f"point metric {name!r} not computable on this curve")
+
+    recommendation = recommend_model(
+        curve, criterion=criterion, train_fraction=train_fraction, **fit_kwargs
+    )
+
+    forecast: list[tuple[float, float]] = []
+    try:
+        fit = recommendation.best.fit
+        horizon = 50.0 * max(curve.duration, 1.0)
+        uncertainty = parameter_uncertainty(fit)
+        condition = float(np.linalg.cond(uncertainty.covariance))
+        if condition > 1e12:
+            # Weakly identified parameters (common for the 5-parameter
+            # mixtures) make the sampled quantiles meaningless; report
+            # only the point estimate with a caveat.
+            point = fit.model.recovery_time(curve.nominal, horizon)
+            forecast.append((0.5, point))
+            notes.append(
+                "parameter covariance ill-conditioned; forecast is the "
+                "point estimate only"
+            )
+        else:
+            for quantile in forecast_quantiles:
+                forecast.append(
+                    (
+                        quantile,
+                        recovery_time_quantile(
+                            fit,
+                            curve.nominal,
+                            quantile,
+                            horizon=horizon,
+                            n_samples=forecast_samples,
+                        ),
+                    )
+                )
+    except (FitError, MetricError, ValueError) as exc:
+        notes.append(f"recovery forecast unavailable: {exc}")
+
+    return ReportCard(
+        curve=curve,
+        shape=recommendation.shape,
+        phases=phases,
+        point_metrics=point_metrics,
+        recommendation=recommendation,
+        recovery_forecast=forecast,
+        notes=notes,
+    )

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the bundled recession datasets with shape labels.
+``fit``
+    Fit one model to one dataset (or a CSV file) and print the fit,
+    measures, and predicted recovery time.
+``recommend``
+    Classify a curve's shape, fit the candidate model set (including
+    shape-gated extensions), and recommend the best model.
+``table``
+    Regenerate one of the paper's tables (I, II, III, IV).
+``figure``
+    Regenerate one of the paper's figures (1-6) as an ASCII chart.
+``report``
+    Regenerate everything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments
+from repro.analysis.pipeline import run_full_reproduction
+from repro.analysis.report import render_report
+from repro.core.shapes import classify_shape
+from repro.datasets.loader import curve_from_csv
+from repro.datasets.recessions import (
+    RECESSION_NAMES,
+    load_recession,
+    recession_shape_label,
+)
+from repro.exceptions import ReproError
+from repro.metrics.predictive import predictive_metric_report
+from repro.models.registry import available_models, make_model
+from repro.utils.tables import format_table
+from repro.validation.crossval import evaluate_predictive
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predictive resilience modeling (Silva et al., RWS 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list bundled recession datasets")
+
+    fit = sub.add_parser("fit", help="fit a model to a dataset")
+    fit.add_argument(
+        "model",
+        help=f"model name, e.g. one of {', '.join(available_models())}",
+    )
+    fit.add_argument(
+        "dataset",
+        help="recession name (e.g. 1990-93) or path to a time,performance CSV",
+    )
+    fit.add_argument(
+        "--train-fraction",
+        type=float,
+        default=0.9,
+        help="fraction of the curve used for fitting (default 0.9)",
+    )
+    fit.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the eight interval-based resilience metrics",
+    )
+
+    recommend = sub.add_parser(
+        "recommend", help="recommend the best model for a dataset"
+    )
+    recommend.add_argument(
+        "dataset",
+        help="recession name (e.g. 1980) or path to a time,performance CSV",
+    )
+    recommend.add_argument(
+        "--criterion",
+        default="aic",
+        choices=["aic", "bic", "pmse", "sse", "r2_adjusted"],
+        help="ranking criterion (default aic)",
+    )
+    recommend.add_argument(
+        "--no-shape-gate",
+        action="store_true",
+        help="do not add shape-specific extension models",
+    )
+
+    card = sub.add_parser(
+        "card", help="one-page resilience report card for a dataset"
+    )
+    card.add_argument(
+        "dataset",
+        help="recession name (e.g. 1990-93) or path to a time,performance CSV",
+    )
+
+    episodes = sub.add_parser(
+        "episodes", help="segment a history into episodes and print a scorecard"
+    )
+    episodes.add_argument(
+        "dataset",
+        help="recession name or path to a time,performance CSV history",
+    )
+    episodes.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="relative nominal band defining degradation (default 0.01)",
+    )
+    episodes.add_argument(
+        "--model",
+        default="competing_risks",
+        help="model fitted to each episode (default competing_risks)",
+    )
+
+    table = sub.add_parser("table", help="regenerate a table from the paper")
+    table.add_argument("number", choices=["1", "2", "3", "4", "I", "II", "III", "IV"])
+    table.add_argument(
+        "--csv", metavar="PATH", help="also write the table rows as CSV"
+    )
+    table.add_argument(
+        "--json", metavar="PATH", help="also write the table rows as JSON"
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a figure from the paper")
+    figure.add_argument("number", type=int, choices=range(1, 7))
+
+    sub.add_parser("report", help="regenerate every table and figure")
+    return parser
+
+
+def _load_curve(dataset: str):
+    if dataset in RECESSION_NAMES:
+        return load_recession(dataset)
+    return curve_from_csv(dataset)
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for name in RECESSION_NAMES:
+        curve = load_recession(name)
+        rows.append(
+            [
+                name,
+                len(curve),
+                recession_shape_label(name),
+                str(classify_shape(curve)),
+                curve.min_performance,
+                curve.final_performance,
+            ]
+        )
+    print(
+        format_table(
+            ["Recession", "n", "Paper shape", "Classifier", "Min", "Final"],
+            rows,
+            title="Bundled U.S. recession datasets (normalized payroll index)",
+            float_digits=4,
+        )
+    )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    curve = _load_curve(args.dataset)
+    family = make_model(args.model)
+    evaluation = evaluate_predictive(family, curve, train_fraction=args.train_fraction)
+    measures = evaluation.measures
+    print(f"Fitted {family.name} to {curve.name} (n={len(curve)}):")
+    for key, value in evaluation.model.param_dict.items():
+        print(f"  {key:12s} = {value:.8g}")
+    print(f"  SSE   = {measures.sse:.8f}")
+    print(f"  PMSE  = {measures.pmse:.8f}")
+    print(f"  r2adj = {measures.r2_adjusted:.6f}")
+    print(f"  EC    = {measures.empirical_coverage:.2%}")
+    try:
+        recovery = evaluation.model.recovery_time(curve.nominal)
+        print(f"  predicted recovery to nominal at t = {recovery:.2f}")
+    except ValueError as exc:
+        print(f"  predicted recovery: {exc}")
+    if args.metrics:
+        report = predictive_metric_report(
+            evaluation.model, curve, evaluation.split_time
+        )
+        print()
+        print(report.to_table())
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.validation.selection import recommend_model
+
+    curve = _load_curve(args.dataset)
+    recommendation = recommend_model(
+        curve, criterion=args.criterion, shape_gate=not args.no_shape_gate
+    )
+    if recommendation.shape is not None:
+        print(f"Classified shape: {recommendation.shape}")
+    rows = [
+        [name, score, recommendation.evaluations[name].measures.r2_adjusted]
+        for name, score in recommendation.scores.items()
+    ]
+    print(
+        format_table(
+            ["Model", args.criterion.upper(), "r2_adj"],
+            rows,
+            title=f"Candidates on {curve.name or args.dataset} (best first)",
+            float_digits=6,
+        )
+    )
+    if recommendation.failed:
+        print(f"failed to converge: {', '.join(recommendation.failed)}")
+    print(f"Recommended model: {recommendation.best_name}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    number = args.number
+    key = {"1": "1", "I": "1", "2": "2", "II": "2", "3": "3", "III": "3", "4": "4", "IV": "4"}[number]
+    builders = {
+        "1": experiments.table1,
+        "2": experiments.table2,
+        "3": experiments.table3,
+        "4": experiments.table4,
+    }
+    result = builders[key]()
+    print(result.to_table())
+    if args.csv:
+        from repro.analysis.export import write_table_csv
+
+        print(f"wrote {write_table_csv(result, args.csv)}")
+    if args.json:
+        from repro.analysis.export import write_table_json
+
+        print(f"wrote {write_table_json(result, args.json)}")
+    return 0
+
+
+def _cmd_figure(number: int) -> int:
+    print(experiments.figure_by_id(number).to_ascii())
+    return 0
+
+
+def _cmd_report() -> int:
+    print(render_report(run_full_reproduction()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "fit":
+            return _cmd_fit(args)
+        if args.command == "recommend":
+            return _cmd_recommend(args)
+        if args.command == "card":
+            from repro.analysis.report_card import build_report_card
+
+            print(build_report_card(_load_curve(args.dataset)).render())
+            return 0
+        if args.command == "episodes":
+            from repro.analysis.fleet import episode_scorecard
+
+            scorecard = episode_scorecard(
+                _load_curve(args.dataset),
+                model=args.model,
+                tolerance=args.tolerance,
+            )
+            print(scorecard.to_table())
+            return 0
+        if args.command == "table":
+            return _cmd_table(args)
+        if args.command == "figure":
+            return _cmd_figure(args.number)
+        if args.command == "report":
+            return _cmd_report()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

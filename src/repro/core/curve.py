@@ -1,0 +1,314 @@
+"""The :class:`ResilienceCurve` container.
+
+A resilience curve is a sampled record of system performance around a
+disruptive event: time stamps, performance values, and the nominal
+(pre-disruption) performance level. Everything downstream — fitting,
+metrics, validation — consumes this type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.exceptions import CurveError
+from repro.utils.integrate import trapezoid_integral
+from repro.utils.numerics import as_float_array
+
+__all__ = ["ResilienceCurve"]
+
+
+class ResilienceCurve:
+    """Sampled performance of a system around a disruption.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times (e.g. months after the
+        employment peak).
+    performance:
+        Performance at each time. For the recession datasets this is the
+        payroll-employment index normalized to 1.0 at the peak.
+    nominal:
+        Nominal performance level ``P(t_h)`` before the disruption.
+        Defaults to the first performance sample.
+    name:
+        Human-readable label (e.g. ``"1990-93"``).
+    metadata:
+        Free-form provenance mapping, copied defensively.
+    """
+
+    __slots__ = ("_times", "_performance", "_nominal", "name", "_metadata")
+
+    def __init__(
+        self,
+        times: ArrayLike,
+        performance: ArrayLike,
+        *,
+        nominal: float | None = None,
+        name: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> None:
+        t = as_float_array(times, "times")
+        p = as_float_array(performance, "performance")
+        if t.size != p.size:
+            raise CurveError(
+                f"times and performance length mismatch: {t.size} vs {p.size}"
+            )
+        if t.size < 2:
+            raise CurveError("a resilience curve needs at least two samples")
+        if not np.all(np.isfinite(t)) or not np.all(np.isfinite(p)):
+            raise CurveError("times and performance must be finite")
+        if np.any(np.diff(t) <= 0):
+            raise CurveError("times must be strictly increasing")
+        self._times = t
+        self._times.setflags(write=False)
+        self._performance = p
+        self._performance.setflags(write=False)
+        if nominal is None:
+            nominal = float(p[0])
+        if not np.isfinite(nominal):
+            raise CurveError(f"nominal must be finite, got {nominal}")
+        self._nominal = float(nominal)
+        self.name = name
+        self._metadata = dict(metadata) if metadata else {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> FloatArray:
+        """Read-only array of sample times."""
+        return self._times
+
+    @property
+    def performance(self) -> FloatArray:
+        """Read-only array of performance samples."""
+        return self._performance
+
+    @property
+    def nominal(self) -> float:
+        """Nominal (pre-disruption) performance level."""
+        return self._nominal
+
+    @property
+    def metadata(self) -> dict[str, Any]:
+        """Copy of the provenance metadata."""
+        return dict(self._metadata)
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"ResilienceCurve({label} n={len(self)}, "
+            f"t=[{self._times[0]:.6g}, {self._times[-1]:.6g}], "
+            f"nominal={self._nominal:.6g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResilienceCurve):
+            return NotImplemented
+        return (
+            np.array_equal(self._times, other._times)
+            and np.array_equal(self._performance, other._performance)
+            and self._nominal == other._nominal
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-ish container semantics
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Time span covered by the samples."""
+        return float(self._times[-1] - self._times[0])
+
+    @property
+    def min_performance(self) -> float:
+        """Lowest observed performance."""
+        return float(self._performance.min())
+
+    @property
+    def trough_time(self) -> float:
+        """Time of the lowest observed performance (first if tied)."""
+        return float(self._times[int(np.argmin(self._performance))])
+
+    @property
+    def degradation_depth(self) -> float:
+        """Nominal minus minimum performance (≥ 0 for a real disruption)."""
+        return self._nominal - self.min_performance
+
+    @property
+    def final_performance(self) -> float:
+        """Performance at the last sample."""
+        return float(self._performance[-1])
+
+    def has_recovered(self, tolerance: float = 0.0) -> bool:
+        """Whether performance returns to within *tolerance* of nominal
+        at any time after the trough."""
+        trough_index = int(np.argmin(self._performance))
+        after = self._performance[trough_index:]
+        return bool(np.any(after >= self._nominal - tolerance))
+
+    # ------------------------------------------------------------------
+    # Interpolation and integration
+    # ------------------------------------------------------------------
+    def performance_at(self, times: ArrayLike) -> FloatArray:
+        """Linearly interpolated performance at arbitrary *times*.
+
+        Extrapolation is clamped to the first/last observed values.
+        """
+        query = as_float_array(times, "times")
+        return np.interp(query, self._times, self._performance)
+
+    def area(self, lower: float | None = None, upper: float | None = None) -> float:
+        """Trapezoid integral of performance over ``[lower, upper]``.
+
+        Defaults to the full observation window. Endpoints inside the
+        window are handled by interpolating boundary values.
+        """
+        lo = float(self._times[0]) if lower is None else float(lower)
+        hi = float(self._times[-1]) if upper is None else float(upper)
+        if lo > hi:
+            raise CurveError(f"integration bounds reversed: [{lo}, {hi}]")
+        if lo < self._times[0] - 1e-12 or hi > self._times[-1] + 1e-12:
+            raise CurveError(
+                f"integration bounds [{lo}, {hi}] outside observation window "
+                f"[{self._times[0]}, {self._times[-1]}]"
+            )
+        if lo == hi:
+            return 0.0
+        inside = (self._times > lo) & (self._times < hi)
+        grid = np.concatenate(([lo], self._times[inside], [hi]))
+        values = self.performance_at(grid)
+        return trapezoid_integral(grid, values)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def normalized(self) -> "ResilienceCurve":
+        """Curve rescaled so nominal performance is 1.0.
+
+        Raises
+        ------
+        CurveError
+            If the nominal level is zero (cannot normalize).
+        """
+        if self._nominal == 0.0:
+            raise CurveError("cannot normalize a curve with zero nominal performance")
+        return ResilienceCurve(
+            self._times,
+            self._performance / self._nominal,
+            nominal=1.0,
+            name=self.name,
+            metadata=self._metadata,
+        )
+
+    def shifted(self, offset: float) -> "ResilienceCurve":
+        """Curve with *offset* added to every time stamp."""
+        return ResilienceCurve(
+            self._times + offset,
+            self._performance,
+            nominal=self._nominal,
+            name=self.name,
+            metadata=self._metadata,
+        )
+
+    def window(self, lower: float, upper: float) -> "ResilienceCurve":
+        """Sub-curve containing samples with ``lower <= t <= upper``."""
+        mask = (self._times >= lower) & (self._times <= upper)
+        if int(mask.sum()) < 2:
+            raise CurveError(
+                f"window [{lower}, {upper}] contains fewer than two samples"
+            )
+        return ResilienceCurve(
+            self._times[mask],
+            self._performance[mask],
+            nominal=self._nominal,
+            name=self.name,
+            metadata=self._metadata,
+        )
+
+    def head(self, count: int) -> "ResilienceCurve":
+        """Sub-curve of the first *count* samples."""
+        if count < 2:
+            raise CurveError("head() needs at least two samples")
+        if count > len(self):
+            raise CurveError(f"head({count}) exceeds curve length {len(self)}")
+        return ResilienceCurve(
+            self._times[:count],
+            self._performance[:count],
+            nominal=self._nominal,
+            name=self.name,
+            metadata=self._metadata,
+        )
+
+    def train_test_split(self, train_fraction: float) -> tuple["ResilienceCurve", "ResilienceCurve"]:
+        """Split into a fitting prefix and held-out suffix, as the paper
+        does with "the first 90% of each data set".
+
+        The suffix curve keeps the original time stamps so predictive
+        metrics integrate over the true held-out window.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise CurveError(f"train_fraction must lie in (0, 1), got {train_fraction}")
+        n_train = int(round(train_fraction * len(self)))
+        n_train = min(max(n_train, 2), len(self) - 1)
+        train = self.head(n_train)
+        test = ResilienceCurve(
+            self._times[n_train:],
+            self._performance[n_train:],
+            nominal=self._nominal,
+            name=self.name,
+            metadata=self._metadata,
+        ) if len(self) - n_train >= 2 else ResilienceCurve(
+            self._times[n_train - 1 :],
+            self._performance[n_train - 1 :],
+            nominal=self._nominal,
+            name=self.name,
+            metadata=self._metadata,
+        )
+        return train, test
+
+    def resampled(self, new_times: ArrayLike) -> "ResilienceCurve":
+        """Curve re-sampled by linear interpolation onto *new_times*."""
+        t = as_float_array(new_times, "new_times")
+        return ResilienceCurve(
+            t,
+            self.performance_at(t),
+            nominal=self._nominal,
+            name=self.name,
+            metadata=self._metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict representation (JSON-serializable)."""
+        return {
+            "name": self.name,
+            "times": self._times.tolist(),
+            "performance": self._performance.tolist(),
+            "nominal": self._nominal,
+            "metadata": dict(self._metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResilienceCurve":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                payload["times"],
+                payload["performance"],
+                nominal=payload.get("nominal"),
+                name=payload.get("name", ""),
+                metadata=payload.get("metadata"),
+            )
+        except KeyError as exc:
+            raise CurveError(f"curve payload missing key: {exc}") from None

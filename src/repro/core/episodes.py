@@ -1,0 +1,151 @@
+"""Segmentation of long performance histories into disruption episodes.
+
+The paper models one disruption at a time, but operational telemetry is
+a continuous record containing many: a year of grid data with several
+storms, decades of payroll data with several recessions. This module
+splits such a history into per-disruption episodes — each a
+self-contained :class:`~repro.core.curve.ResilienceCurve` starting at
+the last nominal sample before a degradation run and ending at recovery
+(or at the next episode/window end) — so the paper's single-event
+models and metrics apply to each episode separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import CurveError
+
+__all__ = ["Episode", "split_episodes"]
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One disruption episode extracted from a longer history.
+
+    Attributes
+    ----------
+    curve:
+        The episode's sub-curve, with original time stamps.
+    start_index, end_index:
+        Slice ``[start_index, end_index)`` of the parent curve.
+    recovered:
+        Whether performance re-entered the nominal band before the
+        episode was cut off (by the next episode or the window end).
+    """
+
+    curve: ResilienceCurve
+    start_index: int
+    end_index: int
+    recovered: bool
+
+    @property
+    def depth(self) -> float:
+        """Fractional trough depth of the episode."""
+        return self.curve.degradation_depth / self.curve.nominal
+
+    @property
+    def duration(self) -> float:
+        """Episode time span."""
+        return self.curve.duration
+
+
+def split_episodes(
+    history: ResilienceCurve,
+    *,
+    tolerance: float = 0.01,
+    min_depth: float = 0.0,
+    min_samples: int = 3,
+    merge_gap: int = 2,
+) -> list[Episode]:
+    """Split *history* into disruption episodes.
+
+    Parameters
+    ----------
+    history:
+        The full performance record. Its ``nominal`` defines the
+        at-nominal band.
+    tolerance:
+        Relative half-width of the nominal band: performance below
+        ``nominal·(1 − tolerance)`` counts as degraded.
+    min_depth:
+        Episodes whose relative depth never exceeds this are discarded
+        (filters sensor noise blips).
+    min_samples:
+        Minimum number of samples for an episode to be kept.
+    merge_gap:
+        Degraded runs separated by at most this many at-nominal samples
+        are merged into one episode (brief touch-and-go recoveries, the
+        W case, stay together).
+
+    Returns
+    -------
+    list of Episode
+        In time order; empty when the history never degrades.
+
+    Raises
+    ------
+    CurveError
+        On invalid arguments.
+    """
+    if tolerance < 0.0:
+        raise CurveError(f"tolerance must be >= 0, got {tolerance}")
+    if min_samples < 2:
+        raise CurveError(f"min_samples must be >= 2, got {min_samples}")
+    if merge_gap < 0:
+        raise CurveError(f"merge_gap must be >= 0, got {merge_gap}")
+
+    perf = history.performance
+    nominal = history.nominal
+    threshold = nominal * (1.0 - tolerance) if nominal != 0.0 else -tolerance
+    degraded = perf < threshold
+    if not bool(np.any(degraded)):
+        return []
+
+    # Maximal degraded runs as (start, end) index pairs, end exclusive.
+    padded = np.concatenate(([False], degraded, [False]))
+    edges = np.diff(padded.astype(np.int8))
+    run_starts = np.nonzero(edges == 1)[0]
+    run_ends = np.nonzero(edges == -1)[0]
+
+    # Merge runs separated by small at-nominal gaps.
+    merged: list[tuple[int, int]] = []
+    for start, end in zip(run_starts, run_ends):
+        if merged and start - merged[-1][1] <= merge_gap:
+            merged[-1] = (merged[-1][0], int(end))
+        else:
+            merged.append((int(start), int(end)))
+
+    episodes: list[Episode] = []
+    n = len(history)
+    for index, (start, end) in enumerate(merged):
+        # Extend left to the last at-nominal sample (the t_h anchor).
+        left = max(start - 1, 0)
+        # Extend right through the recovery sample; cut at the next
+        # episode's left anchor or the window end.
+        next_start = merged[index + 1][0] - 1 if index + 1 < len(merged) else n
+        right = min(end + 1, next_start, n)
+        recovered = end < n and bool(perf[min(end, n - 1)] >= threshold)
+        if right - left < min_samples:
+            continue
+        sub = ResilienceCurve(
+            history.times[left:right],
+            perf[left:right],
+            nominal=nominal,
+            name=f"{history.name or 'history'}#{len(episodes)}",
+            metadata=history.metadata,
+        )
+        if nominal != 0.0 and sub.degradation_depth / nominal < min_depth:
+            continue
+        episodes.append(
+            Episode(
+                curve=sub,
+                start_index=left,
+                end_index=right,
+                recovered=recovered,
+            )
+        )
+    return episodes

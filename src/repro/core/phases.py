@@ -1,0 +1,111 @@
+"""Detection of the canonical resilience phases t_h, t_d, t_r.
+
+Figure 1 of the paper divides a resilience curve into the hazard onset
+``t_h`` (performance leaves nominal), the trough ``t_d`` (minimum
+performance), and the recovery ``t_r`` (performance returns to a steady
+state). Empirical curves are noisy, so detection uses a relative
+tolerance band around the nominal level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import CurveError
+
+__all__ = ["ResiliencePhases", "detect_phases"]
+
+
+@dataclass(frozen=True)
+class ResiliencePhases:
+    """The three phase boundaries of a resilience curve.
+
+    Attributes
+    ----------
+    hazard_time:
+        ``t_h`` — last time performance was at nominal before the first
+        sustained drop. Equal to the first sample time when the curve
+        starts already degraded.
+    trough_time:
+        ``t_d`` — time of minimum performance. Equals ``hazard_time``
+        when degradation is instantaneous (the paper's ``t_d = t_h``
+        case).
+    recovery_time:
+        ``t_r`` — first time at/after the trough when performance
+        re-enters the nominal band, or ``None`` when the curve never
+        recovers within the observation window.
+    """
+
+    hazard_time: float
+    trough_time: float
+    recovery_time: float | None
+
+    @property
+    def degradation_duration(self) -> float:
+        """Time from hazard onset to the trough."""
+        return self.trough_time - self.hazard_time
+
+    @property
+    def recovery_duration(self) -> float | None:
+        """Time from trough to recovery, or ``None`` if unrecovered."""
+        if self.recovery_time is None:
+            return None
+        return self.recovery_time - self.trough_time
+
+    @property
+    def total_disruption_duration(self) -> float | None:
+        """Time from hazard onset to recovery, or ``None`` if unrecovered."""
+        if self.recovery_time is None:
+            return None
+        return self.recovery_time - self.hazard_time
+
+
+def detect_phases(
+    curve: ResilienceCurve,
+    *,
+    tolerance: float = 0.002,
+) -> ResiliencePhases:
+    """Locate ``t_h``, ``t_d``, and ``t_r`` on an empirical curve.
+
+    Parameters
+    ----------
+    curve:
+        The curve to analyze.
+    tolerance:
+        Relative half-width of the nominal band. Performance below
+        ``nominal·(1 − tolerance)`` counts as degraded; performance at or
+        above ``nominal·(1 − tolerance)`` after the trough counts as
+        recovered.
+
+    Raises
+    ------
+    CurveError
+        If the curve never degrades below the nominal band (there is no
+        disruption to phase).
+    """
+    if tolerance < 0.0:
+        raise CurveError(f"tolerance must be non-negative, got {tolerance}")
+    times = curve.times
+    perf = curve.performance
+    threshold = curve.nominal * (1.0 - tolerance) if curve.nominal != 0.0 else -tolerance
+
+    degraded = perf < threshold
+    if not bool(np.any(degraded)):
+        raise CurveError(
+            f"curve {curve.name or '<unnamed>'} never degrades below the nominal band"
+        )
+    first_degraded = int(np.argmax(degraded))
+    # t_h is the last at-nominal sample before the first degraded one.
+    hazard_time = float(times[max(first_degraded - 1, 0)])
+
+    trough_index = int(np.argmin(perf))
+    trough_time = float(times[trough_index])
+
+    recovery_time: float | None = None
+    after = np.nonzero(perf[trough_index:] >= threshold)[0]
+    if after.size:
+        recovery_time = float(times[trough_index + int(after[0])])
+    return ResiliencePhases(hazard_time, trough_time, recovery_time)

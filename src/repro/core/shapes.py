@@ -1,0 +1,162 @@
+"""Recession/resilience curve shape taxonomy (V, U, W, L, J, K).
+
+Economists label recession curves with letters (Section V of the
+paper). The classifier here encodes the descriptions the paper gives:
+
+* **V** — sharp but brief degradation, similarly strong recovery.
+* **U** — slower deterioration and recovery, flat-bottomed.
+* **W** — two successive degradation/recovery episodes.
+* **L** — sharp decline, long period of under-performance.
+* **J** — slow recovery that eventually exceeds the pre-event trend.
+* **K** — long sharp drop with divergent recovery paths; on a single
+  aggregate curve this manifests as a sharp drop with a partial,
+  kinked recovery.
+
+The classifier is a documented heuristic, not a learned model: it
+exists so tests and ablations can tie model adequacy (the paper's
+headline negative result) to the shape class of the input curve.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import ShapeError
+
+__all__ = ["CurveShape", "classify_shape", "count_significant_dips"]
+
+
+class CurveShape(enum.Enum):
+    """Letter taxonomy of resilience curves."""
+
+    V = "V"
+    U = "U"
+    W = "W"
+    L = "L"
+    J = "J"
+    K = "K"
+    FLAT = "flat"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge padding."""
+    if window <= 1 or values.size < window:
+        return values.astype(np.float64)
+    kernel = np.ones(window) / window
+    padded = np.pad(values.astype(np.float64), window // 2, mode="edge")
+    smoothed = np.convolve(padded, kernel, mode="same")
+    start = window // 2
+    return smoothed[start : start + values.size]
+
+
+def count_significant_dips(
+    curve: ResilienceCurve,
+    *,
+    min_depth_fraction: float = 0.2,
+    smoothing_window: int = 3,
+) -> int:
+    """Number of distinct local minima deeper than a fraction of the
+    curve's total degradation depth.
+
+    A "dip" is a maximal run below the significance threshold; two dips
+    separated by a rebound above the threshold count separately, which
+    is what distinguishes W-shaped curves from single-trough shapes.
+    """
+    if not 0.0 < min_depth_fraction <= 1.0:
+        raise ShapeError(
+            f"min_depth_fraction must lie in (0, 1], got {min_depth_fraction}"
+        )
+    perf = _smooth(curve.performance, smoothing_window)
+    nominal = curve.nominal
+    depth = nominal - float(perf.min())
+    if depth <= 0.0:
+        return 0
+    threshold = nominal - min_depth_fraction * depth
+    below = perf < threshold
+    # Count the rising edges of the boolean mask.
+    edges = np.diff(below.astype(np.int8))
+    dips = int(np.sum(edges == 1)) + (1 if below[0] else 0)
+    return dips
+
+
+def classify_shape(
+    curve: ResilienceCurve,
+    *,
+    recovery_tolerance: float = 0.005,
+    sharp_drop_fraction: float = 0.15,
+    flat_depth: float = 1e-3,
+) -> CurveShape:
+    """Classify *curve* into the letter taxonomy.
+
+    Parameters
+    ----------
+    curve:
+        Curve to classify; expected to start near its nominal level.
+    recovery_tolerance:
+        Relative band around nominal counting as "recovered".
+    sharp_drop_fraction:
+        A trough reached within this fraction of the observation window
+        counts as a "sharp" drop (V/L/K candidates).
+    flat_depth:
+        Relative degradation depth below which the curve is FLAT.
+
+    Notes
+    -----
+    K cannot be identified from a single aggregate curve (it describes
+    divergent sub-population paths); following the paper, sharp-drop
+    curves with a partial kinked recovery are labelled L here, and the
+    2020-21 dataset is treated as L/K jointly in experiments.
+    """
+    nominal = curve.nominal
+    if nominal == 0.0:
+        raise ShapeError("cannot classify a curve with zero nominal performance")
+    normalized = curve.normalized()
+    perf = normalized.performance
+    times = normalized.times
+
+    depth = 1.0 - float(perf.min())
+    if depth < flat_depth:
+        return CurveShape.FLAT
+
+    dips = count_significant_dips(normalized)
+    if dips >= 2:
+        return CurveShape.W
+
+    trough_index = int(np.argmin(perf))
+    window = float(times[-1] - times[0])
+    drop_duration = float(times[trough_index] - times[0])
+    sharp_drop = drop_duration <= sharp_drop_fraction * window
+
+    recovered_mask = perf[trough_index:] >= 1.0 - recovery_tolerance
+    recovered = bool(np.any(recovered_mask))
+    final = float(perf[-1])
+
+    if recovered:
+        recovery_index = trough_index + int(np.argmax(recovered_mask))
+        recovery_duration = float(times[recovery_index] - times[trough_index])
+        overshoot = final > 1.0 + 5.0 * recovery_tolerance
+        slow_recovery = recovery_duration > 2.0 * max(drop_duration, 1e-12)
+        if overshoot and slow_recovery and not sharp_drop:
+            return CurveShape.J
+        # V vs U: a V dips and rebounds without lingering, a U has a
+        # flat bottom and/or a rebound much slower than the drop.
+        deep = perf < 1.0 - 0.5 * depth
+        deep_fraction = float(np.count_nonzero(deep)) / perf.size
+        symmetric_rebound = recovery_duration <= 1.5 * max(drop_duration, 1e-12)
+        if deep_fraction <= 0.35 and symmetric_rebound:
+            return CurveShape.V
+        return CurveShape.U
+
+    # Unrecovered within the window.
+    if sharp_drop:
+        return CurveShape.L
+    # Slow decline that never recovers: closest letter is U (truncated)
+    # unless performance is still falling at the end, which reads as L.
+    still_falling = perf[-1] <= float(perf[max(len(perf) - 5, 0) :].min()) + 1e-12
+    return CurveShape.L if still_falling else CurveShape.U

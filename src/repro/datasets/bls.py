@@ -1,0 +1,163 @@
+"""Import of BLS-style employment tables.
+
+The paper's curves come from the BLS Current Employment Statistics
+program, whose standard export is a *wide* table — one row per year,
+one column per month, values in employment levels (thousands):
+
+    Year,Jan,Feb,Mar,...,Dec
+    1989,107155,107481,...
+    1990,109196,...
+
+This module parses that layout and converts a level series into the
+paper's normalized payroll-employment curve: pick the pre-recession
+peak, index it to 1.0, and keep the following *n* months. With this,
+anyone holding an actual BLS export reproduces the paper on the real
+series rather than on the bundled reconstructions.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import DataError
+
+__all__ = ["read_bls_wide_csv", "curve_from_levels"]
+
+_MONTHS = (
+    "jan", "feb", "mar", "apr", "may", "jun",
+    "jul", "aug", "sep", "oct", "nov", "dec",
+)
+
+
+def read_bls_wide_csv(path: str | Path) -> list[tuple[str, float]]:
+    """Parse a wide BLS table into a flat ``(YYYY-MM, level)`` series.
+
+    Missing cells (empty or ``-``) are allowed only at the tail of the
+    final year (the current, incomplete year).
+
+    Raises
+    ------
+    DataError
+        On a missing file, malformed header, or interior gaps.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"no such BLS file: {file_path}")
+    with file_path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{file_path}: empty file") from None
+        columns = [cell.strip().lower() for cell in header]
+        if not columns or columns[0] != "year":
+            raise DataError(
+                f"{file_path}: first header cell must be 'Year', got {header[:1]!r}"
+            )
+        month_order = columns[1:]
+        if tuple(month_order[:12]) != _MONTHS:
+            raise DataError(
+                f"{file_path}: expected month columns {_MONTHS}, got {month_order[:12]}"
+            )
+        series: list[tuple[str, float]] = []
+        gap_seen = False
+        for row_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            try:
+                year = int(row[0])
+            except ValueError:
+                raise DataError(
+                    f"{file_path}:{row_number}: non-numeric year {row[0]!r}"
+                ) from None
+            for month_index, cell in enumerate(row[1:13], start=1):
+                text = cell.strip()
+                if not text or text == "-":
+                    gap_seen = True
+                    continue
+                if gap_seen:
+                    raise DataError(
+                        f"{file_path}:{row_number}: value after a gap at "
+                        f"{year}-{month_index:02d}; interior gaps are not supported"
+                    )
+                try:
+                    level = float(text.replace(",", ""))
+                except ValueError:
+                    raise DataError(
+                        f"{file_path}:{row_number}: non-numeric level {text!r}"
+                    ) from None
+                series.append((f"{year}-{month_index:02d}", level))
+    if len(series) < 2:
+        raise DataError(f"{file_path}: fewer than two monthly values")
+    return series
+
+
+def curve_from_levels(
+    series: list[tuple[str, float]],
+    *,
+    peak: str | None = None,
+    n_months: int = 48,
+    name: str = "",
+) -> ResilienceCurve:
+    """Normalized recession curve from a ``(YYYY-MM, level)`` series.
+
+    Parameters
+    ----------
+    series:
+        Monthly employment levels in chronological order.
+    peak:
+        The peak month (``"YYYY-MM"``) that becomes t = 0 with index
+        1.0. Defaults to the month of maximum level *before* the global
+        minimum — the pre-recession peak.
+    n_months:
+        Number of months kept from the peak (48 in the paper, 24 for
+        2020-21). Truncated to the available data.
+
+    Raises
+    ------
+    DataError
+        If the peak month is absent or fewer than two months follow it.
+    """
+    labels = [label for label, _ in series]
+    levels = np.asarray([value for _, value in series], dtype=np.float64)
+    if peak is None:
+        # Pre-recession peak = running maximum at the point of deepest
+        # drawdown (largest relative fall from the high-water mark).
+        running_max = np.maximum.accumulate(levels)
+        drawdown = (running_max - levels) / running_max
+        trough_index = int(np.argmax(drawdown))
+        if drawdown[trough_index] <= 0.0:
+            raise DataError(
+                "series has no drawdown (never falls below its running "
+                "maximum); specify peak= explicitly"
+            )
+        peak_index = int(np.argmax(levels[: trough_index + 1]))
+    else:
+        try:
+            peak_index = labels.index(peak)
+        except ValueError:
+            raise DataError(f"peak month {peak!r} not present in the series") from None
+    window = levels[peak_index : peak_index + n_months]
+    if window.size < 2:
+        raise DataError(
+            f"only {window.size} months available after the peak {labels[peak_index]}"
+        )
+    peak_level = window[0]
+    if peak_level <= 0.0:
+        raise DataError(f"peak level must be positive, got {peak_level}")
+    months = np.arange(window.size, dtype=np.float64)
+    return ResilienceCurve(
+        months,
+        window / peak_level,
+        nominal=1.0,
+        name=name or f"recession from {labels[peak_index]}",
+        metadata={
+            "source": "BLS wide-format import",
+            "peak_month": labels[peak_index],
+            "peak_level": float(peak_level),
+        },
+    )

@@ -1,0 +1,78 @@
+"""CSV import/export for resilience curves.
+
+A curve file is plain CSV with a ``time,performance`` header — the
+format a user would export from a BLS (or any other) data pull. This
+keeps the library usable on real series the moment a user has them.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import DataError
+
+__all__ = ["curve_from_csv", "curve_to_csv"]
+
+
+def curve_from_csv(
+    path: str | Path,
+    *,
+    name: str | None = None,
+    nominal: float | None = None,
+) -> ResilienceCurve:
+    """Read a curve from a ``time,performance`` CSV file.
+
+    A header row is detected (and skipped) when its first cell is not
+    numeric. Blank lines are ignored.
+
+    Raises
+    ------
+    DataError
+        On missing file, malformed rows, or fewer than two samples.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"no such curve file: {file_path}")
+    times: list[float] = []
+    performance: list[float] = []
+    with file_path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader, start=1):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) < 2:
+                raise DataError(
+                    f"{file_path}:{row_number}: expected 2 columns, got {len(row)}"
+                )
+            try:
+                t = float(row[0])
+                p = float(row[1])
+            except ValueError:
+                if row_number == 1:
+                    continue  # header row
+                raise DataError(
+                    f"{file_path}:{row_number}: non-numeric cell in {row!r}"
+                ) from None
+            times.append(t)
+            performance.append(p)
+    if len(times) < 2:
+        raise DataError(f"{file_path}: fewer than two data rows")
+    return ResilienceCurve(
+        times,
+        performance,
+        nominal=nominal,
+        name=name or file_path.stem,
+        metadata={"source": str(file_path)},
+    )
+
+
+def curve_to_csv(curve: ResilienceCurve, path: str | Path) -> None:
+    """Write *curve* as a ``time,performance`` CSV file."""
+    file_path = Path(path)
+    with file_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "performance"])
+        for t, p in zip(curve.times, curve.performance):
+            writer.writerow([repr(float(t)), repr(float(p))])

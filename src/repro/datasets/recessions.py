@@ -1,0 +1,202 @@
+"""The seven U.S. recession payroll curves (Fig. 2 of the paper).
+
+Each curve is the normalized number of individuals employed, month by
+month, with time step zero at the pre-recession employment peak
+(index 1.0). The paper sources the series from the BLS Current
+Employment Statistics program; those exact series cannot be bundled
+offline, so each curve here is **reconstructed**: monotone-cubic
+(PCHIP) interpolation through control points that encode the public
+record of the recession —
+
+=========  =====  ======================  =============================
+Recession  Shape  Peak-to-trough loss      Timing
+=========  =====  ======================  =============================
+1974-76    V      ≈ 2.9% at month 11      recovered ~month 22, strong growth after
+1980       W      ≈ 1.1% then ≈ 2.1%      double dip (1980 and 1981-82 recessions)
+1981-83    V/U    ≈ 3.1% at month 17      recovered ~month 28, strong growth after
+1990-93    U      ≈ 1.45% at month 11     slow recovery, ~+3% by month 47
+2001-05    U      ≈ 2.1% at month 28      recovered only at ~month 47
+2007-09    U/L    ≈ 6.35% at month 25     unrecovered within 48 months
+2020-21    L/K    ≈ 14.5% at month 2      sharp drop, partial fast recovery
+=========  =====  ======================  =============================
+
+A small deterministic noise term (seeded per recession) reproduces the
+month-to-month sampling jitter of the survey data. The *shape class*,
+depth, and timing — the features that decide which model family can fit
+which curve — match the paper's Figure 2; absolute fit statistics will
+differ from the published tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.interpolate import PchipInterpolator
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import DataError
+
+__all__ = [
+    "RECESSION_NAMES",
+    "load_recession",
+    "load_all_recessions",
+    "recession_shape_label",
+]
+
+#: Standard deviation of the deterministic reconstruction noise.
+_NOISE_STD = 0.0012
+
+#: Control points (month, normalized payroll index) per recession, the
+#: shape label used in the paper's discussion, and the RNG seed.
+_SPECS: dict[str, dict] = {
+    "1974-76": {
+        "shape": "V",
+        "seed": 197476,
+        "n_months": 48,
+        "points": [
+            (0, 1.0000), (2, 0.9975), (4, 0.9905), (6, 0.9820), (8, 0.9755),
+            (10, 0.9718), (11, 0.9710), (13, 0.9740), (16, 0.9832), (19, 0.9925),
+            (22, 1.0005), (26, 1.0110), (30, 1.0230), (35, 1.0370), (40, 1.0500),
+            (44, 1.0590), (47, 1.0660),
+        ],
+    },
+    "1980": {
+        "shape": "W",
+        "seed": 1980,
+        "n_months": 48,
+        "points": [
+            (0, 1.0000), (1, 0.9985), (2, 0.9958), (3, 0.9932), (4, 0.9912),
+            (5, 0.9905), (7, 0.9918), (9, 0.9940), (12, 0.9972), (14, 0.9991),
+            (16, 1.0002), (18, 0.9990), (20, 0.9958), (23, 0.9910), (26, 0.9862),
+            (29, 0.9822), (31, 0.9800), (33, 0.9795), (35, 0.9808), (38, 0.9852),
+            (41, 0.9912), (44, 0.9978), (47, 1.0045),
+        ],
+    },
+    "1981-83": {
+        "shape": "V",
+        "seed": 198183,
+        "n_months": 48,
+        "points": [
+            (0, 1.0000), (3, 0.9978), (6, 0.9930), (9, 0.9868), (12, 0.9802),
+            (15, 0.9735), (17, 0.9692), (19, 0.9710), (22, 0.9808), (25, 0.9920),
+            (28, 1.0010), (32, 1.0160), (36, 1.0300), (40, 1.0440), (44, 1.0565),
+            (47, 1.0655),
+        ],
+    },
+    "1990-93": {
+        "shape": "U",
+        "seed": 199093,
+        "n_months": 48,
+        "points": [
+            (0, 1.0000), (2, 0.9986), (4, 0.9962), (6, 0.9930), (8, 0.9898),
+            (10, 0.9868), (11, 0.9856), (13, 0.9858), (16, 0.9868), (20, 0.9890),
+            (24, 0.9918), (28, 0.9952), (32, 0.9995), (36, 1.0055), (40, 1.0125),
+            (44, 1.0210), (47, 1.0290),
+        ],
+    },
+    "2001-05": {
+        "shape": "U",
+        "seed": 200105,
+        "n_months": 48,
+        "points": [
+            (0, 1.0000), (3, 0.9978), (6, 0.9948), (9, 0.9916), (12, 0.9890),
+            (15, 0.9868), (18, 0.9848), (21, 0.9830), (24, 0.9812), (26, 0.9802),
+            (28, 0.9796), (30, 0.9800), (33, 0.9815), (36, 0.9842), (39, 0.9880),
+            (42, 0.9925), (45, 0.9968), (47, 1.0000),
+        ],
+    },
+    "2007-09": {
+        "shape": "U",
+        "seed": 200709,
+        "n_months": 48,
+        "points": [
+            (0, 1.0000), (3, 0.9988), (6, 0.9958), (9, 0.9905), (12, 0.9820),
+            (15, 0.9700), (18, 0.9580), (21, 0.9480), (23, 0.9420), (25, 0.9385),
+            (27, 0.9372), (29, 0.9378), (32, 0.9405), (35, 0.9448), (38, 0.9498),
+            (41, 0.9552), (44, 0.9610), (47, 0.9668),
+        ],
+    },
+    "2020-21": {
+        "shape": "L",
+        "seed": 202021,
+        "n_months": 24,
+        "points": [
+            (0, 1.0000), (1, 0.9910), (2, 0.8550), (3, 0.8760), (4, 0.8990),
+            (5, 0.9105), (6, 0.9175), (7, 0.9230), (8, 0.9280), (10, 0.9345),
+            (12, 0.9390), (14, 0.9440), (16, 0.9495), (18, 0.9555), (20, 0.9610),
+            (22, 0.9665), (23, 0.9690),
+        ],
+    },
+}
+
+#: Canonical dataset order (chronological, as in Fig. 2's legend).
+RECESSION_NAMES: tuple[str, ...] = tuple(_SPECS)
+
+
+def _build_curve(name: str, noise_seed: int | None = None) -> ResilienceCurve:
+    spec = _SPECS[name]
+    knots = np.asarray(spec["points"], dtype=np.float64)
+    interpolator = PchipInterpolator(knots[:, 0], knots[:, 1])
+    months = np.arange(spec["n_months"], dtype=np.float64)
+    index = interpolator(months)
+    seed = spec["seed"] if noise_seed is None else noise_seed
+    rng = np.random.default_rng(seed)
+    noise = rng.normal(0.0, _NOISE_STD, size=months.size)
+    noise[0] = 0.0  # the peak month defines the index; it is exact by construction
+    index = index + noise
+    return ResilienceCurve(
+        months,
+        index,
+        nominal=1.0,
+        name=name,
+        metadata={
+            "source": (
+                "Reconstruction of BLS Current Employment Statistics "
+                "normalized payroll employment (see module docstring)"
+            ),
+            "shape": spec["shape"],
+            "units": "normalized payroll employment index (peak = 1.0)",
+            "time_units": "months after employment peak",
+            "noise_seed": seed,
+        },
+    )
+
+
+def load_recession(name: str, *, noise_seed: int | None = None) -> ResilienceCurve:
+    """Load one recession curve by name (e.g. ``"1990-93"``).
+
+    Parameters
+    ----------
+    name:
+        One of :data:`RECESSION_NAMES`.
+    noise_seed:
+        Override for the reconstruction-noise seed. The default (None)
+        uses the canonical per-recession seed, so every load is
+        identical; passing alternative seeds produces equally valid
+        reconstructions and lets robustness experiments check that
+        conclusions do not hinge on one noise realization.
+
+    Raises
+    ------
+    DataError
+        If the name is not one of :data:`RECESSION_NAMES`.
+    """
+    if name not in _SPECS:
+        known = ", ".join(RECESSION_NAMES)
+        raise DataError(f"unknown recession {name!r}; known: {known}")
+    return _build_curve(name, noise_seed)
+
+
+def load_all_recessions(
+    *, noise_seed: int | None = None
+) -> dict[str, ResilienceCurve]:
+    """All seven curves keyed by name, in chronological order."""
+    return {name: _build_curve(name, noise_seed) for name in RECESSION_NAMES}
+
+
+def recession_shape_label(name: str) -> str:
+    """The shape letter the paper assigns to this recession
+    (the 2020-21 curve is discussed as L/K; the label here is L)."""
+    if name not in _SPECS:
+        known = ", ".join(RECESSION_NAMES)
+        raise DataError(f"unknown recession {name!r}; known: {known}")
+    return _SPECS[name]["shape"]

@@ -1,0 +1,67 @@
+"""Lognormal lifetime distribution (extension beyond the paper's pairings)."""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar
+
+import numpy as np
+from scipy import special
+
+from repro._typing import ArrayLike, FloatArray
+from repro.distributions.base import LifetimeDistribution
+from repro.utils.numerics import as_float_array
+
+__all__ = ["Lognormal"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+class Lognormal(LifetimeDistribution):
+    """Lognormal distribution: ``log T ~ Normal(mu, sigma²)``."""
+
+    name: ClassVar[str] = "lognormal"
+    param_names: ClassVar[tuple[str, ...]] = ("mu", "sigma")
+    param_lower_bounds: ClassVar[tuple[float, ...]] = (-20.0, 1e-4)
+    param_upper_bounds: ClassVar[tuple[float, ...]] = (20.0, 20.0)
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        super().__init__()
+        self.mu = self._require_finite("mu", mu)
+        self.sigma = self._require_positive("sigma", sigma)
+
+    def pdf(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        positive = t > 0.0
+        out = np.zeros_like(t)
+        tp = np.where(positive, t, 1.0)
+        z = (np.log(tp) - self.mu) / self.sigma
+        out[positive] = (
+            np.exp(-0.5 * z * z) / (tp * self.sigma * math.sqrt(2.0 * math.pi))
+        )[positive]
+        return out
+
+    def cdf(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        positive = t > 0.0
+        tp = np.where(positive, t, 1.0)
+        z = (np.log(tp) - self.mu) / (self.sigma * _SQRT2)
+        values = 0.5 * (1.0 + special.erf(z))
+        return np.where(positive, values, 0.0)
+
+    def quantile(self, probabilities: ArrayLike) -> FloatArray:
+        probs = as_float_array(probabilities, "probabilities")
+        if np.any((probs < 0.0) | (probs >= 1.0)):
+            raise ValueError("probabilities must lie in [0, 1)")
+        z = _SQRT2 * special.erfinv(2.0 * probs - 1.0)
+        return np.where(probs == 0.0, 0.0, np.exp(self.mu + self.sigma * z))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
+
+    def variance(self) -> float:
+        s2 = self.sigma * self.sigma
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+    def median(self) -> float:
+        return math.exp(self.mu)

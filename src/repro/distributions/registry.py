@@ -1,0 +1,72 @@
+"""Registry mapping distribution names to classes.
+
+Mixture models are configured by distribution *name* in experiment
+specifications and on the CLI, so the registry is the single place new
+distributions must be added to become available everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.distributions.base import LifetimeDistribution
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "register_distribution",
+    "get_distribution_class",
+    "available_distributions",
+]
+
+_REGISTRY: dict[str, Type[LifetimeDistribution]] = {}
+
+
+def register_distribution(cls: Type[LifetimeDistribution]) -> Type[LifetimeDistribution]:
+    """Register *cls* under its :attr:`name`; usable as a decorator.
+
+    Re-registering the same class under the same name is a no-op;
+    registering a different class under an existing name raises.
+    """
+    name = cls.name
+    if not name or name == "abstract":
+        raise ParameterError(f"{cls.__name__} has no registry name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ParameterError(f"distribution name {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_distribution_class(name: str) -> Type[LifetimeDistribution]:
+    """Look up a distribution class by registry name.
+
+    Accepts a few common aliases (``"exp"``, ``"wei"``) used in the
+    paper's model labels (Exp-Exp, Wei-Exp, ...).
+    """
+    aliases = {"exp": "exponential", "wei": "weibull", "weib": "weibull"}
+    key = aliases.get(name.lower(), name.lower())
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ParameterError(f"unknown distribution {name!r}; known: {known}") from None
+
+
+def available_distributions() -> tuple[str, ...]:
+    """Sorted names of all registered distributions."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    from repro.distributions.exponential import Exponential
+    from repro.distributions.weibull import Weibull
+    from repro.distributions.gamma import Gamma
+    from repro.distributions.lognormal import Lognormal
+    from repro.distributions.gompertz import Gompertz
+    from repro.distributions.loglogistic import LogLogistic
+
+    for cls in (Exponential, Weibull, Gamma, Lognormal, Gompertz, LogLogistic):
+        register_distribution(cls)
+
+
+_register_builtins()

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish specific failure
+modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "CurveError",
+    "FitError",
+    "ConvergenceError",
+    "DataError",
+    "MetricError",
+    "ShapeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model, distribution, or hazard received invalid parameters.
+
+    Raised eagerly at construction time so that invalid parameterizations
+    never propagate into numeric code where they would surface as cryptic
+    NaN results.
+    """
+
+
+class CurveError(ReproError, ValueError):
+    """A :class:`~repro.core.curve.ResilienceCurve` is malformed.
+
+    Examples: non-monotone time stamps, mismatched array lengths, fewer
+    than two observations.
+    """
+
+
+class FitError(ReproError, RuntimeError):
+    """Model fitting failed for a reason other than non-convergence.
+
+    For example: no feasible starting point could be constructed, or the
+    data contain NaN values.
+    """
+
+
+class ConvergenceError(FitError):
+    """The optimizer ran but did not converge to an acceptable solution."""
+
+
+class DataError(ReproError, ValueError):
+    """A dataset could not be loaded or failed validation."""
+
+
+class MetricError(ReproError, ValueError):
+    """A resilience metric could not be computed on the given inputs."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A curve-shape classification or generation request is invalid."""

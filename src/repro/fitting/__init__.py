@@ -1,0 +1,32 @@
+"""Least-squares model fitting (Eq. 8 of the paper).
+
+The entry point is :func:`fit_least_squares`, which minimizes the sum
+of squared disagreements between an empirical resilience curve and a
+parametric model using bounded trust-region least squares with a
+deterministic multi-start strategy.
+"""
+
+from repro.fitting.least_squares import fit_least_squares, fit_many
+from repro.fitting.mle import MleResult, fit_mle, profile_likelihood_interval
+from repro.fitting.multistart import generate_starts
+from repro.fitting.result import FitResult
+from repro.fitting.uncertainty import (
+    ParameterUncertainty,
+    delta_method_band,
+    derived_quantity_interval,
+    parameter_uncertainty,
+)
+
+__all__ = [
+    "fit_least_squares",
+    "fit_many",
+    "generate_starts",
+    "FitResult",
+    "MleResult",
+    "fit_mle",
+    "profile_likelihood_interval",
+    "ParameterUncertainty",
+    "parameter_uncertainty",
+    "delta_method_band",
+    "derived_quantity_interval",
+]

@@ -1,0 +1,191 @@
+"""The least-squares fitting engine (Eq. 8).
+
+``fit_least_squares`` minimizes ``Σᵢ (R(tᵢ) − P(tᵢ))²`` over the
+model's bounded parameter space with scipy's trust-region-reflective
+least squares, trying every multi-start point and keeping the best
+optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import ConvergenceError, FitError
+from repro.fitting.multistart import generate_starts
+from repro.fitting.result import FitResult
+from repro.models.base import ResilienceModel
+
+__all__ = ["fit_least_squares", "fit_many"]
+
+
+def fit_least_squares(
+    family: ResilienceModel,
+    curve: ResilienceCurve,
+    *,
+    n_random_starts: int = 8,
+    seed: int | None = None,
+    max_nfev: int = 2000,
+    starts: Sequence[Sequence[float]] | None = None,
+    weights: Sequence[float] | None = None,
+) -> FitResult:
+    """Fit *family* to *curve* by bounded least squares.
+
+    Parameters
+    ----------
+    family:
+        Unbound model family (e.g. ``QuadraticResilienceModel()``).
+    curve:
+        Empirical curve; typically the training prefix from
+        :meth:`~repro.core.curve.ResilienceCurve.train_test_split`.
+    n_random_starts:
+        Perturbed variants per heuristic seed (see
+        :func:`~repro.fitting.multistart.generate_starts`). 0 uses only
+        the heuristic seeds.
+    seed:
+        Random-stream seed for start generation; ``None`` uses the
+        library default (fits are deterministic either way).
+    max_nfev:
+        Function-evaluation budget per start.
+    starts:
+        Explicit starting vectors; overrides generation entirely.
+    weights:
+        Optional per-observation weights ``wᵢ`` turning Eq. (8) into
+        weighted least squares ``Σ wᵢ(R(tᵢ) − P(tᵢ))²`` — e.g. inverse
+        variances for heteroscedastic telemetry, or zeros to mask
+        outliers. Must be non-negative, same length as the curve. The
+        reported :attr:`FitResult.sse` remains the *unweighted* Eq. (9)
+        value so it stays comparable across weightings.
+
+    Returns
+    -------
+    FitResult
+        With the model bound to the lowest-SSE optimum across starts
+        (lowest weighted SSE when *weights* are given).
+
+    Raises
+    ------
+    FitError
+        If the curve contains non-finite values or fewer observations
+        than parameters.
+    ConvergenceError
+        If every start fails to produce a finite optimum.
+    """
+    if len(curve) <= family.n_params:
+        raise FitError(
+            f"cannot fit {family.n_params}-parameter model {family.name!r} "
+            f"to {len(curve)} observations"
+        )
+    if not np.all(np.isfinite(curve.performance)):
+        raise FitError("curve contains non-finite performance values")
+
+    if starts is None:
+        kwargs = {} if seed is None else {"seed": seed}
+        start_vectors: list[tuple[float, ...]] = generate_starts(
+            family, curve, n_random=n_random_starts, **kwargs
+        )
+    else:
+        start_vectors = [tuple(float(v) for v in s) for s in starts]
+        if not start_vectors:
+            raise FitError("explicit starts list is empty")
+
+    lower = np.asarray(family.lower_bounds, dtype=np.float64)
+    upper = np.asarray(family.upper_bounds, dtype=np.float64)
+
+    sqrt_weights: np.ndarray | None = None
+    if weights is not None:
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if weight_array.shape != (len(curve),):
+            raise FitError(
+                f"weights must have one entry per observation "
+                f"({len(curve)}), got shape {weight_array.shape}"
+            )
+        if not np.all(np.isfinite(weight_array)) or np.any(weight_array < 0.0):
+            raise FitError("weights must be finite and non-negative")
+        if not np.any(weight_array > 0.0):
+            raise FitError("at least one weight must be positive")
+        sqrt_weights = np.sqrt(weight_array)
+
+    def objective(vector: np.ndarray) -> np.ndarray:
+        residuals = family.residuals(curve, vector)
+        residuals = np.where(np.isfinite(residuals), residuals, 1e6)
+        if sqrt_weights is not None:
+            residuals = residuals * sqrt_weights
+        return residuals
+
+    best_sse = np.inf
+    best_vector: np.ndarray | None = None
+    best_message = ""
+    best_converged = False
+    failures = 0
+    per_start_sse: list[float] = []
+
+    for start in start_vectors:
+        x0 = np.clip(np.asarray(start, dtype=np.float64), lower, upper)
+        try:
+            solution = optimize.least_squares(
+                objective,
+                x0,
+                bounds=(lower, upper),
+                method="trf",
+                max_nfev=max_nfev,
+            )
+        except (ValueError, FloatingPointError):
+            failures += 1
+            per_start_sse.append(float("nan"))
+            continue
+        sse = float(2.0 * solution.cost)  # cost is 0.5 * sum(residual²)
+        per_start_sse.append(sse)
+        if not np.isfinite(sse):
+            failures += 1
+            continue
+        if sse < best_sse:
+            best_sse = sse
+            best_vector = solution.x
+            best_message = str(solution.message)
+            best_converged = bool(solution.success)
+
+    if best_vector is None:
+        raise ConvergenceError(
+            f"all {len(start_vectors)} starts failed fitting "
+            f"{family.name!r} to {curve.name or '<curve>'}"
+        )
+
+    if sqrt_weights is not None:
+        # Selection used the weighted objective; report the unweighted
+        # Eq. (9) SSE so results stay comparable across weightings.
+        best_sse = family.sse(curve, best_vector)
+
+    return FitResult(
+        model=family.bind(best_vector),
+        curve=curve,
+        sse=best_sse,
+        converged=best_converged,
+        n_starts=len(start_vectors),
+        n_failures=failures,
+        message=best_message,
+        details={"per_start_sse": per_start_sse},
+    )
+
+
+def fit_many(
+    families: Iterable[ResilienceModel],
+    curve: ResilienceCurve,
+    **kwargs: object,
+) -> dict[str, FitResult]:
+    """Fit several families to the same curve.
+
+    Returns a mapping from family name to its :class:`FitResult`;
+    families that fail to converge are omitted (the caller can compare
+    the returned key set against the requested one).
+    """
+    results: dict[str, FitResult] = {}
+    for family in families:
+        try:
+            results[family.name] = fit_least_squares(family, curve, **kwargs)  # type: ignore[arg-type]
+        except ConvergenceError:
+            continue
+    return results

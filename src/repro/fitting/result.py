@@ -1,0 +1,80 @@
+"""The :class:`FitResult` container returned by the fitting engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._typing import ArrayLike, FloatArray
+from repro.core.curve import ResilienceCurve
+from repro.models.base import ResilienceModel
+
+__all__ = ["FitResult"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a least-squares fit.
+
+    Attributes
+    ----------
+    model:
+        The model family bound to the optimal parameters.
+    curve:
+        The curve the model was fit on (the *training* prefix when the
+        caller split the data).
+    sse:
+        Sum of squared residuals at the optimum (Eq. 9 on the training
+        window).
+    converged:
+        Whether the winning optimizer run reported convergence.
+    n_starts:
+        How many starting points were attempted.
+    n_failures:
+        How many starting points failed outright (raised or produced
+        non-finite objectives).
+    message:
+        The optimizer's termination message for the winning run.
+    details:
+        Free-form extras (per-start SSEs, iteration counts, ...).
+    """
+
+    model: ResilienceModel
+    curve: ResilienceCurve
+    sse: float
+    converged: bool
+    n_starts: int
+    n_failures: int
+    message: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def params(self) -> tuple[float, ...]:
+        """Optimal parameter vector."""
+        return self.model.params
+
+    @property
+    def param_dict(self) -> dict[str, float]:
+        """Optimal parameters keyed by name."""
+        return self.model.param_dict
+
+    @property
+    def n_observations(self) -> int:
+        """Number of observations used for fitting."""
+        return len(self.curve)
+
+    def predict(self, times: ArrayLike) -> FloatArray:
+        """Model prediction at *times*."""
+        return self.model.predict(times)
+
+    def residuals(self) -> FloatArray:
+        """Training residuals ``R(t_i) − P(t_i)``."""
+        return self.model.residuals(self.curve)
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v:.6g}" for k, v in self.param_dict.items())
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"FitResult({self.model.name} on {self.curve.name or '<curve>'}: "
+            f"sse={self.sse:.6g}, {status}, {params})"
+        )

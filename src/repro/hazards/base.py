@@ -1,0 +1,144 @@
+"""Abstract base class for hazard-rate functions."""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro._typing import ArrayLike, FloatArray
+from repro.exceptions import ParameterError
+from repro.utils.integrate import adaptive_quad
+from repro.utils.numerics import as_float_array
+
+__all__ = ["HazardFunction"]
+
+
+class HazardFunction(abc.ABC):
+    """A non-negative rate function ``λ(t)`` on ``t ≥ 0``.
+
+    Subclasses implement :meth:`rate`; the base class derives the
+    cumulative hazard numerically and locates interior minima, which
+    subclasses override with closed forms where available.
+    """
+
+    #: Short registry name, e.g. ``"quadratic"``.
+    name: ClassVar[str] = "abstract"
+
+    #: Canonical parameter order.
+    param_names: ClassVar[tuple[str, ...]] = ()
+
+    #: Per-parameter fitting bounds, same order as :attr:`param_names`.
+    param_lower_bounds: ClassVar[tuple[float, ...]] = ()
+    param_upper_bounds: ClassVar[tuple[float, ...]] = ()
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> dict[str, float]:
+        """Parameter values keyed by name."""
+        return {name: float(getattr(self, name)) for name in self.param_names}
+
+    @property
+    def param_vector(self) -> tuple[float, ...]:
+        """Parameter values as a flat tuple in canonical order."""
+        return tuple(float(getattr(self, name)) for name in self.param_names)
+
+    @classmethod
+    def from_vector(cls, vector: Sequence[float]) -> "HazardFunction":
+        """Construct from a flat parameter vector in canonical order."""
+        if len(vector) != len(cls.param_names):
+            raise ParameterError(
+                f"{cls.__name__} expects {len(cls.param_names)} parameters, "
+                f"got {len(vector)}"
+            )
+        return cls(**dict(zip(cls.param_names, (float(v) for v in vector))))
+
+    @classmethod
+    def n_params(cls) -> int:
+        """Number of free parameters."""
+        return len(cls.param_names)
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v:.6g}" for k, v in self.params.items())
+        return f"{type(self).__name__}({args})"
+
+    # ------------------------------------------------------------------
+    # Core quantities
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def rate(self, times: ArrayLike) -> FloatArray:
+        """Hazard rate ``λ(t)`` evaluated at *times* (must be ≥ 0)."""
+
+    def cumulative(self, times: ArrayLike) -> FloatArray:
+        """Cumulative hazard ``Λ(t) = ∫₀ᵗ λ(u) du`` (numeric fallback)."""
+        t = as_float_array(times, "times")
+        out = np.empty_like(t)
+        for index, upper in enumerate(t):
+            out[index] = adaptive_quad(
+                lambda u: float(self.rate(np.array([u]))[0]), 0.0, float(upper)
+            )
+        return out
+
+    def is_bathtub(self, horizon: float = 100.0) -> bool:
+        """Whether the rate decreases then increases on ``(0, horizon)``.
+
+        The generic test samples the rate densely and checks for a
+        strict interior minimum with a decreasing approach and an
+        increasing departure. Subclasses override with exact parameter
+        conditions when known (e.g. Eq. 1's ``−2√(αγ) < β < 0``).
+        """
+        grid = np.linspace(1e-9, horizon, 2001)
+        values = self.rate(grid)
+        arg = int(np.argmin(values))
+        if arg == 0 or arg == grid.size - 1:
+            return False
+        return bool(values[0] > values[arg] and values[-1] > values[arg])
+
+    def minimum(self, horizon: float = 100.0) -> tuple[float, float]:
+        """Time and value of the rate minimum on ``[0, horizon]``.
+
+        Uses a coarse grid to bracket the minimum, then refines with
+        bounded scalar minimization. Subclasses override with closed
+        forms where available.
+        """
+        grid = np.linspace(0.0, horizon, 2001)
+        values = self.rate(grid)
+        arg = int(np.argmin(values))
+        lo = grid[max(arg - 1, 0)]
+        hi = grid[min(arg + 1, grid.size - 1)]
+        if lo == hi:
+            return float(grid[arg]), float(values[arg])
+        result = optimize.minimize_scalar(
+            lambda t: float(self.rate(np.array([t]))[0]),
+            bounds=(float(lo), float(hi)),
+            method="bounded",
+        )
+        return float(result.x), float(result.fun)
+
+    # ------------------------------------------------------------------
+    # Validation helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_finite(name: str, value: float) -> float:
+        value = float(value)
+        if not np.isfinite(value):
+            raise ParameterError(f"{name} must be finite, got {value}")
+        return value
+
+    @staticmethod
+    def _require_positive(name: str, value: float) -> float:
+        value = float(value)
+        if not np.isfinite(value) or value <= 0.0:
+            raise ParameterError(f"{name} must be a positive finite number, got {value}")
+        return value
+
+    @staticmethod
+    def _require_nonnegative(name: str, value: float) -> float:
+        value = float(value)
+        if not np.isfinite(value) or value < 0.0:
+            raise ParameterError(f"{name} must be non-negative and finite, got {value}")
+        return value

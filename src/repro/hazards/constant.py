@@ -1,0 +1,39 @@
+"""Constant hazard function (exponential lifetime)."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.hazards.base import HazardFunction
+from repro.utils.numerics import as_float_array
+
+__all__ = ["ConstantHazard"]
+
+
+class ConstantHazard(HazardFunction):
+    """Flat rate ``λ(t) = rate`` — the memoryless baseline."""
+
+    name: ClassVar[str] = "constant"
+    param_names: ClassVar[tuple[str, ...]] = ("rate_value",)
+    param_lower_bounds: ClassVar[tuple[float, ...]] = (0.0,)
+    param_upper_bounds: ClassVar[tuple[float, ...]] = (1e6,)
+
+    def __init__(self, rate_value: float) -> None:
+        self.rate_value = self._require_nonnegative("rate_value", rate_value)
+
+    def rate(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        return np.full_like(t, self.rate_value)
+
+    def cumulative(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        return self.rate_value * t
+
+    def is_bathtub(self, horizon: float = 100.0) -> bool:
+        return False
+
+    def minimum(self, horizon: float = 100.0) -> tuple[float, float]:
+        return 0.0, self.rate_value

@@ -1,0 +1,62 @@
+"""Exponential-power hazard — an alternative bathtub-capable form.
+
+``λ(t) = (k/θ)·(t/θ)^{k−1}·exp((t/θ)^k)`` (Smith & Bain 1975). For
+``k < 1`` the rate is bathtub-shaped: the power term dominates early
+(decreasing) and the exponential term late (increasing). Included as an
+extension model for the bathtub-family ablation.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.hazards.base import HazardFunction
+from repro.utils.numerics import as_float_array, safe_exp
+
+__all__ = ["ExponentialPowerHazard"]
+
+
+class ExponentialPowerHazard(HazardFunction):
+    """Exponential-power rate with scale ``theta`` and shape ``k``."""
+
+    name: ClassVar[str] = "exponential_power"
+    param_names: ClassVar[tuple[str, ...]] = ("theta", "k")
+    param_lower_bounds: ClassVar[tuple[float, ...]] = (1e-8, 1e-3)
+    param_upper_bounds: ClassVar[tuple[float, ...]] = (1e8, 50.0)
+
+    def __init__(self, theta: float, k: float) -> None:
+        self.theta = self._require_positive("theta", theta)
+        self.k = self._require_positive("k", k)
+
+    def rate(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        scaled = np.maximum(t, 0.0) / self.theta
+        z = np.power(scaled, self.k)
+        with np.errstate(divide="ignore"):
+            values = (self.k / self.theta) * np.power(scaled, self.k - 1.0) * safe_exp(z)
+        if self.k < 1.0:
+            values = np.where(t == 0.0, np.inf, values)
+        return values
+
+    def cumulative(self, times: ArrayLike) -> FloatArray:
+        """Closed form: ``Λ(t) = exp((t/θ)^k) − 1``."""
+        t = as_float_array(times, "times")
+        return np.expm1(np.power(np.maximum(t, 0.0) / self.theta, self.k))
+
+    def is_bathtub(self, horizon: float = 100.0) -> bool:
+        """Bathtub exactly when ``k < 1`` with the minimum inside the window."""
+        if self.k >= 1.0:
+            return False
+        t_min, _ = self.minimum(horizon)
+        return 0.0 < t_min < horizon
+
+    def minimum(self, horizon: float = 100.0) -> tuple[float, float]:
+        """Closed form: stationary point at ``t* = θ·((1−k)/k)^{1/k}``."""
+        if self.k >= 1.0:
+            return 0.0, float(self.rate(np.array([0.0]))[0])
+        t_star = self.theta * ((1.0 - self.k) / self.k) ** (1.0 / self.k)
+        t_star = min(t_star, horizon)
+        return t_star, float(self.rate(np.array([t_star]))[0])

@@ -1,0 +1,99 @@
+"""Competing-risks (Hjorth) hazard function — Eq. (4) of the paper.
+
+``λ(t) = α/(1 + βt) + 2γt`` superposes a decreasing burn-in risk and a
+linearly increasing wear-out risk (Hjorth 1980). Depending on the
+parameters the rate is increasing, decreasing, constant, or
+bathtub-shaped, which is the flexibility the paper credits for its
+stronger PMSE results in Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.hazards.base import HazardFunction
+from repro.utils.numerics import as_float_array, solve_quadratic
+
+__all__ = ["HjorthHazard"]
+
+
+class HjorthHazard(HazardFunction):
+    """Competing-risks rate ``α/(1 + βt) + 2γt`` with α, γ ≥ 0 and β > 0."""
+
+    name: ClassVar[str] = "competing_risks"
+    param_names: ClassVar[tuple[str, ...]] = ("alpha", "beta", "gamma")
+    param_lower_bounds: ClassVar[tuple[float, ...]] = (0.0, 1e-9, 0.0)
+    param_upper_bounds: ClassVar[tuple[float, ...]] = (1e3, 1e3, 1e3)
+
+    def __init__(self, alpha: float, beta: float, gamma: float) -> None:
+        self.alpha = self._require_nonnegative("alpha", alpha)
+        self.beta = self._require_positive("beta", beta)
+        self.gamma = self._require_nonnegative("gamma", gamma)
+
+    def rate(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        return self.alpha / (1.0 + self.beta * t) + 2.0 * self.gamma * t
+
+    def cumulative(self, times: ArrayLike) -> FloatArray:
+        """Closed form: ``(α/β)·ln(1 + βt) + γt²`` (Eq. 6 of the paper)."""
+        t = as_float_array(times, "times")
+        return (self.alpha / self.beta) * np.log1p(self.beta * t) + self.gamma * t * t
+
+    def is_bathtub(self, horizon: float = 100.0) -> bool:
+        """Interior minimum exists iff ``αβ > 2γ`` (rate initially falls).
+
+        The minimum must also land inside ``(0, horizon)``.
+        """
+        if self.alpha == 0.0 or self.gamma == 0.0:
+            return False
+        if self.alpha * self.beta <= 2.0 * self.gamma:
+            return False
+        t_min = self._vertex()
+        return 0.0 < t_min < horizon
+
+    def _vertex(self) -> float:
+        """Stationary point: ``λ'(t*) = 0`` at
+        ``t* = (√(αβ/(2γ)) − 1)/β`` when γ > 0."""
+        if self.gamma == 0.0:
+            return math.inf
+        return (math.sqrt(self.alpha * self.beta / (2.0 * self.gamma)) - 1.0) / self.beta
+
+    def minimum(self, horizon: float = 100.0) -> tuple[float, float]:
+        if self.gamma == 0.0:
+            # Pure burn-in: monotone decreasing, minimum at the horizon.
+            return horizon, float(self.rate(np.array([horizon]))[0])
+        vertex = min(max(self._vertex(), 0.0), horizon)
+        return vertex, float(self.rate(np.array([vertex]))[0])
+
+    def crossing_times(self, level: float) -> tuple[float, ...]:
+        """Times where ``λ(t) = level``.
+
+        Multiplying through by ``(1 + βt)`` gives the quadratic
+        ``2γβ·t² + (2γ − level·β)·t + (α − level) = 0`` whose later root
+        is the paper's Eq. (5) recovery time.
+        """
+        roots = solve_quadratic(
+            2.0 * self.gamma * self.beta,
+            2.0 * self.gamma - level * self.beta,
+            self.alpha - level,
+        )
+        return tuple(t for t in roots if 1.0 + self.beta * t > 0.0)
+
+    def recovery_time(self, level: float) -> float:
+        """Later positive root of ``λ(t) = level`` — Eq. (5).
+
+        Raises
+        ------
+        ValueError
+            If the rate never rises back to *level*.
+        """
+        roots = [t for t in self.crossing_times(level) if t > 0.0]
+        if not roots:
+            raise ValueError(
+                f"competing-risks hazard never reaches level {level}: no positive root"
+            )
+        return roots[-1]

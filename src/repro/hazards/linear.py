@@ -1,0 +1,48 @@
+"""Linear hazard function (Rayleigh-type wear-out)."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.hazards.base import HazardFunction
+from repro.utils.numerics import as_float_array
+
+__all__ = ["LinearHazard"]
+
+
+class LinearHazard(HazardFunction):
+    """Affine rate ``λ(t) = a + b·t`` (clipped at zero from below)."""
+
+    name: ClassVar[str] = "linear"
+    param_names: ClassVar[tuple[str, ...]] = ("a", "b")
+    param_lower_bounds: ClassVar[tuple[float, ...]] = (0.0, -1e3)
+    param_upper_bounds: ClassVar[tuple[float, ...]] = (1e6, 1e3)
+
+    def __init__(self, a: float, b: float) -> None:
+        self.a = self._require_nonnegative("a", a)
+        self.b = self._require_finite("b", b)
+
+    def rate(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        return np.maximum(self.a + self.b * t, 0.0)
+
+    def cumulative(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        if self.b >= 0.0 or self.a == 0.0:
+            return self.a * t + 0.5 * self.b * t * t
+        # Rate hits zero at t0 = a/(-b) and stays clipped afterwards.
+        t0 = self.a / (-self.b)
+        capped = np.minimum(t, t0)
+        return self.a * capped + 0.5 * self.b * capped * capped
+
+    def is_bathtub(self, horizon: float = 100.0) -> bool:
+        return False
+
+    def minimum(self, horizon: float = 100.0) -> tuple[float, float]:
+        if self.b >= 0.0:
+            return 0.0, self.a
+        t_min = min(self.a / (-self.b), horizon)
+        return t_min, float(self.rate(np.array([t_min]))[0])

@@ -1,0 +1,93 @@
+"""Quadratic hazard function — Eq. (1) of the paper.
+
+``λ(t) = α + β·t + γ·t²`` is bathtub-shaped when ``−2√(αγ) < β < 0``
+with ``α, γ > 0``: the parabola opens upward with its vertex at a
+positive time and a positive minimum value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.hazards.base import HazardFunction
+from repro.utils.numerics import as_float_array, solve_quadratic
+
+__all__ = ["QuadraticHazard"]
+
+
+class QuadraticHazard(HazardFunction):
+    """Quadratic rate ``α + βt + γt²``.
+
+    Parameters are validated only for finiteness; bathtub shape is a
+    property (:meth:`is_bathtub`), not a construction constraint, so the
+    fitting code can traverse non-bathtub regions of parameter space.
+    """
+
+    name: ClassVar[str] = "quadratic"
+    param_names: ClassVar[tuple[str, ...]] = ("alpha", "beta", "gamma")
+    param_lower_bounds: ClassVar[tuple[float, ...]] = (0.0, -1e3, 0.0)
+    param_upper_bounds: ClassVar[tuple[float, ...]] = (1e3, 0.0, 1e3)
+
+    def __init__(self, alpha: float, beta: float, gamma: float) -> None:
+        self.alpha = self._require_finite("alpha", alpha)
+        self.beta = self._require_finite("beta", beta)
+        self.gamma = self._require_finite("gamma", gamma)
+
+    def rate(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        return self.alpha + self.beta * t + self.gamma * t * t
+
+    def cumulative(self, times: ArrayLike) -> FloatArray:
+        """Closed form: ``αt + βt²/2 + γt³/3`` (Eq. 3 of the paper)."""
+        t = as_float_array(times, "times")
+        return self.alpha * t + 0.5 * self.beta * t * t + (self.gamma / 3.0) * t**3
+
+    def is_bathtub(self, horizon: float = 100.0) -> bool:
+        """Exact condition from the paper: ``−2√(αγ) < β < 0``, α, γ > 0.
+
+        The vertex must also fall inside ``(0, horizon)`` for the dip to
+        be visible on the evaluation window.
+        """
+        if self.alpha <= 0.0 or self.gamma <= 0.0:
+            return False
+        if not (-2.0 * math.sqrt(self.alpha * self.gamma) < self.beta < 0.0):
+            return False
+        vertex = -self.beta / (2.0 * self.gamma)
+        return 0.0 < vertex < horizon
+
+    def minimum(self, horizon: float = 100.0) -> tuple[float, float]:
+        """Vertex of the parabola, clipped to ``[0, horizon]``."""
+        if self.gamma > 0.0:
+            vertex = -self.beta / (2.0 * self.gamma)
+            vertex = min(max(vertex, 0.0), horizon)
+        else:
+            # Concave or linear: minimum is at an endpoint.
+            endpoints = np.array([0.0, horizon])
+            vertex = float(endpoints[int(np.argmin(self.rate(endpoints)))])
+        return vertex, float(self.rate(np.array([vertex]))[0])
+
+    def crossing_times(self, level: float) -> tuple[float, ...]:
+        """Times at which ``λ(t) = level``, ascending; Eq. (2) solves for
+        the later (recovery) root."""
+        return tuple(
+            t for t in solve_quadratic(self.gamma, self.beta, self.alpha - level)
+        )
+
+    def recovery_time(self, level: float) -> float:
+        """Later positive root of ``λ(t) = level`` — Eq. (2).
+
+        Raises
+        ------
+        ValueError
+            If the rate never rises back to *level* (no positive root).
+        """
+        roots = [t for t in self.crossing_times(level) if t > 0.0]
+        if not roots:
+            raise ValueError(
+                f"quadratic hazard never reaches level {level}: no positive root"
+            )
+        return roots[-1]

@@ -1,0 +1,63 @@
+"""Registry mapping hazard-function names to classes."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.exceptions import ParameterError
+from repro.hazards.base import HazardFunction
+
+__all__ = ["register_hazard", "get_hazard_class", "available_hazards"]
+
+_REGISTRY: dict[str, Type[HazardFunction]] = {}
+
+
+def register_hazard(cls: Type[HazardFunction]) -> Type[HazardFunction]:
+    """Register *cls* under its :attr:`name`; usable as a decorator."""
+    name = cls.name
+    if not name or name == "abstract":
+        raise ParameterError(f"{cls.__name__} has no registry name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ParameterError(f"hazard name {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_hazard_class(name: str) -> Type[HazardFunction]:
+    """Look up a hazard class by registry name (``"hjorth"`` is accepted
+    as an alias for ``"competing_risks"``)."""
+    aliases = {"hjorth": "competing_risks"}
+    key = aliases.get(name.lower(), name.lower())
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ParameterError(f"unknown hazard {name!r}; known: {known}") from None
+
+
+def available_hazards() -> tuple[str, ...]:
+    """Sorted names of all registered hazard functions."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    from repro.hazards.constant import ConstantHazard
+    from repro.hazards.exponential_power import ExponentialPowerHazard
+    from repro.hazards.hjorth import HjorthHazard
+    from repro.hazards.linear import LinearHazard
+    from repro.hazards.quadratic import QuadraticHazard
+    from repro.hazards.weibull_hazard import WeibullHazard
+
+    for cls in (
+        ConstantHazard,
+        ExponentialPowerHazard,
+        HjorthHazard,
+        LinearHazard,
+        QuadraticHazard,
+        WeibullHazard,
+    ):
+        register_hazard(cls)
+
+
+_register_builtins()

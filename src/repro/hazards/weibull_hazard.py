@@ -1,0 +1,55 @@
+"""Weibull (power-law) hazard function."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.hazards.base import HazardFunction
+from repro.utils.numerics import as_float_array
+
+__all__ = ["WeibullHazard"]
+
+
+class WeibullHazard(HazardFunction):
+    """Power-law rate ``λ(t) = (k/θ)·(t/θ)^{k−1}``.
+
+    Decreasing for ``k < 1`` (burn-in), constant for ``k = 1``,
+    increasing for ``k > 1`` (wear-out); never bathtub-shaped on its
+    own, which is why the paper turns to the quadratic and
+    competing-risks forms.
+    """
+
+    name: ClassVar[str] = "weibull_hazard"
+    param_names: ClassVar[tuple[str, ...]] = ("theta", "k")
+    param_lower_bounds: ClassVar[tuple[float, ...]] = (1e-8, 1e-3)
+    param_upper_bounds: ClassVar[tuple[float, ...]] = (1e8, 50.0)
+
+    def __init__(self, theta: float, k: float) -> None:
+        self.theta = self._require_positive("theta", theta)
+        self.k = self._require_positive("k", k)
+
+    def rate(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        scaled = np.maximum(t, 0.0) / self.theta
+        with np.errstate(divide="ignore"):
+            values = (self.k / self.theta) * np.power(scaled, self.k - 1.0)
+        if self.k < 1.0:
+            values = np.where(t == 0.0, np.inf, values)
+        return values
+
+    def cumulative(self, times: ArrayLike) -> FloatArray:
+        t = as_float_array(times, "times")
+        return np.power(np.maximum(t, 0.0) / self.theta, self.k)
+
+    def is_bathtub(self, horizon: float = 100.0) -> bool:
+        return False
+
+    def minimum(self, horizon: float = 100.0) -> tuple[float, float]:
+        if self.k > 1.0:
+            return 0.0, 0.0
+        if self.k == 1.0:
+            return 0.0, 1.0 / self.theta
+        return horizon, float(self.rate(np.array([horizon]))[0])

@@ -1,0 +1,67 @@
+"""Interval-based resilience metrics — Section IV of the paper.
+
+Eight metrics over the hazard-to-recovery window, each computable from
+an empirical curve ("actual") or a fitted model ("predicted") through
+the shared :class:`~repro.metrics.interval.MetricContext` abstraction,
+plus the Section IV predictive protocol that generates Tables II/IV.
+"""
+
+from repro.metrics.interval import (
+    METRICS,
+    MetricContext,
+    average_performance_lost,
+    average_performance_preserved,
+    normalized_performance_lost,
+    normalized_performance_preserved,
+    performance_from_minimum,
+    performance_lost,
+    performance_preserved,
+    weighted_average_preserved,
+)
+from repro.metrics.point import (
+    POINT_METRICS,
+    depth,
+    rapidity,
+    recovery_ratio,
+    robustness,
+    time_to_minimum,
+    time_to_recovery,
+)
+from repro.metrics.predictive import (
+    MetricComparison,
+    PredictiveMetricReport,
+    predictive_metric_report,
+    relative_error,
+)
+from repro.metrics.probabilistic import (
+    performance_distribution_at,
+    recovery_probability_by,
+    recovery_time_quantile,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricContext",
+    "performance_preserved",
+    "normalized_performance_preserved",
+    "performance_lost",
+    "normalized_performance_lost",
+    "performance_from_minimum",
+    "average_performance_preserved",
+    "average_performance_lost",
+    "weighted_average_preserved",
+    "MetricComparison",
+    "PredictiveMetricReport",
+    "predictive_metric_report",
+    "relative_error",
+    "POINT_METRICS",
+    "robustness",
+    "depth",
+    "time_to_minimum",
+    "time_to_recovery",
+    "rapidity",
+    "recovery_ratio",
+    "recovery_probability_by",
+    "recovery_time_quantile",
+    "performance_distribution_at",
+]

@@ -1,0 +1,223 @@
+"""The eight interval-based resilience metrics (Eqs. 14–21).
+
+Each metric is a function of a :class:`MetricContext` — an adapter that
+answers "what is performance at time t" and "what is the area under
+performance between two times" for either an empirical curve or a
+fitted model, so the same metric code produces both the "Actual" and
+"Predicted" columns of Tables II and IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import MetricError
+from repro.models.base import ResilienceModel
+
+__all__ = [
+    "MetricContext",
+    "performance_preserved",
+    "normalized_performance_preserved",
+    "performance_lost",
+    "normalized_performance_lost",
+    "performance_from_minimum",
+    "average_performance_preserved",
+    "average_performance_lost",
+    "weighted_average_preserved",
+    "METRICS",
+]
+
+
+@dataclass(frozen=True)
+class MetricContext:
+    """Inputs shared by all interval metrics.
+
+    Attributes
+    ----------
+    hazard_time:
+        ``t_h`` — start of the evaluation window.
+    trough_time:
+        ``t_d`` — time of minimum performance (used by Eqs. 18 and 21).
+    recovery_time:
+        ``t_r`` — end of the evaluation window.
+    nominal:
+        ``P(t_h)`` — the baseline against which loss is measured.
+    trough_value:
+        ``P(t_d)``.
+    area:
+        Callable returning ``∫ P(t) dt`` between two times.
+    start_time:
+        ``t_0`` — first time of the full record. Eq. (21) spans the
+        entire interval, so its first term starts here rather than at
+        ``t_h`` (see Section IV's closing remarks).
+    """
+
+    hazard_time: float
+    trough_time: float
+    recovery_time: float
+    nominal: float
+    trough_value: float
+    area: Callable[[float, float], float]
+    start_time: float
+
+    def __post_init__(self) -> None:
+        if self.recovery_time <= self.hazard_time:
+            raise MetricError(
+                f"window is empty: t_h={self.hazard_time}, t_r={self.recovery_time}"
+            )
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_curve(
+        cls,
+        curve: ResilienceCurve,
+        *,
+        hazard_time: float | None = None,
+        recovery_time: float | None = None,
+        trough_time: float | None = None,
+    ) -> "MetricContext":
+        """Context backed by trapezoid integration of an empirical curve.
+
+        Defaults: ``t_h`` and ``t_r`` are the curve's first/last times,
+        ``t_d`` its observed trough; ``P(t_h)`` is interpolated at
+        ``t_h``.
+        """
+        t_h = float(curve.times[0]) if hazard_time is None else float(hazard_time)
+        t_r = float(curve.times[-1]) if recovery_time is None else float(recovery_time)
+        t_d = curve.trough_time if trough_time is None else float(trough_time)
+        return cls(
+            hazard_time=t_h,
+            trough_time=t_d,
+            recovery_time=t_r,
+            nominal=float(curve.performance_at([t_h])[0]),
+            trough_value=float(curve.performance_at([t_d])[0]),
+            area=curve.area,
+            start_time=float(curve.times[0]),
+        )
+
+    @classmethod
+    def from_model(
+        cls,
+        model: ResilienceModel,
+        *,
+        hazard_time: float,
+        recovery_time: float,
+        trough_time: float | None = None,
+        nominal: float | None = None,
+        start_time: float | None = None,
+    ) -> "MetricContext":
+        """Context backed by a fitted model's (closed-form or numeric)
+        area and point predictions.
+
+        ``t_d`` defaults to the model's own predicted minimum on the
+        window — the Section IV rule for minima not yet observed.
+        """
+        if trough_time is None:
+            trough_time, trough_value = model.minimum(recovery_time)
+        else:
+            trough_value = float(model.predict([trough_time])[0])
+        if nominal is None:
+            nominal = float(model.predict([hazard_time])[0])
+        return cls(
+            hazard_time=float(hazard_time),
+            trough_time=float(trough_time),
+            recovery_time=float(recovery_time),
+            nominal=float(nominal),
+            trough_value=float(trough_value),
+            area=model.area_under_curve,
+            start_time=float(hazard_time) if start_time is None else float(start_time),
+        )
+
+
+# ----------------------------------------------------------------------
+# The eight metrics
+# ----------------------------------------------------------------------
+def performance_preserved(ctx: MetricContext) -> float:
+    """Eq. (14), Bruneau & Reinhorn: area under the curve
+    ``∫_{t_h}^{t_r} P(t) dt``."""
+    return ctx.area(ctx.hazard_time, ctx.recovery_time)
+
+
+def normalized_performance_preserved(ctx: MetricContext) -> float:
+    """Eq. (15), Ouyang & Dueñas-Osorio: area under the curve over the
+    nominal rectangle ``P(t_h)·(t_r − t_h)``."""
+    denom = ctx.nominal * (ctx.recovery_time - ctx.hazard_time)
+    if denom == 0.0:
+        raise MetricError("normalization rectangle has zero area")
+    return performance_preserved(ctx) / denom
+
+
+def performance_lost(ctx: MetricContext) -> float:
+    """Eq. (16), Yang & Frangopol: area above the curve
+    ``P(t_h)(t_r − t_h) − ∫ P``. Negative when the system ends above
+    its level at the hazard time."""
+    rect = ctx.nominal * (ctx.recovery_time - ctx.hazard_time)
+    return rect - performance_preserved(ctx)
+
+
+def normalized_performance_lost(ctx: MetricContext) -> float:
+    """Eq. (17), Zhou et al.: performance lost over the nominal
+    rectangle."""
+    denom = ctx.nominal * (ctx.recovery_time - ctx.hazard_time)
+    if denom == 0.0:
+        raise MetricError("normalization rectangle has zero area")
+    return performance_lost(ctx) / denom
+
+
+def performance_from_minimum(ctx: MetricContext) -> float:
+    """Eq. (18), Zobel: performance preserved from the minimum,
+    ``∫_{t_d}^{t_r} P − P(t_d)(t_r − t_d)``."""
+    if ctx.recovery_time <= ctx.trough_time:
+        raise MetricError(
+            f"trough at {ctx.trough_time} is not before recovery at "
+            f"{ctx.recovery_time}"
+        )
+    area = ctx.area(ctx.trough_time, ctx.recovery_time)
+    return area - ctx.trough_value * (ctx.recovery_time - ctx.trough_time)
+
+
+def average_performance_preserved(ctx: MetricContext) -> float:
+    """Eq. (19), Reed et al.: time-average of performance over the
+    window."""
+    return performance_preserved(ctx) / (ctx.recovery_time - ctx.hazard_time)
+
+
+def average_performance_lost(ctx: MetricContext) -> float:
+    """Eq. (20), Reed et al.: time-average of performance lost."""
+    return performance_lost(ctx) / (ctx.recovery_time - ctx.hazard_time)
+
+
+def weighted_average_preserved(ctx: MetricContext, alpha: float = 0.5) -> float:
+    """Eq. (21), Cimellaro et al.: weighted average of performance
+    preserved before and after the minimum.
+
+    Following Section IV, the first term spans from the start of the
+    record (``t_0``) to the trough and the second from the trough to
+    ``t_r``, so the metric "utilizes the entire interval".
+    """
+    if not 0.0 < alpha < 1.0:
+        raise MetricError(f"alpha must lie in (0, 1), got {alpha}")
+    before_span = ctx.trough_time - ctx.start_time
+    after_span = ctx.recovery_time - ctx.trough_time
+    if before_span <= 0.0 or after_span <= 0.0:
+        raise MetricError(
+            f"degenerate spans around trough: before={before_span}, after={after_span}"
+        )
+    before = ctx.area(ctx.start_time, ctx.trough_time) / before_span
+    after = ctx.area(ctx.trough_time, ctx.recovery_time) / after_span
+    return alpha * before + (1.0 - alpha) * after
+
+
+#: Registry of all eight metrics, in the paper's Table II/IV row order.
+METRICS: dict[str, Callable[..., float]] = {
+    "performance_preserved": performance_preserved,
+    "performance_lost": performance_lost,
+    "normalized_average_performance_preserved": normalized_performance_preserved,
+    "normalized_average_performance_lost": normalized_performance_lost,
+    "performance_preserved_from_minimum": performance_from_minimum,
+    "average_performance_preserved": average_performance_preserved,
+    "average_performance_lost": average_performance_lost,
+    "weighted_average_preserved": weighted_average_preserved,
+}

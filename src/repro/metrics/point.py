@@ -1,0 +1,123 @@
+"""Point-based resilience metrics.
+
+Section IV focuses on interval-based metrics; the survey it builds on
+(Cheng et al.) also catalogues *point-based* metrics — scalar features
+of the curve's critical points. These complement the interval metrics
+and are cheap to compute on either an empirical curve or a fitted
+model's sampled prediction.
+
+All functions take a :class:`~repro.core.curve.ResilienceCurve` plus an
+optional pre-computed :class:`~repro.core.phases.ResiliencePhases`; the
+phases are detected on demand otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.core.phases import ResiliencePhases, detect_phases
+from repro.exceptions import MetricError
+
+__all__ = [
+    "robustness",
+    "depth",
+    "time_to_minimum",
+    "time_to_recovery",
+    "rapidity",
+    "recovery_ratio",
+    "POINT_METRICS",
+]
+
+
+def _phases(curve: ResilienceCurve, phases: ResiliencePhases | None) -> ResiliencePhases:
+    return phases if phases is not None else detect_phases(curve)
+
+
+def robustness(curve: ResilienceCurve, phases: ResiliencePhases | None = None) -> float:
+    """Minimum performance as a fraction of nominal (1 = unaffected).
+
+    The classic "how low did it go" metric.
+    """
+    if curve.nominal == 0.0:
+        raise MetricError("robustness undefined for zero nominal performance")
+    return curve.min_performance / curve.nominal
+
+
+def depth(curve: ResilienceCurve, phases: ResiliencePhases | None = None) -> float:
+    """Fractional performance drop at the trough (``1 − robustness``)."""
+    return 1.0 - robustness(curve)
+
+
+def time_to_minimum(
+    curve: ResilienceCurve, phases: ResiliencePhases | None = None
+) -> float:
+    """Elapsed time from hazard onset to the trough (``t_d − t_h``)."""
+    p = _phases(curve, phases)
+    return p.degradation_duration
+
+
+def time_to_recovery(
+    curve: ResilienceCurve, phases: ResiliencePhases | None = None
+) -> float:
+    """Elapsed time from hazard onset to recovery (``t_r − t_h``).
+
+    Raises
+    ------
+    MetricError
+        If the curve never recovers within the observation window —
+        callers should fall back to a fitted model's
+        :meth:`~repro.models.base.ResilienceModel.recovery_time`.
+    """
+    p = _phases(curve, phases)
+    if p.total_disruption_duration is None:
+        raise MetricError(
+            f"curve {curve.name or '<unnamed>'} does not recover within the "
+            f"observation window"
+        )
+    return p.total_disruption_duration
+
+
+def rapidity(curve: ResilienceCurve, phases: ResiliencePhases | None = None) -> float:
+    """Average recovery slope from the trough to recovery (or to the end
+    of the window when unrecovered): performance regained per unit time.
+    """
+    p = _phases(curve, phases)
+    end_time = p.recovery_time if p.recovery_time is not None else float(curve.times[-1])
+    span = end_time - p.trough_time
+    if span <= 0.0:
+        raise MetricError("rapidity undefined: no time elapsed after the trough")
+    end_value = float(curve.performance_at([end_time])[0])
+    return (end_value - curve.min_performance) / span
+
+
+def recovery_ratio(
+    curve: ResilienceCurve, phases: ResiliencePhases | None = None
+) -> float:
+    """Fraction of the lost performance regained by the end of the
+    window: ``(P(t_end) − P(t_d)) / (P(t_h) − P(t_d))``.
+
+    1.0 means full recovery to the pre-hazard level; values above 1.0
+    mean improvement beyond it (the paper's "improved performance"
+    outcome); 0 means no recovery at all.
+    """
+    p = _phases(curve, phases)
+    hazard_level = float(curve.performance_at([p.hazard_time])[0])
+    lost = hazard_level - curve.min_performance
+    if lost <= 0.0:
+        raise MetricError("recovery ratio undefined: no performance was lost")
+    regained = curve.final_performance - curve.min_performance
+    return regained / lost
+
+
+#: Registry of point-based metrics.
+POINT_METRICS: dict[str, Callable[..., float]] = {
+    "robustness": robustness,
+    "depth": depth,
+    "time_to_minimum": time_to_minimum,
+    "time_to_recovery": time_to_recovery,
+    "rapidity": rapidity,
+    "recovery_ratio": recovery_ratio,
+}

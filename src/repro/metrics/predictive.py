@@ -1,0 +1,178 @@
+"""Predictive application of the interval metrics — Section IV protocol.
+
+To apply the metrics in a predictive manner, the paper replaces ``t_h``
+with the first time interval not used for model fitting
+(``t_{n−ℓ+1}``) and sets ``t_r`` to the last interval ``t_n``. The
+trough ``t_d`` is the observed minimum when it lies within the data and
+the model's predicted minimum otherwise; Eq. (21) spans the entire
+record. Each metric is evaluated twice — from the empirical curve
+("Actual") and from the fitted model ("Predicted") — and compared with
+the Eq. (22) relative error, producing Tables II and IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import MetricError
+from repro.metrics.interval import METRICS, MetricContext
+from repro.models.base import ResilienceModel
+from repro.utils.tables import format_table
+
+__all__ = [
+    "relative_error",
+    "MetricComparison",
+    "PredictiveMetricReport",
+    "predictive_metric_report",
+]
+
+
+def relative_error(actual: float, predicted: float) -> float:
+    """Eq. (22): ``|R_actual − R_predicted| / |R_actual|``.
+
+    Raises
+    ------
+    MetricError
+        If the actual value is zero (the error is undefined).
+    """
+    if actual == 0.0:
+        raise MetricError("relative error undefined for zero actual value")
+    return abs(actual - predicted) / abs(actual)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One row of Table II/IV: a metric's actual and predicted values."""
+
+    name: str
+    actual: float
+    predicted: float
+
+    @property
+    def delta(self) -> float:
+        """Eq. (22) relative error, or NaN when the actual value is 0."""
+        if self.actual == 0.0:
+            return float("nan")
+        return relative_error(self.actual, self.predicted)
+
+
+@dataclass(frozen=True)
+class PredictiveMetricReport:
+    """All eight metric comparisons for one model on one curve."""
+
+    curve_name: str
+    model_name: str
+    hazard_time: float
+    recovery_time: float
+    trough_time: float
+    alpha: float
+    rows: tuple[MetricComparison, ...]
+
+    def row(self, metric_name: str) -> MetricComparison:
+        """Look up one comparison by metric name."""
+        for comparison in self.rows:
+            if comparison.name == metric_name:
+                return comparison
+        known = ", ".join(r.name for r in self.rows)
+        raise MetricError(f"unknown metric {metric_name!r}; known: {known}")
+
+    def to_table(self) -> str:
+        """Aligned text table in the paper's Table II/IV layout."""
+        headers = ["Metric", "Actual", "Predicted", "delta"]
+        table_rows = [
+            [comparison.name, comparison.actual, comparison.predicted, comparison.delta]
+            for comparison in self.rows
+        ]
+        title = (
+            f"Interval metrics — model {self.model_name} on {self.curve_name} "
+            f"(window [{self.hazard_time:g}, {self.recovery_time:g}], "
+            f"alpha={self.alpha})"
+        )
+        return format_table(headers, table_rows, title=title)
+
+
+def predictive_metric_report(
+    model: ResilienceModel,
+    full_curve: ResilienceCurve,
+    split_time: float,
+    *,
+    alpha: float = 0.5,
+) -> PredictiveMetricReport:
+    """Compute all eight metrics over the predictive window.
+
+    Parameters
+    ----------
+    model:
+        A *bound* (fitted) model; typically
+        ``evaluate_predictive(...).model``.
+    full_curve:
+        The complete empirical curve (fitting + held-out windows).
+    split_time:
+        First held-out time stamp — becomes ``t_h``.
+    alpha:
+        Weight of Eq. (21); the paper uses 0.5.
+
+    Raises
+    ------
+    MetricError
+        If *split_time* is not strictly inside the curve's time span.
+    """
+    t0 = float(full_curve.times[0])
+    t_end = float(full_curve.times[-1])
+    if not t0 <= split_time < t_end:
+        raise MetricError(
+            f"split_time {split_time} outside curve span [{t0}, {t_end})"
+        )
+
+    # Section IV trough rule: when the minimum is contained within the
+    # observed data (strictly interior), that observed value is used —
+    # by both the actual and the predicted context; otherwise the
+    # minimum predicted by the fitted model is used.
+    trough_index = int(np.argmin(full_curve.performance))
+    trough_observed = 0 < trough_index < len(full_curve) - 1
+    if trough_observed:
+        trough_time = float(full_curve.times[trough_index])
+    else:
+        trough_time, _ = model.minimum(t_end)
+        trough_time = min(max(trough_time, t0), t_end)
+
+    actual_ctx = MetricContext.from_curve(
+        full_curve,
+        hazard_time=split_time,
+        recovery_time=t_end,
+        trough_time=trough_time,
+    )
+    predicted_ctx = MetricContext.from_model(
+        model,
+        hazard_time=split_time,
+        recovery_time=t_end,
+        trough_time=trough_time,
+        start_time=t0,
+    )
+    if trough_observed:
+        predicted_ctx = replace(predicted_ctx, trough_value=actual_ctx.trough_value)
+
+    rows: list[MetricComparison] = []
+    for name, metric in METRICS.items():
+        kwargs = {"alpha": alpha} if name == "weighted_average_preserved" else {}
+        # A trough pinned to a window edge (e.g. a still-falling curve)
+        # makes the from-minimum and weighted metrics degenerate; those
+        # rows are reported as NaN rather than aborting the table.
+        try:
+            actual = float(metric(actual_ctx, **kwargs))
+            predicted = float(metric(predicted_ctx, **kwargs))
+        except MetricError:
+            actual = predicted = float("nan")
+        rows.append(MetricComparison(name=name, actual=actual, predicted=predicted))
+    return PredictiveMetricReport(
+        curve_name=full_curve.name or "<curve>",
+        model_name=model.name,
+        hazard_time=split_time,
+        recovery_time=t_end,
+        trough_time=trough_time,
+        alpha=alpha,
+        rows=tuple(rows),
+    )

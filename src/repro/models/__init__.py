@@ -1,0 +1,52 @@
+"""Predictive resilience models — the paper's primary contribution.
+
+Two model families are provided:
+
+* **Bathtub-shaped hazard models** (Section II-A):
+  :class:`QuadraticResilienceModel` (Eq. 1) and
+  :class:`CompetingRisksResilienceModel` (Eq. 4), with closed-form
+  recovery times (Eqs. 2, 5) and areas under the curve (Eqs. 3, 6).
+* **Mixture-distribution models** (Section II-B, Eq. 7):
+  :class:`MixtureResilienceModel` composing any two registered lifetime
+  distributions with a recovery transition trend
+  (:mod:`repro.models.trends`).
+
+Models are *families* until bound to parameters: :meth:`bind` attaches
+a parameter vector (usually produced by :mod:`repro.fitting`) and
+enables :meth:`predict` and the derived quantities.
+"""
+
+from repro.models.base import ResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.mixture import MixtureResilienceModel
+from repro.models.partial import PartialDegradationMixtureModel
+from repro.models.segmented import SegmentedBathtubModel
+from repro.models.trends import (
+    ConstantTrend,
+    ExponentialTrend,
+    LinearTrend,
+    LogTrend,
+    TransitionTrend,
+    available_trends,
+    get_trend_class,
+)
+from repro.models.registry import available_models, make_model
+
+__all__ = [
+    "ResilienceModel",
+    "QuadraticResilienceModel",
+    "CompetingRisksResilienceModel",
+    "MixtureResilienceModel",
+    "PartialDegradationMixtureModel",
+    "SegmentedBathtubModel",
+    "TransitionTrend",
+    "ConstantTrend",
+    "LinearTrend",
+    "ExponentialTrend",
+    "LogTrend",
+    "available_trends",
+    "get_trend_class",
+    "available_models",
+    "make_model",
+]

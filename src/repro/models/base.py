@@ -1,0 +1,237 @@
+"""Abstract base class for predictive resilience models.
+
+A model object is a *family* (a parametric form plus metadata) that
+becomes a concrete predictor once bound to a parameter vector via
+:meth:`ResilienceModel.bind`. Fitting code treats families uniformly:
+it asks for bounds and initial guesses, minimizes Eq. (8), and binds
+the optimum.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro._typing import ArrayLike, FloatArray
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import ParameterError
+from repro.utils.integrate import adaptive_quad
+from repro.utils.numerics import as_float_array
+
+__all__ = ["ResilienceModel"]
+
+
+class ResilienceModel(abc.ABC):
+    """A parametric resilience-curve family ``P(t; θ)``.
+
+    Subclasses define the parameter metadata (:attr:`param_names` and
+    bounds) and implement :meth:`evaluate` — a pure function of times
+    and a raw parameter vector — plus :meth:`initial_guesses`.
+    """
+
+    #: Display/registry name, e.g. ``"quadratic"`` or ``"wei-exp"``.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._params: tuple[float, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Family metadata (subclass responsibility)
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def param_names(self) -> tuple[str, ...]:
+        """Canonical parameter order of the family."""
+
+    @property
+    @abc.abstractmethod
+    def lower_bounds(self) -> tuple[float, ...]:
+        """Per-parameter lower fitting bounds."""
+
+    @property
+    @abc.abstractmethod
+    def upper_bounds(self) -> tuple[float, ...]:
+        """Per-parameter upper fitting bounds."""
+
+    @property
+    def n_params(self) -> int:
+        """Number of free parameters."""
+        return len(self.param_names)
+
+    @abc.abstractmethod
+    def evaluate(self, times: ArrayLike, params: Sequence[float]) -> FloatArray:
+        """Model performance at *times* for raw parameter vector *params*.
+
+        Must be safe to call anywhere inside the fitting bounds: return
+        finite values rather than raising, so optimizers can traverse
+        the space.
+        """
+
+    @abc.abstractmethod
+    def initial_guesses(self, curve: ResilienceCurve) -> list[tuple[float, ...]]:
+        """Deterministic starting vectors for fitting on *curve*.
+
+        Order matters: the first guess should be the best heuristic;
+        multi-start fitting tries them all.
+        """
+
+    # ------------------------------------------------------------------
+    # Binding parameters
+    # ------------------------------------------------------------------
+    @property
+    def is_bound(self) -> bool:
+        """Whether a parameter vector has been attached."""
+        return self._params is not None
+
+    @property
+    def params(self) -> tuple[float, ...]:
+        """The bound parameter vector.
+
+        Raises
+        ------
+        ParameterError
+            If the model family has not been bound yet.
+        """
+        if self._params is None:
+            raise ParameterError(
+                f"model {self.name!r} is unbound; call bind() or fit it first"
+            )
+        return self._params
+
+    @property
+    def param_dict(self) -> dict[str, float]:
+        """Bound parameters keyed by name."""
+        return dict(zip(self.param_names, self.params))
+
+    def bind(self, params: Sequence[float]) -> "ResilienceModel":
+        """Return a copy of this family bound to *params*.
+
+        Raises
+        ------
+        ParameterError
+            If the vector length is wrong or contains non-finite values.
+        """
+        vector = tuple(float(v) for v in params)
+        if len(vector) != self.n_params:
+            raise ParameterError(
+                f"model {self.name!r} expects {self.n_params} parameters, "
+                f"got {len(vector)}"
+            )
+        if not all(np.isfinite(v) for v in vector):
+            raise ParameterError(f"model {self.name!r}: parameters must be finite")
+        bound = copy.copy(self)
+        bound._params = vector
+        return bound
+
+    def predict(self, times: ArrayLike) -> FloatArray:
+        """Performance predicted at *times* with the bound parameters."""
+        return self.evaluate(times, self.params)
+
+    def __repr__(self) -> str:
+        if self.is_bound:
+            args = ", ".join(f"{k}={v:.6g}" for k, v in self.param_dict.items())
+            return f"{type(self).__name__}[{self.name}]({args})"
+        return f"{type(self).__name__}[{self.name}](unbound)"
+
+    # ------------------------------------------------------------------
+    # Derived quantities — numeric fallbacks; subclasses override with
+    # the paper's closed forms where those exist.
+    # ------------------------------------------------------------------
+    def area_under_curve(self, lower: float, upper: float) -> float:
+        """``∫ P(t) dt`` over ``[lower, upper]`` (numeric by default)."""
+        return adaptive_quad(
+            lambda t: float(self.predict(np.array([t]))[0]), lower, upper
+        )
+
+    def minimum(self, horizon: float) -> tuple[float, float]:
+        """Time and value of the predicted performance minimum on
+        ``[0, horizon]`` (grid + bounded refinement by default)."""
+        grid = np.linspace(0.0, horizon, 2001)
+        values = self.predict(grid)
+        arg = int(np.argmin(values))
+        lo = float(grid[max(arg - 1, 0)])
+        hi = float(grid[min(arg + 1, grid.size - 1)])
+        if lo == hi:
+            return float(grid[arg]), float(values[arg])
+        result = optimize.minimize_scalar(
+            lambda t: float(self.predict(np.array([t]))[0]),
+            bounds=(lo, hi),
+            method="bounded",
+        )
+        return float(result.x), float(result.fun)
+
+    def recovery_time(self, level: float, horizon: float = 1e4) -> float:
+        """First time after the trough at which ``P(t) = level``.
+
+        Numeric default: bracket on a grid beyond the trough and refine
+        with Brent's method. Subclasses with closed forms (Eqs. 2, 5)
+        override.
+
+        Raises
+        ------
+        ValueError
+            If performance never recovers to *level* before *horizon*.
+        """
+        trough_time, trough_value = self.minimum(horizon)
+        if trough_value >= level:
+            return trough_time
+        grid = np.linspace(trough_time, horizon, 4001)
+        values = self.predict(grid) - level
+        above = np.nonzero(values >= 0.0)[0]
+        if not above.size:
+            raise ValueError(
+                f"model {self.name!r} never recovers to level {level} "
+                f"before t={horizon}"
+            )
+        hit = int(above[0])
+        if hit == 0:
+            return float(grid[0])
+        root = optimize.brentq(
+            lambda t: float(self.predict(np.array([t]))[0]) - level,
+            float(grid[hit - 1]),
+            float(grid[hit]),
+        )
+        return float(root)
+
+    def predict_clamped(
+        self, times: ArrayLike, recovery_level: float, horizon: float = 1e4
+    ) -> FloatArray:
+        """Prediction following the paper's piecewise definition: the
+        model curve up to the recovery time ``t_r`` at
+        ``P(t_r) = recovery_level``, then held constant at that level
+        (Section II-A's ``P(t) = P(t_r)`` for ``t > t_r``).
+
+        If the model never reaches *recovery_level* before *horizon*
+        the raw prediction is returned unclamped.
+        """
+        t = self._as_times(times)
+        values = self.predict(t)
+        try:
+            t_r = self.recovery_time(recovery_level, horizon)
+        except ValueError:
+            return values
+        return np.where(t > t_r, recovery_level, values)
+
+    # ------------------------------------------------------------------
+    # Fit-objective helpers
+    # ------------------------------------------------------------------
+    def residuals(
+        self, curve: ResilienceCurve, params: Sequence[float] | None = None
+    ) -> FloatArray:
+        """Residual vector ``R(t_i) − P(t_i)`` of Eq. (8)."""
+        vector = self.params if params is None else tuple(params)
+        predictions = self.evaluate(curve.times, vector)
+        return curve.performance - predictions
+
+    def sse(self, curve: ResilienceCurve, params: Sequence[float] | None = None) -> float:
+        """Sum of squared residuals on *curve* (Eq. 9)."""
+        res = self.residuals(curve, params)
+        return float(np.dot(res, res))
+
+    @staticmethod
+    def _as_times(times: ArrayLike) -> FloatArray:
+        return as_float_array(times, "times")

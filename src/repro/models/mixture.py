@@ -1,0 +1,216 @@
+"""Mixture-distribution resilience model — Section II-B, Eq. (7).
+
+``P(t) = a₁(t)·(1 − F₁(t)) + a₂(t)·F₂(t)``
+
+``F₁`` is the degradation CDF (its survival function carries the
+initial performance down), ``F₂`` the recovery CDF, and ``a₂(t)`` a
+one-parameter transition trend (:mod:`repro.models.trends`). Following
+the paper's experiments, ``a₁(t) = 1`` is held constant.
+
+The family is configured by distribution names, so the paper's four
+pairings are::
+
+    MixtureResilienceModel("exp", "exp")   # Exp-Exp
+    MixtureResilienceModel("wei", "exp")   # Wei-Exp
+    MixtureResilienceModel("exp", "wei")   # Exp-Wei
+    MixtureResilienceModel("wei", "wei")   # Wei-Wei
+
+with the default ``trend="log"`` (the β·ln t form used for Table III).
+Any registered lifetime distribution may be substituted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+import numpy as np
+
+from repro._typing import ArrayLike, FloatArray
+from repro.core.curve import ResilienceCurve
+from repro.distributions.base import LifetimeDistribution
+from repro.distributions.exponential import Exponential
+from repro.distributions.registry import get_distribution_class
+from repro.distributions.weibull import Weibull
+from repro.models.base import ResilienceModel
+from repro.models.trends import TransitionTrend, get_trend_class
+
+__all__ = ["MixtureResilienceModel"]
+
+#: Abbreviations used in the paper's model labels.
+_ABBREVIATIONS = {"exponential": "exp", "weibull": "wei"}
+
+
+def _abbreviate(name: str) -> str:
+    return _ABBREVIATIONS.get(name, name)
+
+
+class MixtureResilienceModel(ResilienceModel):
+    """Mixture of a degradation and a recovery distribution.
+
+    Parameters
+    ----------
+    degradation:
+        Registry name of ``F₁`` (e.g. ``"weibull"`` or its alias
+        ``"wei"``).
+    recovery:
+        Registry name of ``F₂``.
+    trend:
+        Registry name of the recovery trend ``a₂``; default ``"log"``
+        (``β·ln t``) as in the paper's Table III.
+
+    Notes
+    -----
+    The flat parameter vector is the concatenation of the degradation
+    distribution's parameters (prefixed ``d_``), the recovery
+    distribution's (prefixed ``r_``), and the trend coefficient
+    ``beta``.
+    """
+
+    def __init__(
+        self,
+        degradation: str = "weibull",
+        recovery: str = "exponential",
+        trend: str = "log",
+    ) -> None:
+        super().__init__()
+        self._f1_class: Type[LifetimeDistribution] = get_distribution_class(degradation)
+        self._f2_class: Type[LifetimeDistribution] = get_distribution_class(recovery)
+        self._trend_class: Type[TransitionTrend] = get_trend_class(trend)
+        self.name = (
+            f"{_abbreviate(self._f1_class.name)}-{_abbreviate(self._f2_class.name)}"
+        )
+        if self._trend_class.name != "log":
+            self.name += f"({self._trend_class.name})"
+
+    # ------------------------------------------------------------------
+    # Family metadata
+    # ------------------------------------------------------------------
+    @property
+    def degradation_class(self) -> Type[LifetimeDistribution]:
+        """The degradation CDF family ``F₁``."""
+        return self._f1_class
+
+    @property
+    def recovery_class(self) -> Type[LifetimeDistribution]:
+        """The recovery CDF family ``F₂``."""
+        return self._f2_class
+
+    @property
+    def trend_class(self) -> Type[TransitionTrend]:
+        """The recovery transition trend family ``a₂``."""
+        return self._trend_class
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return (
+            tuple(f"d_{n}" for n in self._f1_class.param_names)
+            + tuple(f"r_{n}" for n in self._f2_class.param_names)
+            + ("beta",)
+        )
+
+    @property
+    def lower_bounds(self) -> tuple[float, ...]:
+        return (
+            self._f1_class.param_lower_bounds
+            + self._f2_class.param_lower_bounds
+            + (self._trend_class.beta_lower_bound,)
+        )
+
+    @property
+    def upper_bounds(self) -> tuple[float, ...]:
+        return (
+            self._f1_class.param_upper_bounds
+            + self._f2_class.param_upper_bounds
+            + (self._trend_class.beta_upper_bound,)
+        )
+
+    def _split(
+        self, params: Sequence[float]
+    ) -> tuple[tuple[float, ...], tuple[float, ...], float]:
+        n1 = self._f1_class.n_params()
+        n2 = self._f2_class.n_params()
+        vector = tuple(float(v) for v in params)
+        return vector[:n1], vector[n1 : n1 + n2], vector[n1 + n2]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, times: ArrayLike, params: Sequence[float]) -> FloatArray:
+        t = self._as_times(times)
+        p1, p2, beta = self._split(params)
+        f1 = self._f1_class.from_vector(p1)
+        f2 = self._f2_class.from_vector(p2)
+        survival = 1.0 - f1.cdf(t)
+        recovery = self._trend_class.value(t, beta) * f2.cdf(t)
+        return survival + recovery
+
+    def components(
+        self, times: ArrayLike
+    ) -> tuple[FloatArray, FloatArray]:
+        """Degradation and recovery components of the bound model.
+
+        Returns ``(a₁(t)(1 − F₁(t)), a₂(t)F₂(t))`` separately, useful
+        for plotting and for diagnosing which component dominates.
+        """
+        t = self._as_times(times)
+        p1, p2, beta = self._split(self.params)
+        f1 = self._f1_class.from_vector(p1)
+        f2 = self._f2_class.from_vector(p2)
+        return 1.0 - f1.cdf(t), self._trend_class.value(t, beta) * f2.cdf(t)
+
+    # ------------------------------------------------------------------
+    # Initial guesses
+    # ------------------------------------------------------------------
+    def initial_guesses(self, curve: ResilienceCurve) -> list[tuple[float, ...]]:
+        """Seeds built from the curve's trough timing and end level.
+
+        The degradation scale is seeded at the trough time (so the
+        survival term has largely decayed by the trough) and the
+        recovery scale at both the trough time and the remaining window
+        (fast/slow recovery hypotheses). Shape parameters, where the
+        distribution has them, start at 1 and 2.
+        """
+        t = curve.times
+        trough_t = max(curve.trough_time - float(t[0]), 1.0)
+        window = max(curve.duration, 2.0)
+        beta0 = self._trend_class.default_beta(curve.final_performance, window)
+
+        degradation_scales = (trough_t, 0.5 * trough_t)
+        recovery_scales = (trough_t, max(window - trough_t, 1.0))
+        shape_seeds = (1.0, 2.0)
+
+        guesses: list[tuple[float, ...]] = []
+        for d_scale in degradation_scales:
+            for r_scale in recovery_scales:
+                for shape in shape_seeds:
+                    p1 = self._seed_distribution(self._f1_class, d_scale, shape)
+                    p2 = self._seed_distribution(self._f2_class, r_scale, shape)
+                    guess = p1 + p2 + (beta0,)
+                    clipped = tuple(
+                        float(np.clip(v, lo, hi))
+                        for v, lo, hi in zip(guess, self.lower_bounds, self.upper_bounds)
+                    )
+                    if clipped not in guesses:
+                        guesses.append(clipped)
+        return guesses
+
+    @staticmethod
+    def _seed_distribution(
+        cls: Type[LifetimeDistribution], scale: float, shape: float
+    ) -> tuple[float, ...]:
+        """Map a (scale, shape) pair onto a distribution's parameters."""
+        if cls is Exponential:
+            return (scale,)
+        if cls is Weibull:
+            return (scale, shape)
+        seeds: list[float] = []
+        for name in cls.param_names:
+            if name in ("theta", "alpha"):
+                seeds.append(scale)
+            elif name == "mu":
+                seeds.append(float(np.log(max(scale, 1e-6))))
+            elif name in ("k", "beta", "sigma", "b"):
+                seeds.append(shape)
+            else:
+                seeds.append(1.0)
+        return tuple(seeds)

@@ -1,0 +1,83 @@
+"""Factory for resilience-model families by name.
+
+Names accepted:
+
+* ``"quadratic"`` — the Eq. (1) bathtub model.
+* ``"competing_risks"`` (alias ``"hjorth"``) — the Eq. (4) model.
+* ``"<f1>-<f2>"`` mixtures such as ``"exp-wei"`` or
+  ``"weibull-exponential"``, optionally with a trend suffix in
+  parentheses: ``"wei-exp(linear)"``. Default trend is ``"log"``.
+* ``"segmented"`` / ``"segmented(quadratic)"`` — two-episode bathtub
+  for W-shaped curves (extension; DESIGN.md §5).
+* ``"partial-<f1>-<f2>[(trend)]"`` — partial-degradation mixture for
+  L/K-shaped curves (extension).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ParameterError
+from repro.models.base import ResilienceModel
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.mixture import MixtureResilienceModel
+from repro.models.partial import PartialDegradationMixtureModel
+from repro.models.quadratic import QuadraticResilienceModel
+from repro.models.segmented import SegmentedBathtubModel
+
+__all__ = ["make_model", "available_models"]
+
+_MIXTURE_PATTERN = re.compile(
+    r"^(?P<partial>partial-)?(?P<f1>[a-z_]+)-(?P<f2>[a-z_]+)(?:\((?P<trend>[a-z_]+)\))?$"
+)
+
+_SEGMENTED_PATTERN = re.compile(r"^segmented(?:\((?P<episode>[a-z_]+)\))?$")
+
+
+def make_model(name: str) -> ResilienceModel:
+    """Construct an unbound model family from its name.
+
+    Raises
+    ------
+    ParameterError
+        If the name matches no known family.
+    """
+    key = name.strip().lower()
+    if key == "quadratic":
+        return QuadraticResilienceModel()
+    if key in ("competing_risks", "competing-risks", "hjorth"):
+        return CompetingRisksResilienceModel()
+    segmented = _SEGMENTED_PATTERN.match(key)
+    if segmented:
+        return SegmentedBathtubModel(segmented.group("episode") or "competing_risks")
+    match = _MIXTURE_PATTERN.match(key)
+    if match:
+        trend = match.group("trend") or "log"
+        if match.group("partial"):
+            return PartialDegradationMixtureModel(
+                match.group("f1"), match.group("f2"), trend
+            )
+        return MixtureResilienceModel(match.group("f1"), match.group("f2"), trend)
+    raise ParameterError(
+        f"unknown model {name!r}; expected 'quadratic', 'competing_risks', "
+        f"'segmented[(episode)]', a '<f1>-<f2>[(trend)]' mixture such as "
+        f"'wei-exp' or 'exp-wei(linear)', or a 'partial-<f1>-<f2>' variant"
+    )
+
+
+def available_models() -> tuple[str, ...]:
+    """Representative list of constructible model names.
+
+    Mixture names are open-ended (any registered distribution pair);
+    this returns the paper's families plus the two bathtub models.
+    """
+    return (
+        "quadratic",
+        "competing_risks",
+        "exp-exp",
+        "wei-exp",
+        "exp-wei",
+        "wei-wei",
+        "segmented",
+        "partial-wei-exp",
+    )

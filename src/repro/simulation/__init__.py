@@ -1,0 +1,38 @@
+"""Stochastic simulation substrate.
+
+Three pieces connect the paper's curve models back to classical
+reliability engineering (its Section I framing of resilience as a
+generalization of repairable systems):
+
+* :mod:`repro.simulation.shocks` — Poisson/renewal shock arrival
+  processes (the hazard model of Ouyang & Dueñas-Osorio's
+  Poisson-characterized metrics).
+* :mod:`repro.simulation.system` — a component-level repairable-system
+  simulator whose aggregate output *is* a resilience curve.
+* :mod:`repro.simulation.montecarlo` — ensemble sampling of noisy
+  curves from a fitted model, used to check confidence-interval
+  coverage and metric uncertainty empirically.
+"""
+
+from repro.simulation.degradation import AgingSystem, MaintenancePolicy
+from repro.simulation.shocks import PoissonShockProcess, RenewalShockProcess
+from repro.simulation.system import Component, RepairableSystem
+from repro.simulation.montecarlo import (
+    MonteCarloSummary,
+    sample_curves,
+    coverage_experiment,
+    metric_uncertainty,
+)
+
+__all__ = [
+    "AgingSystem",
+    "MaintenancePolicy",
+    "PoissonShockProcess",
+    "RenewalShockProcess",
+    "Component",
+    "RepairableSystem",
+    "MonteCarloSummary",
+    "sample_curves",
+    "coverage_experiment",
+    "metric_uncertainty",
+]

@@ -1,0 +1,113 @@
+"""Shock arrival processes.
+
+Disruptive events arriving over time are classically modeled as a
+Poisson process (as in Ouyang & Dueñas-Osorio's time-dependent
+resilience assessment). A renewal generalization draws inter-arrival
+times from any registered lifetime distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.core.events import DisruptionEvent
+from repro.distributions.base import LifetimeDistribution
+from repro.distributions.exponential import Exponential
+from repro.exceptions import ParameterError
+
+__all__ = ["PoissonShockProcess", "RenewalShockProcess"]
+
+
+class RenewalShockProcess:
+    """Shocks with i.i.d. inter-arrival times from any lifetime
+    distribution.
+
+    Parameters
+    ----------
+    interarrival:
+        Distribution of times between consecutive shocks.
+    magnitude_range:
+        Uniform range of fractional performance loss per shock.
+    """
+
+    def __init__(
+        self,
+        interarrival: LifetimeDistribution,
+        *,
+        magnitude_range: tuple[float, float] = (0.05, 0.3),
+    ) -> None:
+        low, high = magnitude_range
+        if not 0.0 < low <= high <= 1.0:
+            raise ParameterError(
+                f"magnitude_range must satisfy 0 < low <= high <= 1, got "
+                f"({low}, {high})"
+            )
+        self.interarrival = interarrival
+        self.magnitude_range = (float(low), float(high))
+
+    def arrival_times(
+        self, horizon: float, rng: np.random.Generator | None = None
+    ) -> FloatArray:
+        """Shock times on ``[0, horizon]``."""
+        if horizon <= 0.0:
+            raise ParameterError(f"horizon must be positive, got {horizon}")
+        generator = rng if rng is not None else np.random.default_rng()
+        times: list[float] = []
+        clock = 0.0
+        # Draw in batches sized by the expected count to bound Python looping.
+        mean = self.interarrival.mean()
+        batch = max(int(2 * horizon / max(mean, 1e-12)) + 8, 8)
+        while clock <= horizon:
+            for gap in self.interarrival.rvs(batch, generator):
+                clock += float(gap)
+                if clock > horizon:
+                    break
+                times.append(clock)
+            else:
+                continue
+            break
+        return np.asarray(times, dtype=np.float64)
+
+    def sample_events(
+        self,
+        horizon: float,
+        rng: np.random.Generator | None = None,
+        *,
+        name_prefix: str = "shock",
+    ) -> list[DisruptionEvent]:
+        """Disruption events with uniform magnitudes on the horizon."""
+        generator = rng if rng is not None else np.random.default_rng()
+        events = []
+        low, high = self.magnitude_range
+        for index, onset in enumerate(self.arrival_times(horizon, generator)):
+            magnitude = float(generator.uniform(low, high))
+            events.append(
+                DisruptionEvent(
+                    name=f"{name_prefix}-{index}",
+                    onset=float(onset),
+                    magnitude=magnitude,
+                )
+            )
+        return events
+
+
+class PoissonShockProcess(RenewalShockProcess):
+    """Homogeneous Poisson shocks with the given arrival ``rate``."""
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        magnitude_range: tuple[float, float] = (0.05, 0.3),
+    ) -> None:
+        if rate <= 0.0 or not np.isfinite(rate):
+            raise ParameterError(f"rate must be positive and finite, got {rate}")
+        super().__init__(Exponential(1.0 / rate), magnitude_range=magnitude_range)
+        self.rate = float(rate)
+
+    def expected_count(self, horizon: float) -> float:
+        """Expected number of shocks on ``[0, horizon]``."""
+        if horizon < 0.0:
+            raise ParameterError(f"horizon must be >= 0, got {horizon}")
+        return self.rate * horizon

@@ -1,0 +1,27 @@
+"""Numeric, integration, table-rendering, and plotting helpers."""
+
+from repro.utils.numerics import (
+    as_float_array,
+    clip_positive,
+    is_finite_array,
+    safe_exp,
+    safe_log,
+    solve_quadratic,
+)
+from repro.utils.integrate import trapezoid_integral, cumulative_trapezoid, adaptive_quad
+
+# NOTE: repro.utils.serialization is intentionally NOT re-exported here:
+# it depends on repro.core/models, which themselves import repro.utils —
+# import it as `repro.utils.serialization` directly.
+
+__all__ = [
+    "as_float_array",
+    "clip_positive",
+    "is_finite_array",
+    "safe_exp",
+    "safe_log",
+    "solve_quadratic",
+    "trapezoid_integral",
+    "cumulative_trapezoid",
+    "adaptive_quad",
+]

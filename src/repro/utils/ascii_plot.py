@@ -1,0 +1,104 @@
+"""Terminal line plots for the figure-reproduction benchmarks.
+
+matplotlib is not available in the offline environment, so the figure
+benches render each curve (data, model fit, confidence band) as an ASCII
+chart plus a machine-readable series dump. The plot is coarse by nature;
+its purpose is to let a human confirm the V/U/W/L shapes and the fit
+quality at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro._typing import ArrayLike
+from repro.utils.numerics import as_float_array
+
+__all__ = ["ascii_plot"]
+
+#: Symbols assigned to successive series, in order.
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[ArrayLike, ArrayLike]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+) -> str:
+    """Render named ``(times, values)`` series on a shared ASCII canvas.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to a ``(times, values)`` pair. Series
+        are drawn in iteration order; later series overwrite earlier ones
+        where they collide on the canvas.
+    width, height:
+        Canvas size in characters, excluding axes labels.
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    str
+        Multi-line plot with a legend mapping markers to labels.
+    """
+    if not series:
+        raise ValueError("ascii_plot requires at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small: need width >= 8 and height >= 4")
+
+    parsed: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, (times, values) in series.items():
+        t = as_float_array(times, f"{label} times")
+        v = as_float_array(values, f"{label} values")
+        if t.size != v.size:
+            raise ValueError(f"series {label!r}: length mismatch")
+        if t.size == 0:
+            raise ValueError(f"series {label!r}: empty")
+        parsed[label] = (t, v)
+
+    t_min = min(float(t.min()) for t, _ in parsed.values())
+    t_max = max(float(t.max()) for t, _ in parsed.values())
+    v_min = min(float(v.min()) for _, v in parsed.values())
+    v_max = max(float(v.max()) for _, v in parsed.values())
+    if t_max == t_min:
+        t_max = t_min + 1.0
+    if v_max == v_min:
+        v_max = v_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for index, (label, (t, v)) in enumerate(parsed.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        cols = np.round((t - t_min) / (t_max - t_min) * (width - 1)).astype(int)
+        rows = np.round((v - v_min) / (v_max - v_min) * (height - 1)).astype(int)
+        for col, row in zip(cols, rows):
+            canvas[height - 1 - row][col] = marker
+
+    top_label = f"{v_max:.4g}"
+    bottom_label = f"{v_min:.4g}"
+    gutter = max(len(top_label), len(bottom_label))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * gutter} +{'-' * width}"
+    lines.append(axis)
+    lines.append(
+        f"{' ' * gutter}  {f'{t_min:.4g}'.ljust(width - 8)}{f'{t_max:.4g}'.rjust(8)}"
+    )
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)

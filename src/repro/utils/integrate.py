@@ -1,0 +1,86 @@
+"""Quadrature helpers for resilience-metric and model-area computations.
+
+The interval-based metrics of Section IV integrate performance curves.
+Empirical curves are integrated with the trapezoid rule on their native
+sampling grid; model curves use adaptive quadrature when no closed form
+is available.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import integrate as _sci_integrate
+
+from repro._typing import ArrayLike, FloatArray
+from repro.utils.numerics import as_float_array
+
+__all__ = ["trapezoid_integral", "cumulative_trapezoid", "adaptive_quad"]
+
+
+def trapezoid_integral(times: ArrayLike, values: ArrayLike) -> float:
+    """Trapezoid-rule integral of sampled *values* over *times*.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times.
+    values:
+        Sampled function values, same length as *times*.
+
+    Raises
+    ------
+    ValueError
+        If lengths mismatch, fewer than two samples are given, or the
+        time grid is not strictly increasing.
+    """
+    t = as_float_array(times, "times")
+    v = as_float_array(values, "values")
+    if t.size != v.size:
+        raise ValueError(f"times and values length mismatch: {t.size} vs {v.size}")
+    if t.size < 2:
+        raise ValueError("need at least two samples to integrate")
+    if np.any(np.diff(t) <= 0):
+        raise ValueError("times must be strictly increasing")
+    return float(np.trapezoid(v, t))
+
+
+def cumulative_trapezoid(times: ArrayLike, values: ArrayLike) -> FloatArray:
+    """Cumulative trapezoid integral, starting at 0 for the first sample."""
+    t = as_float_array(times, "times")
+    v = as_float_array(values, "values")
+    if t.size != v.size:
+        raise ValueError(f"times and values length mismatch: {t.size} vs {v.size}")
+    if t.size < 2:
+        raise ValueError("need at least two samples to integrate")
+    if np.any(np.diff(t) <= 0):
+        raise ValueError("times must be strictly increasing")
+    increments = 0.5 * (v[1:] + v[:-1]) * np.diff(t)
+    out = np.empty_like(t)
+    out[0] = 0.0
+    np.cumsum(increments, out=out[1:])
+    return out
+
+
+def adaptive_quad(
+    func: Callable[[float], float],
+    lower: float,
+    upper: float,
+    *,
+    rtol: float = 1e-8,
+) -> float:
+    """Adaptive quadrature of *func* over ``[lower, upper]``.
+
+    A thin wrapper over :func:`scipy.integrate.quad` that tolerates a
+    reversed interval (returns the signed integral) and raises on
+    non-finite results.
+    """
+    if lower == upper:
+        return 0.0
+    value, _abserr = _sci_integrate.quad(func, lower, upper, epsrel=rtol, limit=200)
+    if not np.isfinite(value):
+        raise ValueError(
+            f"integral over [{lower}, {upper}] did not evaluate to a finite value"
+        )
+    return float(value)

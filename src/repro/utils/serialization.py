@@ -1,0 +1,124 @@
+"""JSON persistence for fitted models and fit results.
+
+A fitted model serializes to its registry name plus its parameter
+vector, so anything :func:`repro.models.registry.make_model` can build
+round-trips. Fit results additionally carry the training curve and the
+headline diagnostics, enabling "fit once, forecast later" workflows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import DataError
+from repro.fitting.result import FitResult
+from repro.models.base import ResilienceModel
+from repro.models.registry import make_model
+
+__all__ = [
+    "model_to_dict",
+    "model_from_dict",
+    "fit_result_to_dict",
+    "fit_result_from_dict",
+    "save_fit_result",
+    "load_fit_result",
+]
+
+#: Schema tag written into every payload.
+_FORMAT = "repro/fit-result"
+_VERSION = 1
+
+
+def model_to_dict(model: ResilienceModel) -> dict[str, Any]:
+    """Serialize a *bound* model to a plain dict."""
+    return {"name": model.name, "params": list(model.params)}
+
+
+def model_from_dict(payload: dict[str, Any]) -> ResilienceModel:
+    """Rebuild a bound model from :func:`model_to_dict` output.
+
+    Raises
+    ------
+    DataError
+        On missing keys or an unknown model name.
+    """
+    try:
+        name = payload["name"]
+        params = payload["params"]
+    except (KeyError, TypeError):
+        raise DataError(f"malformed model payload: {payload!r}") from None
+    try:
+        family = make_model(name)
+    except Exception as exc:
+        raise DataError(f"cannot rebuild model {name!r}: {exc}") from exc
+    return family.bind(params)
+
+
+def fit_result_to_dict(fit: FitResult) -> dict[str, Any]:
+    """Serialize a fit result (model + training curve + diagnostics)."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "model": model_to_dict(fit.model),
+        "curve": fit.curve.to_dict(),
+        "sse": fit.sse,
+        "converged": fit.converged,
+        "n_starts": fit.n_starts,
+        "n_failures": fit.n_failures,
+        "message": fit.message,
+    }
+
+
+def fit_result_from_dict(payload: dict[str, Any]) -> FitResult:
+    """Inverse of :func:`fit_result_to_dict`.
+
+    Raises
+    ------
+    DataError
+        On schema mismatch or malformed content.
+    """
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise DataError("payload is not a repro fit-result document")
+    if payload.get("version") != _VERSION:
+        raise DataError(
+            f"unsupported fit-result version {payload.get('version')!r}; "
+            f"this build reads version {_VERSION}"
+        )
+    try:
+        return FitResult(
+            model=model_from_dict(payload["model"]),
+            curve=ResilienceCurve.from_dict(payload["curve"]),
+            sse=float(payload["sse"]),
+            converged=bool(payload["converged"]),
+            n_starts=int(payload["n_starts"]),
+            n_failures=int(payload["n_failures"]),
+            message=str(payload.get("message", "")),
+        )
+    except KeyError as exc:
+        raise DataError(f"fit-result payload missing key: {exc}") from None
+
+
+def save_fit_result(fit: FitResult, path: str | Path) -> None:
+    """Write a fit result to a JSON file."""
+    Path(path).write_text(json.dumps(fit_result_to_dict(fit), indent=2) + "\n")
+
+
+def load_fit_result(path: str | Path) -> FitResult:
+    """Read a fit result from a JSON file.
+
+    Raises
+    ------
+    DataError
+        On a missing file or invalid JSON/schema.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"no such fit-result file: {file_path}")
+    try:
+        payload = json.loads(file_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{file_path}: invalid JSON ({exc})") from None
+    return fit_result_from_dict(payload)

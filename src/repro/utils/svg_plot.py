@@ -1,0 +1,252 @@
+"""Standalone SVG line charts (no matplotlib dependency).
+
+The offline environment has no plotting library, but the paper's
+figures deserve better than ASCII when viewed outside a terminal. This
+module writes self-contained SVG files: multiple line series, optional
+shaded confidence bands, axes with tick labels, and a legend. The
+figure benches save one SVG per figure next to the text artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro._typing import ArrayLike
+from repro.exceptions import ReproError
+from repro.utils.numerics import as_float_array
+
+__all__ = ["SvgChart"]
+
+#: Default line colors, cycled across series.
+_COLORS = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+    "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+)
+
+
+@dataclass
+class _Series:
+    label: str
+    times: np.ndarray
+    values: np.ndarray
+    color: str
+    dashed: bool
+
+
+@dataclass
+class _Band:
+    label: str
+    times: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    color: str
+
+
+@dataclass
+class SvgChart:
+    """A simple multi-series line chart rendered to SVG.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    x_label, y_label:
+        Axis captions.
+    width, height:
+        Pixel dimensions of the output.
+    """
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 720
+    height: int = 440
+    _series: list[_Series] = field(default_factory=list, repr=False)
+    _bands: list[_Band] = field(default_factory=list, repr=False)
+
+    # Plot margins (left, right, top, bottom).
+    _MARGINS = (64, 16, 40, 48)
+
+    def add_series(
+        self,
+        label: str,
+        times: ArrayLike,
+        values: ArrayLike,
+        *,
+        color: str | None = None,
+        dashed: bool = False,
+    ) -> "SvgChart":
+        """Add a line series; returns self for chaining."""
+        t = as_float_array(times, f"{label} times")
+        v = as_float_array(values, f"{label} values")
+        if t.size != v.size or t.size < 2:
+            raise ReproError(
+                f"series {label!r}: need matching arrays with >= 2 points"
+            )
+        chosen = color or _COLORS[(len(self._series)) % len(_COLORS)]
+        self._series.append(_Series(label, t, v, chosen, dashed))
+        return self
+
+    def add_band(
+        self,
+        label: str,
+        times: ArrayLike,
+        lower: ArrayLike,
+        upper: ArrayLike,
+        *,
+        color: str = "#1f77b4",
+    ) -> "SvgChart":
+        """Add a shaded band (e.g. the Eq. 13 confidence interval)."""
+        t = as_float_array(times, f"{label} times")
+        lo = as_float_array(lower, f"{label} lower")
+        hi = as_float_array(upper, f"{label} upper")
+        if not (t.size == lo.size == hi.size) or t.size < 2:
+            raise ReproError(f"band {label!r}: need matching arrays with >= 2 points")
+        self._bands.append(_Band(label, t, lo, hi, color))
+        return self
+
+    # ------------------------------------------------------------------
+    def _extent(self) -> tuple[float, float, float, float]:
+        if not self._series and not self._bands:
+            raise ReproError("chart has no series to render")
+        xs = [s.times for s in self._series] + [b.times for b in self._bands]
+        ys = (
+            [s.values for s in self._series]
+            + [b.lower for b in self._bands]
+            + [b.upper for b in self._bands]
+        )
+        x_min = min(float(a.min()) for a in xs)
+        x_max = max(float(a.max()) for a in xs)
+        y_min = min(float(a.min()) for a in ys)
+        y_max = max(float(a.max()) for a in ys)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        pad = 0.04 * (y_max - y_min)
+        return x_min, x_max, y_min - pad, y_max + pad
+
+    def _project(self, extent):
+        left, right, top, bottom = self._MARGINS
+        x_min, x_max, y_min, y_max = extent
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+
+        def px(x: np.ndarray) -> np.ndarray:
+            return left + (x - x_min) / (x_max - x_min) * plot_w
+
+        def py(y: np.ndarray) -> np.ndarray:
+            return top + (y_max - y) / (y_max - y_min) * plot_h
+
+        return px, py
+
+    @staticmethod
+    def _ticks(low: float, high: float, count: int = 5) -> list[float]:
+        raw = np.linspace(low, high, count)
+        return [float(v) for v in raw]
+
+    def render(self) -> str:
+        """The chart as an SVG document string."""
+        extent = self._extent()
+        px, py = self._project(extent)
+        left, right, top, bottom = self._MARGINS
+        x_min, x_max, y_min, y_max = extent
+
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        # Axes frame.
+        parts.append(
+            f'<rect x="{left}" y="{top}" width="{self.width - left - right}" '
+            f'height="{self.height - top - bottom}" fill="none" '
+            f'stroke="#333" stroke-width="1"/>'
+        )
+        # Ticks and grid.
+        for x in self._ticks(x_min, x_max):
+            x_px = float(px(np.array([x]))[0])
+            parts.append(
+                f'<line x1="{x_px:.1f}" y1="{top}" x2="{x_px:.1f}" '
+                f'y2="{self.height - bottom}" stroke="#eee" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{x_px:.1f}" y="{self.height - bottom + 16}" '
+                f'font-size="11" text-anchor="middle" fill="#333">{x:.4g}</text>'
+            )
+        for y in self._ticks(y_min, y_max):
+            y_px = float(py(np.array([y]))[0])
+            parts.append(
+                f'<line x1="{left}" y1="{y_px:.1f}" x2="{self.width - right}" '
+                f'y2="{y_px:.1f}" stroke="#eee" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{left - 6}" y="{y_px + 4:.1f}" font-size="11" '
+                f'text-anchor="end" fill="#333">{y:.4g}</text>'
+            )
+        # Bands under the lines.
+        for band in self._bands:
+            xs = np.concatenate([band.times, band.times[::-1]])
+            ys = np.concatenate([band.upper, band.lower[::-1]])
+            points = " ".join(
+                f"{float(x):.2f},{float(y):.2f}" for x, y in zip(px(xs), py(ys))
+            )
+            parts.append(
+                f'<polygon points="{points}" fill="{band.color}" '
+                f'fill-opacity="0.15" stroke="none"/>'
+            )
+        # Lines.
+        for series in self._series:
+            points = " ".join(
+                f"{float(x):.2f},{float(y):.2f}"
+                for x, y in zip(px(series.times), py(series.values))
+            )
+            dash = ' stroke-dasharray="6,4"' if series.dashed else ""
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{series.color}" stroke-width="1.8"{dash}/>'
+            )
+        # Title and axis labels.
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2:.0f}" y="22" font-size="14" '
+                f'text-anchor="middle" fill="#111">{escape(self.title)}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{self.width / 2:.0f}" y="{self.height - 10}" '
+                f'font-size="12" text-anchor="middle" fill="#333">'
+                f"{escape(self.x_label)}</text>"
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="16" y="{self.height / 2:.0f}" font-size="12" '
+                f'text-anchor="middle" fill="#333" '
+                f'transform="rotate(-90 16 {self.height / 2:.0f})">'
+                f"{escape(self.y_label)}</text>"
+            )
+        # Legend.
+        legend_y = top + 14
+        for index, series in enumerate(self._series):
+            y = legend_y + 16 * index
+            x = left + 10
+            parts.append(
+                f'<line x1="{x}" y1="{y - 4}" x2="{x + 18}" y2="{y - 4}" '
+                f'stroke="{series.color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{x + 24}" y="{y}" font-size="11" fill="#333">'
+                f"{escape(series.label)}</text>"
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG document to *path*."""
+        file_path = Path(path)
+        file_path.write_text(self.render() + "\n")
+        return file_path

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for benchmark and report output.
+
+The benchmark harness regenerates the paper's tables as aligned text so
+they can be compared side-by-side with the published values. No external
+dependency (tabulate etc.) is used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 8) -> str:
+    """Render *value* in the fixed-point style used by the paper's tables.
+
+    Large or tiny magnitudes fall back to scientific notation so columns
+    stay readable.
+    """
+    if value != value:  # NaN
+        return "nan"
+    if value == 0.0:
+        return f"{0.0:.{digits}f}"
+    magnitude = abs(value)
+    if magnitude >= 10 ** (digits - 1) or magnitude < 10 ** (-digits):
+        return f"{value:.{max(digits - 4, 2)}e}"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_digits: int = 8,
+) -> str:
+    """Render *rows* as an aligned monospace table.
+
+    Floats are formatted with :func:`format_float`; everything else with
+    ``str``. Columns are left-aligned for text and right-aligned for
+    numbers.
+    """
+    rendered: list[list[str]] = []
+    numeric: list[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        cells: list[str] = []
+        for col, item in enumerate(row):
+            if isinstance(item, bool):
+                cells.append(str(item))
+                numeric[col] = False
+            elif isinstance(item, float):
+                cells.append(format_float(item, float_digits))
+            elif isinstance(item, int):
+                cells.append(str(item))
+            else:
+                cells.append(str(item))
+                numeric[col] = False
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for col, cell in enumerate(cells):
+            widths[col] = max(widths[col], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[col]) if numeric[col] else cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Side-by-side comparison of model families on one curve.
+
+Produces the per-dataset blocks of Tables I and III: every family's
+SSE, PMSE, r²adj, and EC, plus winner selection per measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import ConvergenceError, MetricError
+from repro.models.base import ResilienceModel
+from repro.utils.tables import format_table
+from repro.validation.crossval import PredictiveEvaluation, evaluate_predictive
+
+__all__ = ["ModelComparison", "compare_models"]
+
+#: Measures where smaller is better.
+_MINIMIZE = {"sse", "pmse"}
+#: Measures where larger is better.
+_MAXIMIZE = {"r2_adjusted", "empirical_coverage"}
+
+
+@dataclass
+class ModelComparison:
+    """Evaluations of several families on a single curve."""
+
+    curve: ResilienceCurve
+    evaluations: dict[str, PredictiveEvaluation] = field(default_factory=dict)
+    failed: list[str] = field(default_factory=list)
+
+    def measure(self, model_name: str, measure_name: str) -> float:
+        """One measure value for one model."""
+        evaluation = self.evaluations[model_name]
+        try:
+            return float(getattr(evaluation.measures, measure_name))
+        except AttributeError:
+            raise MetricError(f"unknown measure {measure_name!r}") from None
+
+    def best(self, measure_name: str) -> str:
+        """Name of the winning model under *measure_name*.
+
+        Raises
+        ------
+        MetricError
+            If the measure is unknown or no evaluations exist.
+        """
+        if not self.evaluations:
+            raise MetricError("no successful evaluations to compare")
+        if measure_name in _MINIMIZE:
+            chooser = min
+        elif measure_name in _MAXIMIZE:
+            chooser = max
+        else:
+            raise MetricError(f"unknown measure {measure_name!r}")
+        return chooser(
+            self.evaluations, key=lambda name: self.measure(name, measure_name)
+        )
+
+    def to_table(self) -> str:
+        """Aligned text table in the paper's Table I/III layout."""
+        headers = ["Model", "SSE", "PMSE", "r2_adj", "EC"]
+        rows = []
+        for name, evaluation in self.evaluations.items():
+            m = evaluation.measures
+            rows.append(
+                [name, m.sse, m.pmse, m.r2_adjusted, f"{m.empirical_coverage:.2%}"]
+            )
+        title = f"Dataset: {self.curve.name or '<unnamed>'} (n={len(self.curve)})"
+        return format_table(headers, rows, title=title)
+
+
+def compare_models(
+    families: list[ResilienceModel],
+    curve: ResilienceCurve,
+    *,
+    train_fraction: float = 0.9,
+    confidence: float = 0.95,
+    **fit_kwargs: object,
+) -> ModelComparison:
+    """Evaluate every family on *curve* with the paper's protocol.
+
+    Families whose fit fails to converge are recorded in
+    :attr:`ModelComparison.failed` instead of aborting the comparison.
+    """
+    comparison = ModelComparison(curve=curve)
+    for family in families:
+        try:
+            comparison.evaluations[family.name] = evaluate_predictive(
+                family,
+                curve,
+                train_fraction=train_fraction,
+                confidence=confidence,
+                **fit_kwargs,
+            )
+        except ConvergenceError:
+            comparison.failed.append(family.name)
+    return comparison

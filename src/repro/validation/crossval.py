@@ -1,0 +1,132 @@
+"""Train/test evaluation protocols.
+
+:func:`evaluate_predictive` implements the paper's protocol: fit on the
+first ``n − ℓ`` observations, predict the remaining ℓ, and report SSE,
+PMSE, adjusted R², and the empirical coverage of the Eq. (13) band over
+the full curve. :func:`rolling_origin` generalizes it to a sweep of
+training-set sizes (an extension used by the ablation benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import MetricError
+from repro.fitting.least_squares import fit_least_squares
+from repro.fitting.result import FitResult
+from repro.models.base import ResilienceModel
+from repro.validation.gof import GoodnessOfFit, adjusted_r_squared, pmse
+from repro.validation.intervals import ConfidenceBand, confidence_band
+
+__all__ = ["PredictiveEvaluation", "evaluate_predictive", "rolling_origin"]
+
+
+@dataclass(frozen=True)
+class PredictiveEvaluation:
+    """Everything produced by one train/predict/validate pass.
+
+    Attributes
+    ----------
+    fit:
+        The training-window fit.
+    train, test:
+        The two halves of the split (test keeps original time stamps).
+    measures:
+        The paper's four measures (SSE on train, PMSE on test, r²adj on
+        train, EC over the whole curve).
+    band:
+        The Eq. (13) confidence band evaluated over the *full* curve.
+    """
+
+    fit: FitResult
+    train: ResilienceCurve
+    test: ResilienceCurve
+    measures: GoodnessOfFit
+    band: ConfidenceBand
+
+    @property
+    def model(self) -> ResilienceModel:
+        """The bound, fitted model."""
+        return self.fit.model
+
+    @property
+    def split_time(self) -> float:
+        """First held-out time stamp (t_{n−ℓ+1} in the paper)."""
+        return float(self.test.times[0])
+
+
+def evaluate_predictive(
+    family: ResilienceModel,
+    curve: ResilienceCurve,
+    *,
+    train_fraction: float = 0.9,
+    confidence: float = 0.95,
+    **fit_kwargs: object,
+) -> PredictiveEvaluation:
+    """Run the paper's fit/predict/validate protocol on one curve.
+
+    Parameters
+    ----------
+    family:
+        Unbound model family.
+    curve:
+        Full empirical curve.
+    train_fraction:
+        Fraction used for fitting (the paper uses 90%).
+    confidence:
+        Level of the Eq. (13) band (the paper uses 95%).
+    fit_kwargs:
+        Passed through to :func:`~repro.fitting.fit_least_squares`.
+    """
+    train, test = curve.train_test_split(train_fraction)
+    fit = fit_least_squares(family, train, **fit_kwargs)  # type: ignore[arg-type]
+
+    train_pred = fit.predict(train.times)
+    test_pred = fit.predict(test.times)
+    full_pred = fit.predict(curve.times)
+
+    band = confidence_band(full_pred, fit.sse, len(train), confidence=confidence)
+    measures = GoodnessOfFit(
+        sse=fit.sse,
+        pmse=pmse(test.performance, test_pred),
+        r2_adjusted=adjusted_r_squared(
+            train.performance, train_pred, fit.model.n_params
+        ),
+        empirical_coverage=band.coverage_of(curve.performance),
+    )
+    return PredictiveEvaluation(fit=fit, train=train, test=test, measures=measures, band=band)
+
+
+def rolling_origin(
+    family: ResilienceModel,
+    curve: ResilienceCurve,
+    *,
+    min_train: int = 12,
+    step: int = 6,
+    **fit_kwargs: object,
+) -> list[tuple[int, float]]:
+    """PMSE as the training origin rolls forward.
+
+    Fits on the first ``k`` observations for ``k = min_train,
+    min_train + step, …`` and reports ``(k, PMSE on the remainder)``
+    pairs. Origins whose fit fails to converge are skipped.
+    """
+    if min_train <= family.n_params:
+        raise MetricError(
+            f"min_train={min_train} must exceed the parameter count "
+            f"{family.n_params}"
+        )
+    if step < 1:
+        raise MetricError(f"step must be >= 1, got {step}")
+    results: list[tuple[int, float]] = []
+    for k in range(min_train, len(curve) - 1, step):
+        train = curve.head(k)
+        try:
+            fit = fit_least_squares(family, train, **fit_kwargs)  # type: ignore[arg-type]
+        except Exception:
+            continue
+        heldout_times = curve.times[k:]
+        heldout_perf = curve.performance[k:]
+        results.append((k, pmse(heldout_perf, fit.predict(heldout_times))))
+    return results

@@ -1,0 +1,156 @@
+"""Goodness-of-fit measures — Section III-B.1 of the paper.
+
+The paper reports SSE (Eq. 9), PMSE on held-out observations (Eq. 10),
+and the adjusted coefficient of determination (Eq. 11). RMSE, MAE,
+MAPE, AIC, and BIC are provided as standard extensions for model
+selection beyond the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import ArrayLike
+from repro.exceptions import MetricError
+from repro.utils.numerics import as_float_array
+
+__all__ = [
+    "sse",
+    "pmse",
+    "r_squared",
+    "adjusted_r_squared",
+    "rmse",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "aic",
+    "bic",
+    "GoodnessOfFit",
+]
+
+
+def _paired(actual: ArrayLike, predicted: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
+    a = as_float_array(actual, "actual")
+    p = as_float_array(predicted, "predicted")
+    if a.size != p.size:
+        raise MetricError(f"actual and predicted length mismatch: {a.size} vs {p.size}")
+    if a.size == 0:
+        raise MetricError("cannot compute a measure on empty arrays")
+    return a, p
+
+
+def sse(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Sum of squared errors ``Σ (R(tᵢ) − P(tᵢ))²`` — Eq. (9)."""
+    a, p = _paired(actual, predicted)
+    residuals = a - p
+    return float(np.dot(residuals, residuals))
+
+
+def pmse(actual_heldout: ArrayLike, predicted_heldout: ArrayLike) -> float:
+    """Predictive mean square error — Eq. (10).
+
+    The mean squared prediction residual over the ℓ observations *not*
+    used for fitting; callers pass only the held-out suffix.
+    """
+    a, p = _paired(actual_heldout, predicted_heldout)
+    return sse(a, p) / a.size
+
+
+def r_squared(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Plain coefficient of determination ``(SSY − SSE)/SSY``.
+
+    Negative values mean the model explains less variance than the
+    naive mean predictor — the paper reports exactly this for the
+    quadratic model on the W-shaped 1980 data.
+    """
+    a, p = _paired(actual, predicted)
+    ssy = float(np.sum((a - a.mean()) ** 2))
+    if ssy == 0.0:
+        raise MetricError("SSY is zero: actual values are constant")
+    return 1.0 - sse(a, p) / ssy
+
+
+def adjusted_r_squared(actual: ArrayLike, predicted: ArrayLike, n_params: int) -> float:
+    """Adjusted coefficient of determination — Eq. (11).
+
+    ``r²adj = 1 − (1 − r²)·(n − 1)/(n − m − 1)`` with *m* fitted
+    parameters, penalizing model complexity.
+    """
+    a, _ = _paired(actual, predicted)
+    n = a.size
+    if n_params < 0:
+        raise MetricError(f"n_params must be >= 0, got {n_params}")
+    dof = n - n_params - 1
+    if dof <= 0:
+        raise MetricError(
+            f"adjusted R² undefined: n={n} observations, m={n_params} parameters"
+        )
+    return 1.0 - (1.0 - r_squared(actual, predicted)) * (n - 1) / dof
+
+
+def rmse(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Root mean squared error."""
+    a, _ = _paired(actual, predicted)
+    return math.sqrt(sse(actual, predicted) / a.size)
+
+
+def mean_absolute_error(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Mean absolute error."""
+    a, p = _paired(actual, predicted)
+    return float(np.mean(np.abs(a - p)))
+
+
+def mean_absolute_percentage_error(actual: ArrayLike, predicted: ArrayLike) -> float:
+    """Mean absolute percentage error (fraction, not percent).
+
+    Raises
+    ------
+    MetricError
+        If any actual value is zero (undefined percentage).
+    """
+    a, p = _paired(actual, predicted)
+    if np.any(a == 0.0):
+        raise MetricError("MAPE undefined: actual contains zeros")
+    return float(np.mean(np.abs((a - p) / a)))
+
+
+def _gaussian_log_likelihood(actual: ArrayLike, predicted: ArrayLike) -> float:
+    a, _ = _paired(actual, predicted)
+    n = a.size
+    mse = sse(actual, predicted) / n
+    if mse <= 0.0:
+        raise MetricError("log-likelihood undefined: zero residual variance")
+    return -0.5 * n * (math.log(2.0 * math.pi * mse) + 1.0)
+
+
+def aic(actual: ArrayLike, predicted: ArrayLike, n_params: int) -> float:
+    """Akaike information criterion under Gaussian residuals."""
+    return 2.0 * n_params - 2.0 * _gaussian_log_likelihood(actual, predicted)
+
+
+def bic(actual: ArrayLike, predicted: ArrayLike, n_params: int) -> float:
+    """Bayesian information criterion under Gaussian residuals."""
+    a, _ = _paired(actual, predicted)
+    return n_params * math.log(a.size) - 2.0 * _gaussian_log_likelihood(actual, predicted)
+
+
+@dataclass(frozen=True)
+class GoodnessOfFit:
+    """Bundle of the paper's measures for one model on one dataset.
+
+    Mirrors one block of Table I / Table III: SSE and r²adj on the
+    fitting window, PMSE on the held-out window, and the empirical
+    coverage (attached by the caller after computing the confidence
+    band).
+    """
+
+    sse: float
+    pmse: float
+    r2_adjusted: float
+    empirical_coverage: float
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        """Values in the paper's row order (SSE, PMSE, r²adj, EC)."""
+        return (self.sse, self.pmse, self.r2_adjusted, self.empirical_coverage)

@@ -1,0 +1,175 @@
+"""Residual diagnostics for fitted resilience models.
+
+The Eq. (12–13) confidence band assumes i.i.d. Gaussian residuals.
+Resilience curves are time series, so that assumption deserves
+checking: systematic misfit (the W-shape failure mode) shows up as
+strongly autocorrelated residuals long before it is visible in SSE.
+This module provides the standard checks:
+
+* **Durbin-Watson** statistic for lag-1 autocorrelation,
+* **Ljung-Box** portmanteau test across several lags,
+* **Jarque-Bera** normality test, and
+* a **runs test** on residual signs,
+
+bundled into a :class:`ResidualDiagnostics` verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro._typing import ArrayLike
+from repro.exceptions import MetricError
+from repro.fitting.result import FitResult
+from repro.utils.numerics import as_float_array
+
+__all__ = [
+    "durbin_watson",
+    "ljung_box",
+    "jarque_bera",
+    "runs_test",
+    "ResidualDiagnostics",
+    "diagnose_residuals",
+]
+
+
+def durbin_watson(residuals: ArrayLike) -> float:
+    """Durbin-Watson statistic: ≈2 for uncorrelated residuals, →0 for
+    strong positive lag-1 autocorrelation, →4 for negative."""
+    r = as_float_array(residuals, "residuals")
+    if r.size < 2:
+        raise MetricError("Durbin-Watson needs at least two residuals")
+    denom = float(np.dot(r, r))
+    if denom == 0.0:
+        raise MetricError("Durbin-Watson undefined for all-zero residuals")
+    return float(np.sum(np.diff(r) ** 2)) / denom
+
+
+def ljung_box(residuals: ArrayLike, lags: int = 10) -> tuple[float, float]:
+    """Ljung-Box Q statistic and p-value for autocorrelation up to *lags*.
+
+    Small p-values reject the "white noise" hypothesis.
+    """
+    r = as_float_array(residuals, "residuals")
+    n = r.size
+    if lags < 1:
+        raise MetricError(f"lags must be >= 1, got {lags}")
+    if n <= lags + 1:
+        raise MetricError(f"need more than lags+1={lags + 1} residuals, got {n}")
+    centered = r - r.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0.0:
+        raise MetricError("Ljung-Box undefined for constant residuals")
+    q = 0.0
+    for k in range(1, lags + 1):
+        rho_k = float(np.dot(centered[:-k], centered[k:])) / denom
+        q += rho_k * rho_k / (n - k)
+    q *= n * (n + 2.0)
+    p_value = float(stats.chi2.sf(q, df=lags))
+    return float(q), p_value
+
+
+def jarque_bera(residuals: ArrayLike) -> tuple[float, float]:
+    """Jarque-Bera statistic and p-value for residual normality."""
+    r = as_float_array(residuals, "residuals")
+    if r.size < 8:
+        raise MetricError("Jarque-Bera needs at least eight residuals")
+    statistic, p_value = stats.jarque_bera(r)
+    return float(statistic), float(p_value)
+
+
+def runs_test(residuals: ArrayLike) -> tuple[int, float]:
+    """Wald-Wolfowitz runs test on residual signs.
+
+    Returns the observed number of sign runs and a two-sided p-value
+    under the randomness null. Too few runs ⇒ the model is
+    systematically above/below the data in stretches (lack of fit).
+    """
+    r = as_float_array(residuals, "residuals")
+    signs = np.sign(r[r != 0.0])
+    n = signs.size
+    if n < 8:
+        raise MetricError("runs test needs at least eight nonzero residuals")
+    n_pos = int(np.sum(signs > 0))
+    n_neg = n - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 1, 0.0  # all one sign: maximal lack of fit
+    runs = 1 + int(np.sum(signs[1:] != signs[:-1]))
+    mean = 1.0 + 2.0 * n_pos * n_neg / n
+    variance = (2.0 * n_pos * n_neg * (2.0 * n_pos * n_neg - n)) / (
+        n * n * (n - 1.0)
+    )
+    if variance <= 0.0:
+        raise MetricError("runs test variance degenerate")
+    z = (runs - mean) / math.sqrt(variance)
+    p_value = 2.0 * float(stats.norm.sf(abs(z)))
+    return runs, p_value
+
+
+@dataclass(frozen=True)
+class ResidualDiagnostics:
+    """Bundle of residual checks with an overall verdict.
+
+    ``white_noise_ok`` is the conjunction of the individual tests at
+    the chosen significance level — when it is False, the Eq. (13)
+    band's nominal coverage should not be trusted.
+    """
+
+    durbin_watson: float
+    ljung_box_p: float
+    jarque_bera_p: float
+    runs_p: float
+    significance: float
+
+    @property
+    def autocorrelation_ok(self) -> bool:
+        return self.ljung_box_p >= self.significance
+
+    @property
+    def normality_ok(self) -> bool:
+        return self.jarque_bera_p >= self.significance
+
+    @property
+    def randomness_ok(self) -> bool:
+        return self.runs_p >= self.significance
+
+    @property
+    def white_noise_ok(self) -> bool:
+        return self.autocorrelation_ok and self.normality_ok and self.randomness_ok
+
+    def summary(self) -> str:
+        """One-line human verdict."""
+        flags = []
+        if not self.autocorrelation_ok:
+            flags.append("autocorrelated")
+        if not self.normality_ok:
+            flags.append("non-normal")
+        if not self.randomness_ok:
+            flags.append("non-random runs")
+        if not flags:
+            return "residuals consistent with white noise"
+        return "residual problems: " + ", ".join(flags)
+
+
+def diagnose_residuals(
+    fit: FitResult, *, lags: int = 10, significance: float = 0.05
+) -> ResidualDiagnostics:
+    """Run the full diagnostic battery on a fit's training residuals."""
+    if not 0.0 < significance < 1.0:
+        raise MetricError(f"significance must lie in (0, 1), got {significance}")
+    residuals = fit.residuals()
+    lags = min(lags, len(residuals) // 3)
+    _, lb_p = ljung_box(residuals, lags=max(lags, 1))
+    _, jb_p = jarque_bera(residuals)
+    _, runs_p = runs_test(residuals)
+    return ResidualDiagnostics(
+        durbin_watson=durbin_watson(residuals),
+        ljung_box_p=lb_p,
+        jarque_bera_p=jb_p,
+        runs_p=runs_p,
+        significance=significance,
+    )

@@ -1,0 +1,78 @@
+"""Tests for the per-artifact experiment builders (fast variants).
+
+These use a reduced multi-start budget to stay quick; the full-budget
+qualitative assertions live in tests/test_integration_reproduction.py.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    BATHTUB_MODEL_NAMES,
+    MIXTURE_MODEL_NAMES,
+    figure1,
+    figure2,
+    figure3,
+    figure_by_id,
+    table2,
+)
+from repro.datasets.recessions import RECESSION_NAMES
+from repro.exceptions import DataError
+
+_FAST = {"n_random_starts": 0}
+
+
+class TestFigureBuilders:
+    def test_figure1_three_outcomes(self):
+        figure = figure1()
+        assert set(figure.series) == {
+            "nominal recovery",
+            "degraded recovery",
+            "improved recovery",
+        }
+        # Improved ends above nominal ends above degraded.
+        final = {name: series[1][-1] for name, series in figure.series.items()}
+        assert (
+            final["improved recovery"]
+            > final["nominal recovery"]
+            > final["degraded recovery"]
+        )
+
+    def test_figure2_has_all_recessions(self):
+        figure = figure2()
+        assert set(figure.series) == set(RECESSION_NAMES)
+        assert len(figure.series["2020-21"][0]) == 24
+
+    def test_figure3_series_structure(self):
+        figure = figure3(**_FAST)
+        assert "2001-05 data" in figure.series
+        assert "quadratic fit" in figure.series
+        assert "quadratic CI lower" in figure.series
+        assert "quadratic CI upper" in figure.series
+        lower = figure.series["quadratic CI lower"][1]
+        upper = figure.series["quadratic CI upper"][1]
+        assert all(lo < hi for lo, hi in zip(lower, upper))
+
+    def test_figure_ascii_renders(self):
+        art = figure2().to_ascii()
+        assert "Figure 2" in art
+        assert "legend" in art
+
+    def test_figure_by_id_dispatch(self):
+        assert figure_by_id(1).figure_id == "Figure 1"
+
+    def test_figure_by_id_unknown(self):
+        with pytest.raises(DataError, match="figures 1-6"):
+            figure_by_id(9)
+
+
+class TestTableBuilders:
+    def test_table2_structure(self):
+        result = table2(**_FAST)
+        assert set(result.reports) == set(BATHTUB_MODEL_NAMES)
+        table = result.to_table()
+        assert "performance_preserved" in table
+        assert "quadratic:pred" in table
+
+    def test_model_name_constants(self):
+        assert BATHTUB_MODEL_NAMES == ("quadratic", "competing_risks")
+        assert MIXTURE_MODEL_NAMES == ("exp-exp", "wei-exp", "exp-wei", "wei-wei")

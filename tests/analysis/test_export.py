@@ -1,0 +1,97 @@
+"""Tests for table/figure export."""
+
+import csv
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.experiments import figure4, table2
+from repro.analysis.export import (
+    figure_to_svg,
+    table_rows,
+    write_table_csv,
+    write_table_json,
+)
+from repro.exceptions import DataError
+
+_FAST = {"n_random_starts": 0}
+
+
+@pytest.fixture(scope="module")
+def metrics_table():
+    return table2(**_FAST)
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return figure4(**_FAST)
+
+
+class TestTableRows:
+    def test_metrics_table_flattening(self, metrics_table):
+        rows = table_rows(metrics_table)
+        # 8 metrics x 2 models.
+        assert len(rows) == 16
+        first = rows[0]
+        assert set(first) == {
+            "dataset", "model", "metric", "actual", "predicted", "delta",
+        }
+        assert first["dataset"] == "1990-93"
+
+    def test_validation_table_flattening(self):
+        from repro.analysis.experiments import TableOneResult
+        from repro.validation.crossval import evaluate_predictive
+        from repro.datasets.recessions import load_recession
+        from repro.models.registry import make_model
+
+        result = TableOneResult(model_names=("quadratic",))
+        result.cells["1990-93"] = {
+            "quadratic": evaluate_predictive(
+                make_model("quadratic"), load_recession("1990-93"), **_FAST
+            )
+        }
+        rows = table_rows(result)
+        assert len(rows) == 1
+        assert set(rows[0]) == {
+            "dataset", "model", "sse", "pmse", "r2_adjusted", "empirical_coverage",
+        }
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DataError, match="cannot export"):
+            table_rows("not a table")
+
+
+class TestFileExports:
+    def test_csv_roundtrip(self, metrics_table, tmp_path):
+        path = write_table_csv(metrics_table, tmp_path / "table2.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 16
+        assert float(rows[0]["actual"]) == pytest.approx(
+            metrics_table.reports["quadratic"].rows[0].actual
+        )
+
+    def test_json_roundtrip(self, metrics_table, tmp_path):
+        path = write_table_json(metrics_table, tmp_path / "table2.json")
+        rows = json.loads(path.read_text())
+        assert len(rows) == 16
+        assert rows[0]["model"] in ("quadratic", "competing_risks")
+
+
+class TestFigureToSvg:
+    def test_bands_and_lines_detected(self, figure):
+        chart = figure_to_svg(figure)
+        document = chart.render()
+        ET.fromstring(document)
+        # One data line + one fit line; CI pair became a band.
+        assert document.count("<polyline") == 2
+        assert document.count("<polygon") == 1
+        assert "competing_risks CI" not in document.split("<polyline")[0] or True
+
+    def test_fit_series_dashed(self, figure):
+        document = figure_to_svg(figure).render()
+        assert "stroke-dasharray" in document
+
+    def test_title_carries_figure_id(self, figure):
+        assert "Figure 4" in figure_to_svg(figure).title

@@ -1,0 +1,58 @@
+"""Integration test for the full reproduction pipeline and the report
+renderer (fast multistart settings — the asserted content is structural;
+the quantitative assertions live in the benches)."""
+
+import pytest
+
+from repro.analysis.pipeline import run_full_reproduction
+from repro.analysis.report import render_report
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_full_reproduction(n_random_starts=0)
+
+
+class TestRunFullReproduction:
+    def test_all_tables_present(self, results):
+        assert set(results.tables) == {"I", "II", "III", "IV"}
+
+    def test_all_figures_present(self, results):
+        assert set(results.figures) == {"1", "2", "3", "4", "5", "6"}
+
+    def test_table_one_covers_all_recessions(self, results):
+        from repro.datasets.recessions import RECESSION_NAMES
+
+        assert set(results.table_one.cells) == set(RECESSION_NAMES)
+        for by_model in results.table_one.cells.values():
+            assert set(by_model) == {"quadratic", "competing_risks"}
+
+    def test_table_three_covers_all_mixtures(self, results):
+        for by_model in results.table_three.cells.values():
+            assert set(by_model) == {"exp-exp", "wei-exp", "exp-wei", "wei-wei"}
+
+    def test_metric_tables_have_eight_rows(self, results):
+        for report in results.table_two.reports.values():
+            assert len(report.rows) == 8
+        for report in results.table_four.reports.values():
+            assert len(report.rows) == 8
+
+    def test_tables_render(self, results):
+        for table in results.tables.values():
+            text = table.to_table()
+            assert "Table" in text
+
+
+class TestRenderReport:
+    def test_contains_every_artifact(self, results):
+        report = render_report(results)
+        for label in ("Table I", "Table II", "Table III", "Table IV"):
+            assert f"--- {label} " in report
+        for figure_id in ("1", "2", "3", "4", "5", "6"):
+            assert f"--- Figure {figure_id} " in report
+        assert "Predictive Resilience Modeling" in report
+
+    def test_figures_optional(self, results):
+        without = render_report(results, include_figures=False)
+        assert "--- Figure" not in without
+        assert "--- Table I " in without

@@ -1,0 +1,56 @@
+"""Tests for the resilience report card."""
+
+import pytest
+
+from repro.analysis.report_card import build_report_card
+from repro.core.shapes import CurveShape
+
+_FAST = {"n_random_starts": 0, "forecast_samples": 30}
+
+
+@pytest.fixture(scope="module")
+def card_1990(recession_1990):
+    return build_report_card(recession_1990, **_FAST)
+
+
+class TestBuildReportCard:
+    def test_shape_and_phases(self, card_1990):
+        assert card_1990.shape is CurveShape.U
+        assert card_1990.phases is not None
+        assert card_1990.phases.trough_time == pytest.approx(11.0, abs=2.0)
+
+    def test_point_metrics_present(self, card_1990):
+        assert "robustness" in card_1990.point_metrics
+        assert "depth" in card_1990.point_metrics
+        assert card_1990.point_metrics["depth"] == pytest.approx(0.017, abs=0.005)
+
+    def test_recommendation_attached(self, card_1990):
+        assert card_1990.recommendation.best_name in card_1990.recommendation.scores
+
+    def test_forecast_quantiles_ordered(self, card_1990):
+        times = [t for _, t in card_1990.recovery_forecast]
+        assert times == sorted(times)
+
+    def test_render_contains_sections(self, card_1990):
+        text = card_1990.render()
+        assert "Resilience report card — 1990-93" in text
+        assert "shape class  : U" in text
+        assert "best model" in text
+        assert "point metrics:" in text
+
+    def test_unrecovered_curve_degrades_gracefully(self, recession_2020):
+        card = build_report_card(recession_2020, **_FAST)
+        assert card.shape is CurveShape.L
+        # time_to_recovery cannot be computed; recorded as a note.
+        assert "time_to_recovery" not in card.point_metrics
+        assert any("time_to_recovery" in note for note in card.notes)
+        text = card.render()
+        assert "not within window" in text
+
+    def test_render_never_quantile(self, card_1990):
+        """Infinite quantiles render as 'never', not 'inf'."""
+        card_1990.recovery_forecast.append((0.99, float("inf")))
+        try:
+            assert "never" in card_1990.render()
+        finally:
+            card_1990.recovery_forecast.pop()

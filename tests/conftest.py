@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.datasets.recessions import load_recession
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+
+
+@pytest.fixture(scope="session")
+def recession_1990() -> ResilienceCurve:
+    """The 1990-93 U-shaped recession curve (the paper's workhorse)."""
+    return load_recession("1990-93")
+
+
+@pytest.fixture(scope="session")
+def recession_2020() -> ResilienceCurve:
+    """The 2020-21 L-shaped curve that defeats both model families."""
+    return load_recession("2020-21")
+
+
+@pytest.fixture()
+def simple_curve() -> ResilienceCurve:
+    """A tiny hand-built V curve with exact values for metric tests."""
+    times = np.arange(9.0)
+    performance = np.array([1.0, 0.9, 0.8, 0.7, 0.8, 0.9, 1.0, 1.05, 1.1])
+    return ResilienceCurve(times, performance, nominal=1.0, name="simple-v")
+
+
+@pytest.fixture()
+def bound_quadratic() -> QuadraticResilienceModel:
+    """A bathtub quadratic: P(t) = 1 − 0.04 t + 0.001 t² (vertex t=20)."""
+    return QuadraticResilienceModel().bind((1.0, -0.04, 0.001))
+
+
+@pytest.fixture()
+def bound_competing_risks() -> CompetingRisksResilienceModel:
+    """A bathtub competing-risks model with an interior minimum."""
+    return CompetingRisksResilienceModel().bind((1.0, 0.2, 0.002))

@@ -1,0 +1,192 @@
+"""Tests for ResilienceCurve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import CurveError
+
+
+class TestConstruction:
+    def test_basic(self, simple_curve):
+        assert len(simple_curve) == 9
+        assert simple_curve.nominal == 1.0
+        assert simple_curve.name == "simple-v"
+
+    def test_nominal_defaults_to_first_sample(self):
+        curve = ResilienceCurve([0, 1], [5.0, 4.0])
+        assert curve.nominal == 5.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(CurveError, match="mismatch"):
+            ResilienceCurve([0, 1, 2], [1.0, 0.9])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(CurveError, match="two samples"):
+            ResilienceCurve([0], [1.0])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(CurveError, match="strictly increasing"):
+            ResilienceCurve([0, 2, 2], [1, 1, 1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(CurveError, match="finite"):
+            ResilienceCurve([0, 1], [1.0, float("nan")])
+
+    def test_non_finite_nominal_rejected(self):
+        with pytest.raises(CurveError, match="nominal"):
+            ResilienceCurve([0, 1], [1.0, 0.9], nominal=float("inf"))
+
+    def test_arrays_read_only(self, simple_curve):
+        with pytest.raises(ValueError):
+            simple_curve.times[0] = 99.0
+        with pytest.raises(ValueError):
+            simple_curve.performance[0] = 99.0
+
+    def test_metadata_copied(self):
+        meta = {"k": 1}
+        curve = ResilienceCurve([0, 1], [1, 1], metadata=meta)
+        meta["k"] = 2
+        assert curve.metadata["k"] == 1
+
+
+class TestSummaries:
+    def test_duration(self, simple_curve):
+        assert simple_curve.duration == 8.0
+
+    def test_min_and_trough(self, simple_curve):
+        assert simple_curve.min_performance == pytest.approx(0.7)
+        assert simple_curve.trough_time == 3.0
+
+    def test_degradation_depth(self, simple_curve):
+        assert simple_curve.degradation_depth == pytest.approx(0.3)
+
+    def test_final_performance(self, simple_curve):
+        assert simple_curve.final_performance == pytest.approx(1.1)
+
+    def test_has_recovered(self, simple_curve):
+        assert simple_curve.has_recovered()
+
+    def test_has_not_recovered(self):
+        curve = ResilienceCurve([0, 1, 2, 3], [1.0, 0.8, 0.7, 0.75])
+        assert not curve.has_recovered()
+        assert curve.has_recovered(tolerance=0.3)
+
+
+class TestInterpolationAndArea:
+    def test_performance_at_nodes(self, simple_curve):
+        np.testing.assert_allclose(
+            simple_curve.performance_at(simple_curve.times), simple_curve.performance
+        )
+
+    def test_performance_at_midpoint(self, simple_curve):
+        assert float(simple_curve.performance_at([0.5])[0]) == pytest.approx(0.95)
+
+    def test_area_full_window(self):
+        curve = ResilienceCurve([0, 1, 2], [1.0, 1.0, 1.0])
+        assert curve.area() == pytest.approx(2.0)
+
+    def test_area_sub_window_with_interpolated_bounds(self, simple_curve):
+        # Over [0.5, 1.5]: trapezoid of line segments.
+        expected = 0.5 * (0.95 + 0.9) / 2 + 0.5 * (0.9 + 0.85) / 2
+        assert simple_curve.area(0.5, 1.5) == pytest.approx(expected)
+
+    def test_area_empty_window(self, simple_curve):
+        assert simple_curve.area(2.0, 2.0) == 0.0
+
+    def test_area_reversed_bounds(self, simple_curve):
+        with pytest.raises(CurveError, match="reversed"):
+            simple_curve.area(3.0, 1.0)
+
+    def test_area_out_of_window(self, simple_curve):
+        with pytest.raises(CurveError, match="outside"):
+            simple_curve.area(-1.0, 2.0)
+
+
+class TestTransformations:
+    def test_normalized(self):
+        curve = ResilienceCurve([0, 1, 2], [10.0, 8.0, 9.0], nominal=10.0)
+        normalized = curve.normalized()
+        assert normalized.nominal == 1.0
+        np.testing.assert_allclose(normalized.performance, [1.0, 0.8, 0.9])
+
+    def test_normalize_zero_nominal_rejected(self):
+        curve = ResilienceCurve([0, 1], [0.0, 1.0], nominal=0.0)
+        with pytest.raises(CurveError, match="zero nominal"):
+            curve.normalized()
+
+    def test_shifted(self, simple_curve):
+        shifted = simple_curve.shifted(10.0)
+        assert shifted.times[0] == 10.0
+        np.testing.assert_allclose(shifted.performance, simple_curve.performance)
+
+    def test_window(self, simple_curve):
+        sub = simple_curve.window(2.0, 5.0)
+        assert len(sub) == 4
+        assert sub.times[0] == 2.0 and sub.times[-1] == 5.0
+
+    def test_window_too_small(self, simple_curve):
+        with pytest.raises(CurveError, match="fewer than two"):
+            simple_curve.window(2.4, 2.6)
+
+    def test_head(self, simple_curve):
+        head = simple_curve.head(4)
+        assert len(head) == 4
+        assert head.nominal == simple_curve.nominal
+
+    def test_head_bounds(self, simple_curve):
+        with pytest.raises(CurveError):
+            simple_curve.head(1)
+        with pytest.raises(CurveError):
+            simple_curve.head(100)
+
+    def test_resampled(self, simple_curve):
+        fine = simple_curve.resampled(np.linspace(0, 8, 33))
+        assert len(fine) == 33
+        assert fine.performance_at([3.0])[0] == pytest.approx(0.7)
+
+
+class TestTrainTestSplit:
+    def test_ninety_percent_split(self, recession_1990):
+        train, test = recession_1990.train_test_split(0.9)
+        assert len(train) == 43
+        assert len(test) == 5
+        assert test.times[0] == recession_1990.times[43]
+
+    def test_invalid_fraction(self, simple_curve):
+        with pytest.raises(CurveError):
+            simple_curve.train_test_split(0.0)
+        with pytest.raises(CurveError):
+            simple_curve.train_test_split(1.0)
+
+    @given(fraction=st.floats(0.2, 0.95))
+    @settings(max_examples=25)
+    def test_split_preserves_all_points(self, fraction):
+        times = np.arange(20.0)
+        perf = 1.0 - 0.01 * times
+        curve = ResilienceCurve(times, perf)
+        train, test = curve.train_test_split(fraction)
+        recombined = np.concatenate([train.times, test.times])
+        # Either a clean partition, or a one-point overlap when the tail
+        # would otherwise be a single sample.
+        assert set(times.tolist()) == set(recombined.tolist())
+
+
+class TestSerialization:
+    def test_roundtrip(self, simple_curve):
+        clone = ResilienceCurve.from_dict(simple_curve.to_dict())
+        assert clone == simple_curve
+        assert clone.name == simple_curve.name
+
+    def test_missing_key(self):
+        with pytest.raises(CurveError, match="missing key"):
+            ResilienceCurve.from_dict({"times": [0, 1]})
+
+    def test_equality(self):
+        a = ResilienceCurve([0, 1], [1.0, 0.9])
+        b = ResilienceCurve([0, 1], [1.0, 0.9])
+        c = ResilienceCurve([0, 1], [1.0, 0.8])
+        assert a == b
+        assert a != c
+        assert a != "not a curve"

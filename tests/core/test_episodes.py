@@ -1,0 +1,95 @@
+"""Tests for episode segmentation of long histories."""
+
+import numpy as np
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.core.episodes import split_episodes
+from repro.exceptions import CurveError
+
+
+def _history(values, name="hist"):
+    return ResilienceCurve(np.arange(float(len(values))), values, nominal=1.0, name=name)
+
+
+@pytest.fixture()
+def two_dip_history():
+    p = np.ones(30)
+    p[3:8] = [0.9, 0.8, 0.75, 0.85, 0.95]
+    p[15:22] = [0.92, 0.85, 0.8, 0.82, 0.88, 0.95, 0.99]
+    return _history(p)
+
+
+class TestSplitEpisodes:
+    def test_two_episodes_found(self, two_dip_history):
+        episodes = split_episodes(two_dip_history, tolerance=0.01)
+        assert len(episodes) == 2
+        assert episodes[0].start_index < episodes[0].end_index <= episodes[1].start_index + 1
+
+    def test_episode_anchored_at_nominal(self, two_dip_history):
+        episodes = split_episodes(two_dip_history, tolerance=0.01)
+        for episode in episodes:
+            # First sample of each episode is the last at-nominal one.
+            assert episode.curve.performance[0] >= 0.99
+
+    def test_episodes_recovered_flag(self, two_dip_history):
+        episodes = split_episodes(two_dip_history, tolerance=0.01)
+        assert all(e.recovered for e in episodes)
+
+    def test_unrecovered_tail_episode(self):
+        p = np.concatenate([np.ones(5), [0.9, 0.8, 0.75, 0.74]])
+        episodes = split_episodes(_history(p), tolerance=0.01)
+        assert len(episodes) == 1
+        assert not episodes[0].recovered
+
+    def test_no_degradation_returns_empty(self):
+        assert split_episodes(_history(np.ones(10))) == []
+
+    def test_depth_and_duration(self, two_dip_history):
+        episodes = split_episodes(two_dip_history, tolerance=0.01)
+        assert episodes[0].depth == pytest.approx(0.25)
+        assert episodes[0].duration > 0
+
+    def test_min_depth_filters_blips(self):
+        p = np.ones(20)
+        p[5] = 0.985   # shallow blip
+        p[12:16] = [0.9, 0.85, 0.9, 0.99]  # real dip
+        episodes = split_episodes(_history(p), tolerance=0.01, min_depth=0.05)
+        assert len(episodes) == 1
+        assert episodes[0].depth > 0.05
+
+    def test_merge_gap_keeps_w_together(self):
+        """Two dips with a 1-sample rebound merge into one W episode."""
+        p = np.ones(20)
+        p[4:12] = [0.9, 0.85, 0.9, 0.995, 0.9, 0.84, 0.9, 0.97]
+        merged = split_episodes(_history(p), tolerance=0.01, merge_gap=2)
+        separate = split_episodes(_history(p), tolerance=0.01, merge_gap=0)
+        assert len(merged) == 1
+        assert len(separate) == 2
+
+    def test_names_indexed(self, two_dip_history):
+        episodes = split_episodes(two_dip_history, tolerance=0.01)
+        assert episodes[0].curve.name == "hist#0"
+        assert episodes[1].curve.name == "hist#1"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tolerance": -0.1},
+            {"min_samples": 1},
+            {"merge_gap": -1},
+        ],
+    )
+    def test_invalid_arguments(self, two_dip_history, kwargs):
+        with pytest.raises(CurveError):
+            split_episodes(two_dip_history, **kwargs)
+
+    def test_episode_curves_fittable(self, two_dip_history):
+        """End-to-end: the paper's models fit an extracted episode."""
+        from repro.fitting.least_squares import fit_least_squares
+        from repro.models.quadratic import QuadraticResilienceModel
+
+        episodes = split_episodes(two_dip_history, tolerance=0.01)
+        shifted = episodes[0].curve.shifted(-episodes[0].curve.times[0])
+        fit = fit_least_squares(QuadraticResilienceModel(), shifted)
+        assert fit.sse < 0.1

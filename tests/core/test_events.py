@@ -1,0 +1,46 @@
+"""Tests for DisruptionEvent."""
+
+import pytest
+
+from repro.core.events import DisruptionEvent
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_basic(self):
+        event = DisruptionEvent("storm", onset=5.0, magnitude=0.3)
+        assert event.trough_time == 5.0
+        assert event.end_time is None
+
+    def test_timing_chain(self):
+        event = DisruptionEvent(
+            "quake",
+            onset=2.0,
+            magnitude=0.5,
+            degradation_duration=3.0,
+            recovery_duration=10.0,
+        )
+        assert event.trough_time == 5.0
+        assert event.end_time == 15.0
+
+    @pytest.mark.parametrize("magnitude", [0.0, -0.1, 1.5])
+    def test_magnitude_bounds(self, magnitude):
+        with pytest.raises(ParameterError, match="magnitude"):
+            DisruptionEvent("bad", onset=0.0, magnitude=magnitude)
+
+    def test_full_loss_allowed(self):
+        event = DisruptionEvent("total", onset=0.0, magnitude=1.0)
+        assert event.magnitude == 1.0
+
+    def test_negative_degradation_duration(self):
+        with pytest.raises(ParameterError, match="degradation_duration"):
+            DisruptionEvent("bad", onset=0.0, magnitude=0.5, degradation_duration=-1.0)
+
+    def test_zero_recovery_duration_rejected(self):
+        with pytest.raises(ParameterError, match="recovery_duration"):
+            DisruptionEvent("bad", onset=0.0, magnitude=0.5, recovery_duration=0.0)
+
+    def test_frozen(self):
+        event = DisruptionEvent("storm", onset=5.0, magnitude=0.3)
+        with pytest.raises(AttributeError):
+            event.onset = 1.0

@@ -1,0 +1,71 @@
+"""Tests for phase detection (t_h, t_d, t_r)."""
+
+import numpy as np
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.core.phases import ResiliencePhases, detect_phases
+from repro.exceptions import CurveError
+
+
+class TestDetectPhases:
+    def test_simple_v(self, simple_curve):
+        phases = detect_phases(simple_curve)
+        assert phases.hazard_time == 0.0
+        assert phases.trough_time == 3.0
+        assert phases.recovery_time == 6.0
+
+    def test_instantaneous_drop(self):
+        """The paper's t_d = t_h case: degradation within one step."""
+        curve = ResilienceCurve([0, 1, 2, 3], [1.0, 0.6, 0.8, 1.0])
+        phases = detect_phases(curve)
+        assert phases.hazard_time == 0.0
+        assert phases.trough_time == 1.0
+        assert phases.degradation_duration == 1.0
+
+    def test_never_recovers(self):
+        curve = ResilienceCurve([0, 1, 2, 3], [1.0, 0.8, 0.7, 0.72])
+        phases = detect_phases(curve)
+        assert phases.recovery_time is None
+        assert phases.recovery_duration is None
+        assert phases.total_disruption_duration is None
+
+    def test_never_degrades_raises(self):
+        curve = ResilienceCurve([0, 1, 2], [1.0, 1.0, 1.0])
+        with pytest.raises(CurveError, match="never degrades"):
+            detect_phases(curve)
+
+    def test_tolerance_widens_nominal_band(self):
+        curve = ResilienceCurve([0, 1, 2], [1.0, 0.995, 1.0])
+        with pytest.raises(CurveError):
+            detect_phases(curve, tolerance=0.01)
+        phases = detect_phases(curve, tolerance=0.001)
+        assert phases.trough_time == 1.0
+
+    def test_negative_tolerance_rejected(self, simple_curve):
+        with pytest.raises(CurveError, match="non-negative"):
+            detect_phases(simple_curve, tolerance=-0.1)
+
+    def test_delayed_onset(self):
+        curve = ResilienceCurve(
+            np.arange(6.0), [1.0, 1.0, 1.0, 0.9, 0.8, 1.0]
+        )
+        phases = detect_phases(curve)
+        # Last at-nominal sample before the drop.
+        assert phases.hazard_time == 2.0
+        assert phases.trough_time == 4.0
+        assert phases.recovery_time == 5.0
+
+    def test_recession_1990(self, recession_1990):
+        phases = detect_phases(recession_1990, tolerance=0.002)
+        assert 8.0 <= phases.trough_time <= 14.0
+        assert phases.recovery_time is not None
+        assert phases.recovery_time > phases.trough_time
+
+
+class TestResiliencePhases:
+    def test_durations(self):
+        phases = ResiliencePhases(2.0, 5.0, 11.0)
+        assert phases.degradation_duration == 3.0
+        assert phases.recovery_duration == 6.0
+        assert phases.total_disruption_duration == 9.0

@@ -1,0 +1,67 @@
+"""Tests for the V/U/W/L/J shape classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.core.shapes import CurveShape, classify_shape, count_significant_dips
+from repro.datasets.recessions import RECESSION_NAMES, load_recession, recession_shape_label
+from repro.datasets.synthetic import make_shape_curve
+from repro.exceptions import ShapeError
+
+
+class TestCountSignificantDips:
+    def test_single_dip(self, simple_curve):
+        assert count_significant_dips(simple_curve) == 1
+
+    def test_double_dip(self):
+        times = np.arange(13.0)
+        perf = np.array(
+            [1.0, 0.9, 0.8, 0.9, 1.0, 1.0, 0.9, 0.78, 0.9, 1.0, 1.0, 1.0, 1.0]
+        )
+        curve = ResilienceCurve(times, perf)
+        assert count_significant_dips(curve, smoothing_window=1) == 2
+
+    def test_no_degradation(self):
+        curve = ResilienceCurve([0, 1, 2], [1.0, 1.0, 1.0])
+        assert count_significant_dips(curve) == 0
+
+    def test_invalid_fraction(self, simple_curve):
+        with pytest.raises(ShapeError):
+            count_significant_dips(simple_curve, min_depth_fraction=0.0)
+
+
+class TestClassifySyntheticShapes:
+    """Generated shapes must round-trip through the classifier."""
+
+    @pytest.mark.parametrize("letter", ["V", "U", "W", "L"])
+    def test_roundtrip(self, letter):
+        curve = make_shape_curve(letter, depth=0.06, noise_std=0.0005, seed=3)
+        assert classify_shape(curve) is CurveShape(letter)
+
+    def test_flat_curve(self):
+        curve = ResilienceCurve(np.arange(10.0), np.full(10, 1.0))
+        assert classify_shape(curve) is CurveShape.FLAT
+
+    def test_zero_nominal_rejected(self):
+        curve = ResilienceCurve([0, 1], [0.0, 1.0], nominal=0.0)
+        with pytest.raises(ShapeError, match="zero nominal"):
+            classify_shape(curve)
+
+
+class TestClassifyRecessions:
+    """Every bundled recession must classify to the paper's letter."""
+
+    @pytest.mark.parametrize("name", RECESSION_NAMES)
+    def test_matches_paper_label(self, name):
+        curve = load_recession(name)
+        assert classify_shape(curve).value == recession_shape_label(name)
+
+
+class TestShapeEnum:
+    def test_str(self):
+        assert str(CurveShape.V) == "V"
+
+    def test_values_unique(self):
+        values = [shape.value for shape in CurveShape]
+        assert len(values) == len(set(values))

@@ -1,0 +1,130 @@
+"""Tests for the BLS wide-format importer."""
+
+import pytest
+
+from repro.datasets.bls import curve_from_levels, read_bls_wide_csv
+from repro.exceptions import DataError
+
+_HEADER = "Year,Jan,Feb,Mar,Apr,May,Jun,Jul,Aug,Sep,Oct,Nov,Dec\n"
+
+
+def _write(tmp_path, body):
+    path = tmp_path / "ces.csv"
+    path.write_text(_HEADER + body)
+    return path
+
+
+class TestReadBlsWideCsv:
+    def test_basic_parse(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "1989,100,101,102,103,104,105,106,107,108,109,110,111\n"
+            "1990,112,113,114,115,116,117,118,119,120,121,122,123\n",
+        )
+        series = read_bls_wide_csv(path)
+        assert len(series) == 24
+        assert series[0] == ("1989-01", 100.0)
+        assert series[-1] == ("1990-12", 123.0)
+
+    def test_thousands_separators(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '1989,"107,155","107,481",108000,108100,108200,108300,'
+            "108400,108500,108600,108700,108800,108900\n",
+        )
+        series = read_bls_wide_csv(path)
+        assert series[0][1] == 107155.0
+
+    def test_trailing_gaps_allowed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "2021,100,101,102,103,104,105,106,107,108,109,110,111\n"
+            "2022,112,113,114,-,,,,,,,,\n",
+        )
+        series = read_bls_wide_csv(path)
+        assert series[-1] == ("2022-03", 114.0)
+
+    def test_interior_gap_rejected(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "2021,100,,102,103,104,105,106,107,108,109,110,111\n",
+        )
+        with pytest.raises(DataError, match="interior gaps"):
+            read_bls_wide_csv(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such"):
+            read_bls_wide_csv(tmp_path / "absent.csv")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("Y,Jan\n1989,100\n")
+        with pytest.raises(DataError, match="Year"):
+            read_bls_wide_csv(path)
+
+    def test_bad_year(self, tmp_path):
+        path = _write(tmp_path, "xx,100,101,102,103,104,105,106,107,108,109,110,111\n")
+        with pytest.raises(DataError, match="non-numeric year"):
+            read_bls_wide_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="empty"):
+            read_bls_wide_csv(path)
+
+
+class TestCurveFromLevels:
+    @pytest.fixture()
+    def series(self):
+        # Peak at month index 3 (level 120), recession, then recovery.
+        labels = [f"1990-{m:02d}" for m in range(1, 13)]
+        levels = [110, 115, 118, 120, 118, 114, 112, 113, 115, 118, 121, 123]
+        return list(zip(labels, [float(v) for v in levels]))
+
+    def test_auto_peak_detection(self, series):
+        curve = curve_from_levels(series, n_months=8)
+        assert curve.metadata["peak_month"] == "1990-04"
+        assert float(curve.performance[0]) == 1.0
+        assert curve.min_performance == pytest.approx(112 / 120)
+
+    def test_explicit_peak(self, series):
+        curve = curve_from_levels(series, peak="1990-02", n_months=6)
+        assert curve.metadata["peak_month"] == "1990-02"
+        assert float(curve.performance[0]) == 1.0
+
+    def test_unknown_peak(self, series):
+        with pytest.raises(DataError, match="not present"):
+            curve_from_levels(series, peak="1985-01")
+
+    def test_window_truncated_to_data(self, series):
+        curve = curve_from_levels(series, n_months=480)
+        assert len(curve) == 9  # peak at index 3 + remaining 8 months
+
+    def test_series_starting_at_minimum(self):
+        falling = [(f"1990-{m:02d}", float(100 - m)) for m in range(1, 13)]
+        rising = list(reversed(falling))
+        with pytest.raises(DataError, match="no drawdown"):
+            curve_from_levels(rising)
+
+    def test_end_to_end_with_file(self, tmp_path):
+        """Full workflow: BLS CSV → curve → model fit."""
+        body_rows = []
+        import math
+
+        for year in (1990, 1991, 1992, 1993):
+            cells = []
+            for month in range(1, 13):
+                t = (year - 1990) * 12 + month - 1
+                level = 100000 * (1.0 - 0.015 * math.exp(-((t - 11) / 8.0) ** 2))
+                cells.append(f"{level:.0f}")
+            body_rows.append(f"{year}," + ",".join(cells))
+        path = _write(tmp_path, "\n".join(body_rows) + "\n")
+        series = read_bls_wide_csv(path)
+        curve = curve_from_levels(series, n_months=48, name="synthetic-bls")
+
+        from repro.fitting.least_squares import fit_least_squares
+        from repro.models.quadratic import QuadraticResilienceModel
+
+        fit = fit_least_squares(QuadraticResilienceModel(), curve)
+        assert fit.sse < 0.01

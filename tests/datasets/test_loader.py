@@ -1,0 +1,59 @@
+"""Tests for CSV curve import/export."""
+
+import pytest
+
+from repro.datasets.loader import curve_from_csv, curve_to_csv
+from repro.exceptions import DataError
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_curve(self, tmp_path, recession_1990):
+        path = tmp_path / "curve.csv"
+        curve_to_csv(recession_1990, path)
+        loaded = curve_from_csv(path, nominal=recession_1990.nominal)
+        assert loaded == recession_1990
+
+    def test_header_written(self, tmp_path, simple_curve):
+        path = tmp_path / "curve.csv"
+        curve_to_csv(simple_curve, path)
+        assert path.read_text().splitlines()[0] == "time,performance"
+
+    def test_name_defaults_to_stem(self, tmp_path, simple_curve):
+        path = tmp_path / "my_series.csv"
+        curve_to_csv(simple_curve, path)
+        assert curve_from_csv(path).name == "my_series"
+
+
+class TestParsing:
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("0,1.0\n1,0.9\n2,1.0\n")
+        curve = curve_from_csv(path)
+        assert len(curve) == 3
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("time,performance\n0,1.0\n\n1,0.9\n")
+        assert len(curve_from_csv(path)) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such"):
+            curve_from_csv(tmp_path / "absent.csv")
+
+    def test_single_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0\n2.0\n")
+        with pytest.raises(DataError, match="2 columns"):
+            curve_from_csv(path)
+
+    def test_non_numeric_data_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,1.0\nx,0.9\n")
+        with pytest.raises(DataError, match="non-numeric"):
+            curve_from_csv(path)
+
+    def test_too_few_rows(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        path.write_text("time,performance\n0,1.0\n")
+        with pytest.raises(DataError, match="fewer than two"):
+            curve_from_csv(path)

@@ -1,0 +1,118 @@
+"""Tests for the bundled recession datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.recessions import (
+    RECESSION_NAMES,
+    load_all_recessions,
+    load_recession,
+    recession_shape_label,
+)
+from repro.exceptions import DataError
+
+
+class TestInventory:
+    def test_seven_recessions(self):
+        assert len(RECESSION_NAMES) == 7
+
+    def test_paper_names(self):
+        assert RECESSION_NAMES == (
+            "1974-76",
+            "1980",
+            "1981-83",
+            "1990-93",
+            "2001-05",
+            "2007-09",
+            "2020-21",
+        )
+
+    def test_load_all_matches_names(self):
+        curves = load_all_recessions()
+        assert tuple(curves) == RECESSION_NAMES
+
+
+class TestCurveProperties:
+    @pytest.mark.parametrize("name", RECESSION_NAMES)
+    def test_sample_counts(self, name):
+        """48 monthly samples, except 24 for the truncated 2020-21."""
+        curve = load_recession(name)
+        assert len(curve) == (24 if name == "2020-21" else 48)
+
+    @pytest.mark.parametrize("name", RECESSION_NAMES)
+    def test_normalized_to_peak(self, name):
+        curve = load_recession(name)
+        assert curve.nominal == 1.0
+        assert float(curve.performance[0]) == pytest.approx(1.0, abs=1e-12)
+        assert float(curve.times[0]) == 0.0
+
+    @pytest.mark.parametrize("name", RECESSION_NAMES)
+    def test_monthly_grid(self, name):
+        curve = load_recession(name)
+        np.testing.assert_allclose(np.diff(curve.times), 1.0)
+
+    @pytest.mark.parametrize("name", RECESSION_NAMES)
+    def test_has_real_degradation(self, name):
+        assert load_recession(name).degradation_depth > 0.01
+
+    @pytest.mark.parametrize("name", RECESSION_NAMES)
+    def test_metadata_provenance(self, name):
+        curve = load_recession(name)
+        assert "Reconstruction" in curve.metadata["source"]
+        assert curve.metadata["shape"] in "VUWLJK"
+
+    def test_deterministic(self):
+        a = load_recession("1990-93")
+        b = load_recession("1990-93")
+        assert a == b
+
+
+class TestHistoricalShape:
+    """Depth and timing facts each reconstruction must honour."""
+
+    def test_2020_sharp_drop(self):
+        curve = load_recession("2020-21")
+        assert curve.trough_time == 2.0
+        assert curve.min_performance == pytest.approx(0.855, abs=0.01)
+
+    def test_2007_deep_and_unrecovered(self):
+        curve = load_recession("2007-09")
+        assert curve.min_performance < 0.945
+        assert not curve.has_recovered(tolerance=0.002)
+
+    def test_1980_double_dip(self):
+        from repro.core.shapes import count_significant_dips
+
+        assert count_significant_dips(load_recession("1980")) >= 2
+
+    @pytest.mark.parametrize("name", ["1974-76", "1981-83", "1990-93"])
+    def test_v_u_recessions_recover_within_window(self, name):
+        assert load_recession(name).has_recovered(tolerance=0.002)
+
+    @pytest.mark.parametrize(
+        "name,trough_month,tolerance",
+        [
+            ("1974-76", 11, 2),
+            ("1981-83", 17, 2),
+            ("1990-93", 11, 2),
+            ("2001-05", 28, 3),
+            ("2007-09", 26, 3),
+        ],
+    )
+    def test_trough_timing(self, name, trough_month, tolerance):
+        curve = load_recession(name)
+        assert abs(curve.trough_time - trough_month) <= tolerance
+
+
+class TestErrors:
+    def test_unknown_name(self):
+        with pytest.raises(DataError, match="known:"):
+            load_recession("2042")
+
+    def test_unknown_shape_label(self):
+        with pytest.raises(DataError):
+            recession_shape_label("2042")
+
+    def test_shape_labels(self):
+        assert recession_shape_label("1980") == "W"
+        assert recession_shape_label("2020-21") == "L"

@@ -1,0 +1,88 @@
+"""Tests for the synthetic curve generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.shapes import CurveShape
+from repro.datasets.synthetic import curve_from_model, make_shape_curve
+from repro.exceptions import ShapeError
+from repro.models.quadratic import QuadraticResilienceModel
+
+
+class TestMakeShapeCurve:
+    @pytest.mark.parametrize("letter", ["V", "U", "W", "L", "J"])
+    def test_generates_all_letters(self, letter):
+        curve = make_shape_curve(letter)
+        assert len(curve) == 48
+        assert curve.nominal == 1.0
+        assert curve.metadata["shape"] == letter
+
+    def test_enum_input(self):
+        curve = make_shape_curve(CurveShape.V)
+        assert curve.metadata["shape"] == "V"
+
+    def test_depth_respected(self):
+        for depth in (0.03, 0.1, 0.3):
+            curve = make_shape_curve("U", depth=depth, noise_std=0.0)
+            assert curve.min_performance == pytest.approx(1.0 - depth, abs=0.02)
+
+    def test_deterministic_with_seed(self):
+        a = make_shape_curve("V", seed=5)
+        b = make_shape_curve("V", seed=5)
+        assert a == b
+
+    def test_noise_seed_changes_curve(self):
+        a = make_shape_curve("V", seed=5)
+        b = make_shape_curve("V", seed=6)
+        assert a != b
+
+    def test_noiseless(self):
+        a = make_shape_curve("V", noise_std=0.0, seed=1)
+        b = make_shape_curve("V", noise_std=0.0, seed=2)
+        assert a == b
+
+    def test_k_not_generatable(self):
+        with pytest.raises(ShapeError):
+            make_shape_curve("K")
+
+    def test_unknown_letter(self):
+        with pytest.raises(ShapeError, match="unknown shape"):
+            make_shape_curve("Z")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_points": 3},
+            {"depth": 0.0},
+            {"depth": 1.0},
+            {"noise_std": -0.1},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ShapeError):
+            make_shape_curve("V", **kwargs)
+
+    def test_custom_name(self):
+        assert make_shape_curve("V", name="my-v").name == "my-v"
+
+
+class TestCurveFromModel:
+    def test_noiseless_matches_model(self, bound_quadratic):
+        times = np.arange(30.0)
+        curve = curve_from_model(bound_quadratic, times)
+        np.testing.assert_allclose(curve.performance, bound_quadratic.predict(times))
+
+    def test_metadata_records_generator(self, bound_quadratic):
+        curve = curve_from_model(bound_quadratic, np.arange(10.0))
+        assert curve.metadata["model"] == "quadratic"
+        assert curve.metadata["params"] == list(bound_quadratic.params)
+
+    def test_noise_deterministic(self, bound_quadratic):
+        times = np.arange(10.0)
+        a = curve_from_model(bound_quadratic, times, noise_std=0.01, seed=3)
+        b = curve_from_model(bound_quadratic, times, noise_std=0.01, seed=3)
+        assert a == b
+
+    def test_negative_noise_rejected(self, bound_quadratic):
+        with pytest.raises(ShapeError):
+            curve_from_model(bound_quadratic, np.arange(10.0), noise_std=-1.0)

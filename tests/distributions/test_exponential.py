@@ -1,0 +1,58 @@
+"""Tests specific to the Exponential distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_params_exposed(self):
+        dist = Exponential(theta=3.0)
+        assert dist.params == {"theta": 3.0}
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_theta_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            Exponential(bad)
+
+    def test_repr_contains_value(self):
+        assert "theta=3" in repr(Exponential(3.0))
+
+
+class TestMoments:
+    def test_mean(self):
+        assert Exponential(4.0).mean() == 4.0
+
+    def test_variance(self):
+        assert Exponential(4.0).variance() == 16.0
+
+    def test_median(self):
+        assert Exponential(1.0).median() == pytest.approx(math.log(2.0))
+
+
+class TestMemorylessness:
+    def test_conditional_survival_constant(self):
+        dist = Exponential(2.0)
+        s, t = 1.5, 2.5
+        joint = float(dist.sf([s + t])[0])
+        marginal = float(dist.sf([s])[0]) * float(dist.sf([t])[0])
+        assert joint == pytest.approx(marginal, rel=1e-12)
+
+    def test_hazard_is_flat(self):
+        dist = Exponential(5.0)
+        t = np.linspace(0.0, 20.0, 30)
+        np.testing.assert_allclose(dist.hazard(t), 0.2)
+
+
+class TestWeibullConsistency:
+    def test_exponential_is_weibull_shape_one(self):
+        """The paper obtains Exp from Wei by setting k = 1 (Eq. 23)."""
+        exp = Exponential(3.0)
+        wei = Weibull(3.0, 1.0)
+        t = np.linspace(0.0, 15.0, 40)
+        np.testing.assert_allclose(exp.cdf(t), wei.cdf(t), atol=1e-12)
+        np.testing.assert_allclose(exp.pdf(t), wei.pdf(t), atol=1e-12)

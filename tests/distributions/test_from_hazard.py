@@ -1,0 +1,112 @@
+"""Tests for hazard-induced lifetime distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.from_hazard import HazardInducedDistribution
+from repro.exceptions import ParameterError
+from repro.hazards import (
+    ConstantHazard,
+    HjorthHazard,
+    LinearHazard,
+    QuadraticHazard,
+    WeibullHazard,
+)
+
+
+@pytest.fixture()
+def hjorth_dist():
+    return HazardInducedDistribution(HjorthHazard(1.0, 0.5, 0.05))
+
+
+class TestConstruction:
+    def test_requires_hazard(self):
+        with pytest.raises(ParameterError, match="HazardFunction"):
+            HazardInducedDistribution("not a hazard")
+
+    def test_defective_hazard_rejected(self):
+        # Clipped decreasing linear rate: Λ saturates, sf never reaches 0.
+        saturating = LinearHazard(0.01, -0.001)
+        with pytest.raises(ParameterError, match="defective"):
+            HazardInducedDistribution(saturating)
+
+    def test_parameters_mirrored(self, hjorth_dist):
+        assert hjorth_dist.params == {"alpha": 1.0, "beta": 0.5, "gamma": 0.05}
+
+    def test_from_vector_unsupported(self):
+        with pytest.raises(ParameterError, match="construct the hazard"):
+            HazardInducedDistribution.from_vector([1.0, 0.5, 0.05])
+
+    def test_equality(self, hjorth_dist):
+        clone = HazardInducedDistribution(HjorthHazard(1.0, 0.5, 0.05))
+        other = HazardInducedDistribution(HjorthHazard(1.0, 0.5, 0.06))
+        assert clone == hjorth_dist
+        assert other != hjorth_dist
+        assert hash(clone) == hash(hjorth_dist)
+
+
+class TestHjorthClosedForm:
+    def test_survival_matches_hjorth_1980(self, hjorth_dist):
+        """Hjorth's distribution: S(t) = exp(−γt²)·(1+βt)^{−α/β}."""
+        alpha, beta, gamma = 1.0, 0.5, 0.05
+        t = np.linspace(0.0, 10.0, 25)
+        expected = np.exp(-gamma * t * t) * np.power(1.0 + beta * t, -alpha / beta)
+        np.testing.assert_allclose(hjorth_dist.sf(t), expected, rtol=1e-12)
+
+    def test_hazard_is_the_inducing_rate(self, hjorth_dist):
+        t = np.linspace(0.1, 8.0, 15)
+        np.testing.assert_allclose(
+            hjorth_dist.hazard(t), hjorth_dist.hazard_function.rate(t)
+        )
+
+
+@pytest.mark.parametrize(
+    "hazard",
+    [
+        ConstantHazard(0.4),
+        WeibullHazard(3.0, 2.0),
+        QuadraticHazard(0.2, -0.02, 0.002),
+        HjorthHazard(1.0, 0.5, 0.05),
+    ],
+    ids=lambda h: type(h).__name__,
+)
+class TestDistributionIdentities:
+    def test_cdf_limits(self, hazard):
+        dist = HazardInducedDistribution(hazard)
+        assert float(dist.cdf([0.0])[0]) == pytest.approx(0.0, abs=1e-12)
+        far = float(dist.quantile([0.999])[0])
+        assert float(dist.cdf([2 * far + 10])[0]) > 0.99
+
+    def test_pdf_is_rate_times_sf(self, hazard):
+        dist = HazardInducedDistribution(hazard)
+        t = np.linspace(0.2, 6.0, 12)
+        np.testing.assert_allclose(
+            dist.pdf(t), hazard.rate(t) * dist.sf(t), rtol=1e-12
+        )
+
+    def test_quantile_inverts_cdf(self, hazard):
+        dist = HazardInducedDistribution(hazard)
+        probs = np.array([0.1, 0.5, 0.9])
+        np.testing.assert_allclose(dist.cdf(dist.quantile(probs)), probs, atol=1e-7)
+
+    def test_constant_hazard_reduces_to_exponential(self, hazard):
+        if not isinstance(hazard, ConstantHazard):
+            pytest.skip("identity specific to the constant hazard")
+        from repro.distributions import Exponential
+
+        dist = HazardInducedDistribution(hazard)
+        expo = Exponential(1.0 / hazard.rate_value)
+        t = np.linspace(0.0, 10.0, 20)
+        np.testing.assert_allclose(dist.cdf(t), expo.cdf(t), rtol=1e-10)
+
+    def test_rvs_feed_the_simulator(self, hazard):
+        """End-to-end: hazard-induced failure times drive a component."""
+        from repro.distributions import Exponential
+        from repro.simulation.system import Component, RepairableSystem
+
+        dist = HazardInducedDistribution(hazard)
+        system = RepairableSystem(
+            [Component("c", dist, Exponential(1.0))]
+        )
+        curve = system.simulate(30.0, time_step=1.0, seed=3)
+        assert len(curve) == 31

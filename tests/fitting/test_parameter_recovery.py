@@ -1,0 +1,71 @@
+"""Property-based parameter recovery: fit(model(θ)) ≈ θ.
+
+Fitting a family to noiseless data generated from itself must recover
+the generating parameters (up to optimizer tolerance); with modest
+noise, predictions must stay close even if individual parameters drift
+(the mixture family is only weakly identified).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datasets.synthetic import curve_from_model
+from repro.fitting.least_squares import fit_least_squares
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.mixture import MixtureResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+
+_TIMES = np.arange(48.0)
+
+
+@given(
+    alpha=st.floats(0.8, 1.2),
+    beta=st.floats(-0.05, -0.005),
+    gamma=st.floats(0.0002, 0.002),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_quadratic_noiseless_recovery(alpha, beta, gamma):
+    truth = QuadraticResilienceModel().bind((alpha, beta, gamma))
+    curve = curve_from_model(truth, _TIMES)
+    result = fit_least_squares(QuadraticResilienceModel(), curve, n_random_starts=0)
+    np.testing.assert_allclose(result.params, truth.params, rtol=1e-3, atol=1e-6)
+
+
+@given(
+    alpha=st.floats(0.8, 1.2),
+    beta=st.floats(0.05, 0.5),
+    gamma=st.floats(0.0002, 0.001),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_competing_risks_noiseless_prediction_recovery(alpha, beta, gamma):
+    truth = CompetingRisksResilienceModel().bind((alpha, beta, gamma))
+    curve = curve_from_model(truth, _TIMES)
+    result = fit_least_squares(
+        CompetingRisksResilienceModel(), curve, n_random_starts=4
+    )
+    # Parameters may trade off slightly; predictions must match tightly.
+    np.testing.assert_allclose(
+        result.predict(_TIMES), truth.predict(_TIMES), atol=1e-5
+    )
+
+
+def test_mixture_noiseless_prediction_recovery():
+    truth = MixtureResilienceModel("wei", "exp").bind((12.0, 1.8, 10.0, 0.02))
+    curve = curve_from_model(truth, _TIMES)
+    result = fit_least_squares(MixtureResilienceModel("wei", "exp"), curve)
+    np.testing.assert_allclose(
+        result.predict(_TIMES), truth.predict(_TIMES), atol=2e-4
+    )
+
+
+@pytest.mark.parametrize("noise", [0.0005, 0.002])
+def test_quadratic_noisy_recovery_within_noise_floor(noise):
+    truth = QuadraticResilienceModel().bind((1.0, -0.03, 0.0008))
+    curve = curve_from_model(truth, _TIMES, noise_std=noise, seed=9)
+    result = fit_least_squares(QuadraticResilienceModel(), curve)
+    # SSE should be on the order of n·σ² — not orders beyond it.
+    assert result.sse <= 2.5 * len(curve) * noise * noise
+    np.testing.assert_allclose(
+        result.predict(_TIMES), truth.predict(_TIMES), atol=6 * noise
+    )

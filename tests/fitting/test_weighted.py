@@ -1,0 +1,82 @@
+"""Tests for weighted least squares."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import curve_from_model
+from repro.exceptions import FitError
+from repro.fitting.least_squares import fit_least_squares
+from repro.models.quadratic import QuadraticResilienceModel
+
+_TIMES = np.arange(48.0)
+_TRUTH = (1.0, -0.03, 0.0008)
+
+
+@pytest.fixture(scope="module")
+def corrupted_curve():
+    """Clean quadratic data with two gross outliers."""
+    truth = QuadraticResilienceModel().bind(_TRUTH)
+    curve = curve_from_model(truth, _TIMES, noise_std=0.001, seed=13)
+    values = curve.performance.copy()
+    values[10] += 0.25
+    values[30] -= 0.25
+    from repro.core.curve import ResilienceCurve
+
+    return ResilienceCurve(curve.times, values, nominal=1.0, name="corrupted")
+
+
+class TestWeightedFit:
+    def test_uniform_weights_match_unweighted(self, recession_1990):
+        plain = fit_least_squares(QuadraticResilienceModel(), recession_1990)
+        weighted = fit_least_squares(
+            QuadraticResilienceModel(),
+            recession_1990,
+            weights=np.full(len(recession_1990), 3.0),
+        )
+        assert weighted.params == pytest.approx(plain.params, rel=1e-6)
+        assert weighted.sse == pytest.approx(plain.sse, rel=1e-9)
+
+    def test_zero_weights_mask_outliers(self, corrupted_curve):
+        truth = QuadraticResilienceModel().bind(_TRUTH)
+        weights = np.ones(len(corrupted_curve))
+        weights[[10, 30]] = 0.0
+        masked = fit_least_squares(
+            QuadraticResilienceModel(), corrupted_curve, weights=weights
+        )
+        unmasked = fit_least_squares(QuadraticResilienceModel(), corrupted_curve)
+        # The masked fit recovers the generating curve far better.
+        clean = truth.predict(_TIMES)
+        masked_error = float(np.max(np.abs(masked.predict(_TIMES) - clean)))
+        unmasked_error = float(np.max(np.abs(unmasked.predict(_TIMES) - clean)))
+        assert masked_error < unmasked_error / 2.0
+
+    def test_reported_sse_is_unweighted(self, corrupted_curve):
+        weights = np.ones(len(corrupted_curve))
+        weights[[10, 30]] = 0.0
+        fit = fit_least_squares(
+            QuadraticResilienceModel(), corrupted_curve, weights=weights
+        )
+        assert fit.sse == pytest.approx(fit.model.sse(corrupted_curve))
+        # Both masked outliers contribute, so the unweighted SSE is large.
+        assert fit.sse > 0.1
+
+    def test_weight_validation(self, recession_1990):
+        n = len(recession_1990)
+        with pytest.raises(FitError, match="one entry per observation"):
+            fit_least_squares(
+                QuadraticResilienceModel(), recession_1990, weights=[1.0, 2.0]
+            )
+        with pytest.raises(FitError, match="non-negative"):
+            fit_least_squares(
+                QuadraticResilienceModel(), recession_1990, weights=-np.ones(n)
+            )
+        with pytest.raises(FitError, match="at least one"):
+            fit_least_squares(
+                QuadraticResilienceModel(), recession_1990, weights=np.zeros(n)
+            )
+        with pytest.raises(FitError, match="finite"):
+            bad = np.ones(n)
+            bad[0] = np.nan
+            fit_least_squares(
+                QuadraticResilienceModel(), recession_1990, weights=bad
+            )

@@ -1,0 +1,113 @@
+"""Tests for the competing-risks (Hjorth) hazard (Eq. 4-6)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.hazards import HjorthHazard
+from repro.utils.integrate import adaptive_quad
+
+
+class TestConstruction:
+    def test_beta_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            HjorthHazard(1.0, 0.0, 0.1)
+
+    def test_alpha_gamma_nonnegative(self):
+        with pytest.raises(ParameterError):
+            HjorthHazard(-0.1, 1.0, 0.1)
+        with pytest.raises(ParameterError):
+            HjorthHazard(0.1, 1.0, -0.1)
+
+    def test_zero_alpha_allowed(self):
+        assert HjorthHazard(0.0, 1.0, 0.1).rate(np.array([1.0]))[0] == pytest.approx(0.2)
+
+
+class TestRate:
+    def test_superposition(self):
+        hazard = HjorthHazard(2.0, 0.5, 0.1)
+        t = np.array([0.0, 2.0])
+        expected = 2.0 / (1.0 + 0.5 * t) + 0.2 * t
+        np.testing.assert_allclose(hazard.rate(t), expected)
+
+    def test_at_zero_equals_alpha(self):
+        assert float(HjorthHazard(3.0, 1.0, 0.5).rate(np.array([0.0]))[0]) == 3.0
+
+
+class TestShapeRegimes:
+    """Hjorth's four regimes: bathtub, decreasing, increasing, constant-ish."""
+
+    def test_bathtub_when_alpha_beta_dominates(self):
+        # αβ = 0.2 > 2γ = 0.004
+        assert HjorthHazard(1.0, 0.2, 0.002).is_bathtub()
+
+    def test_increasing_when_wearout_dominates(self):
+        # αβ = 0.01 < 2γ = 0.2: rate increases from t = 0.
+        hazard = HjorthHazard(0.1, 0.1, 0.1)
+        assert not hazard.is_bathtub()
+        t = np.linspace(0.0, 10.0, 20)
+        assert (np.diff(hazard.rate(t)) > 0).all()
+
+    def test_decreasing_when_gamma_zero(self):
+        hazard = HjorthHazard(1.0, 0.5, 0.0)
+        assert not hazard.is_bathtub()
+        t = np.linspace(0.0, 10.0, 20)
+        assert (np.diff(hazard.rate(t)) < 0).all()
+
+
+class TestMinimum:
+    def test_interior_minimum_closed_form(self):
+        alpha, beta, gamma = 1.0, 0.2, 0.002
+        hazard = HjorthHazard(alpha, beta, gamma)
+        t_min, value = hazard.minimum(200.0)
+        expected_t = (math.sqrt(alpha * beta / (2 * gamma)) - 1.0) / beta
+        assert t_min == pytest.approx(expected_t)
+        # Stationary point: derivative vanishes.
+        h = 1e-6
+        grad = (
+            float(hazard.rate(np.array([t_min + h]))[0])
+            - float(hazard.rate(np.array([t_min - h]))[0])
+        ) / (2 * h)
+        assert grad == pytest.approx(0.0, abs=1e-6)
+
+    def test_pure_burn_in_minimum_at_horizon(self):
+        hazard = HjorthHazard(1.0, 0.5, 0.0)
+        t_min, _ = hazard.minimum(50.0)
+        assert t_min == 50.0
+
+
+class TestCumulative:
+    @given(
+        alpha=st.floats(0.01, 5.0),
+        beta=st.floats(0.01, 2.0),
+        gamma=st.floats(0.0, 0.5),
+        upper=st.floats(0.5, 30.0),
+    )
+    @settings(max_examples=30)
+    def test_eq6_matches_quadrature(self, alpha, beta, gamma, upper):
+        hazard = HjorthHazard(alpha, beta, gamma)
+        numeric = adaptive_quad(
+            lambda u: float(hazard.rate(np.array([u]))[0]), 0.0, upper
+        )
+        closed = float(hazard.cumulative(np.array([upper]))[0])
+        assert closed == pytest.approx(numeric, rel=1e-6)
+
+
+class TestRecoveryTime:
+    def test_eq5_recovery_crosses_level(self):
+        hazard = HjorthHazard(1.0, 0.2, 0.002)
+        _, trough = hazard.minimum(500.0)
+        level = trough + 0.3
+        t_r = hazard.recovery_time(level)
+        assert float(hazard.rate(np.array([t_r]))[0]) == pytest.approx(level)
+        t_min, _ = hazard.minimum(500.0)
+        assert t_r > t_min
+
+    def test_level_below_trough_unreachable(self):
+        hazard = HjorthHazard(1.0, 0.2, 0.002)
+        _, trough = hazard.minimum(500.0)
+        with pytest.raises(ValueError, match="never reaches"):
+            hazard.recovery_time(trough - 0.05)

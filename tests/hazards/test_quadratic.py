@@ -1,0 +1,126 @@
+"""Tests for the quadratic hazard (Eq. 1-3 of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.hazards import QuadraticHazard
+from repro.utils.integrate import adaptive_quad
+
+
+class TestConstruction:
+    def test_params(self):
+        hazard = QuadraticHazard(1.0, -0.1, 0.01)
+        assert hazard.params == {"alpha": 1.0, "beta": -0.1, "gamma": 0.01}
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ParameterError):
+            QuadraticHazard(float("nan"), 0.0, 0.0)
+
+    def test_from_vector(self):
+        hazard = QuadraticHazard.from_vector([1.0, -0.2, 0.05])
+        assert hazard.beta == -0.2
+
+
+class TestRate:
+    def test_polynomial_values(self):
+        hazard = QuadraticHazard(2.0, -1.0, 0.5)
+        t = np.array([0.0, 1.0, 2.0])
+        np.testing.assert_allclose(hazard.rate(t), [2.0, 1.5, 2.0])
+
+
+class TestBathtubCondition:
+    """The paper's exact condition: −2√(αγ) < β < 0 with α, γ > 0."""
+
+    def test_bathtub_inside_condition(self):
+        alpha, gamma = 1.0, 0.01
+        beta = -0.5 * 2.0 * math.sqrt(alpha * gamma)
+        assert QuadraticHazard(alpha, beta, gamma).is_bathtub()
+
+    def test_not_bathtub_with_positive_beta(self):
+        assert not QuadraticHazard(1.0, 0.1, 0.01).is_bathtub()
+
+    def test_not_bathtub_when_beta_too_negative(self):
+        # β below −2√(αγ) makes the rate dip below zero (invalid hazard).
+        alpha, gamma = 1.0, 0.01
+        beta = -2.5 * math.sqrt(alpha * gamma) * 2.0
+        assert not QuadraticHazard(alpha, beta, gamma).is_bathtub()
+
+    def test_not_bathtub_when_vertex_outside_horizon(self):
+        hazard = QuadraticHazard(1.0, -0.04, 0.0001)  # vertex at t=200
+        assert not hazard.is_bathtub(horizon=100.0)
+
+    def test_zero_gamma_not_bathtub(self):
+        assert not QuadraticHazard(1.0, -0.01, 0.0).is_bathtub()
+
+
+class TestMinimum:
+    def test_vertex_location(self):
+        hazard = QuadraticHazard(1.0, -0.04, 0.001)
+        t_min, value = hazard.minimum(100.0)
+        assert t_min == pytest.approx(20.0)
+        assert value == pytest.approx(1.0 - 0.04 * 20 + 0.001 * 400)
+
+    def test_vertex_clipped_to_horizon(self):
+        hazard = QuadraticHazard(1.0, -0.04, 0.001)
+        t_min, _ = hazard.minimum(10.0)
+        assert t_min == 10.0
+
+    def test_concave_minimum_at_endpoint(self):
+        hazard = QuadraticHazard(1.0, 0.1, -0.01)
+        t_min, _ = hazard.minimum(100.0)
+        assert t_min in (0.0, 100.0)
+
+
+class TestCumulative:
+    def test_closed_form_matches_quadrature(self):
+        hazard = QuadraticHazard(1.0, -0.04, 0.001)
+        for upper in (1.0, 10.0, 47.0):
+            numeric = adaptive_quad(
+                lambda u: float(hazard.rate(np.array([u]))[0]), 0.0, upper
+            )
+            assert float(hazard.cumulative(np.array([upper]))[0]) == pytest.approx(
+                numeric, rel=1e-8
+            )
+
+    @given(
+        alpha=st.floats(0.1, 5.0),
+        beta=st.floats(-0.5, 0.0),
+        gamma=st.floats(0.0, 0.5),
+        t=st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=40)
+    def test_cumulative_derivative_is_rate(self, alpha, beta, gamma, t):
+        hazard = QuadraticHazard(alpha, beta, gamma)
+        h = 1e-5
+        numeric = float(
+            (hazard.cumulative(np.array([t + h])) - hazard.cumulative(np.array([t])))[0]
+        ) / h
+        assert numeric == pytest.approx(
+            float(hazard.rate(np.array([t]))[0]), rel=1e-3, abs=1e-3
+        )
+
+
+class TestRecoveryTime:
+    def test_eq2_recovery_crosses_level(self):
+        """Eq. (2): the recovery time satisfies λ(t_r) = P(t_r)."""
+        hazard = QuadraticHazard(1.0, -0.04, 0.001)
+        level = 0.95
+        t_r = hazard.recovery_time(level)
+        assert float(hazard.rate(np.array([t_r]))[0]) == pytest.approx(level)
+        # And it is the *later* crossing (after the vertex at t=20).
+        assert t_r > 20.0
+
+    def test_unreachable_level_raises(self):
+        hazard = QuadraticHazard(1.0, 0.0, 0.0)  # constant rate 1.0
+        with pytest.raises(ValueError, match="never reaches"):
+            hazard.recovery_time(2.0)
+
+    def test_crossing_times_sorted(self):
+        hazard = QuadraticHazard(1.0, -0.04, 0.001)
+        crossings = hazard.crossing_times(0.9)
+        assert list(crossings) == sorted(crossings)
+        assert len(crossings) == 2

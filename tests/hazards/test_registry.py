@@ -1,0 +1,31 @@
+"""Tests for the hazard registry."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hazards import (
+    HjorthHazard,
+    QuadraticHazard,
+    available_hazards,
+    get_hazard_class,
+)
+
+
+def test_builtins_registered():
+    names = available_hazards()
+    for expected in ("quadratic", "competing_risks", "constant", "linear"):
+        assert expected in names
+
+
+def test_lookup():
+    assert get_hazard_class("quadratic") is QuadraticHazard
+
+
+def test_hjorth_alias():
+    assert get_hazard_class("hjorth") is HjorthHazard
+    assert get_hazard_class("competing_risks") is HjorthHazard
+
+
+def test_unknown_raises_with_known_list():
+    with pytest.raises(ParameterError, match="known:"):
+        get_hazard_class("bogus")

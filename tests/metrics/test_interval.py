@@ -1,0 +1,151 @@
+"""Tests for the eight interval-based metrics (Eqs. 14-21).
+
+The hand-built fixture curve has piecewise-linear segments whose
+integrals are exact, so every metric can be checked against arithmetic
+done by hand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import MetricError
+from repro.metrics.interval import (
+    METRICS,
+    MetricContext,
+    average_performance_lost,
+    average_performance_preserved,
+    normalized_performance_lost,
+    normalized_performance_preserved,
+    performance_from_minimum,
+    performance_lost,
+    performance_preserved,
+    weighted_average_preserved,
+)
+from repro.models.quadratic import QuadraticResilienceModel
+
+
+@pytest.fixture()
+def ctx(simple_curve) -> MetricContext:
+    """Full-window context on the hand-built V curve.
+
+    Curve: t = 0..8, P = [1, .9, .8, .7, .8, .9, 1, 1.05, 1.1],
+    nominal 1.0, trough at t = 3. Trapezoid area over [0, 8] = 7.2.
+    """
+    return MetricContext.from_curve(simple_curve)
+
+
+class TestFromCurve:
+    def test_defaults(self, ctx):
+        assert ctx.hazard_time == 0.0
+        assert ctx.recovery_time == 8.0
+        assert ctx.trough_time == 3.0
+        assert ctx.nominal == 1.0
+        assert ctx.trough_value == pytest.approx(0.7)
+
+    def test_empty_window_rejected(self, simple_curve):
+        with pytest.raises(MetricError, match="empty"):
+            MetricContext.from_curve(
+                simple_curve, hazard_time=5.0, recovery_time=5.0
+            )
+
+
+class TestMetricValues:
+    def test_eq14_performance_preserved(self, ctx):
+        assert performance_preserved(ctx) == pytest.approx(7.2)
+
+    def test_eq15_normalized_preserved(self, ctx):
+        assert normalized_performance_preserved(ctx) == pytest.approx(7.2 / 8.0)
+
+    def test_eq16_performance_lost(self, ctx):
+        assert performance_lost(ctx) == pytest.approx(8.0 - 7.2)
+
+    def test_eq17_normalized_lost(self, ctx):
+        assert normalized_performance_lost(ctx) == pytest.approx(0.8 / 8.0)
+
+    def test_eq18_from_minimum(self, ctx):
+        # ∫₃⁸ P dt = .75 + .85 + .95 + 1.025 + 1.075 = 4.65; minus 0.7·5.
+        assert performance_from_minimum(ctx) == pytest.approx(4.65 - 3.5)
+
+    def test_eq19_average_preserved(self, ctx):
+        assert average_performance_preserved(ctx) == pytest.approx(7.2 / 8.0)
+
+    def test_eq20_average_lost(self, ctx):
+        assert average_performance_lost(ctx) == pytest.approx(0.8 / 8.0)
+
+    def test_eq21_weighted(self, ctx):
+        # Before [0,3]: ∫ = .95+.85+.75 = 2.55, span 3 → 0.85.
+        # After [3,8]: 4.65 / 5 = 0.93.
+        assert weighted_average_preserved(ctx, alpha=0.5) == pytest.approx(
+            0.5 * 0.85 + 0.5 * 0.93
+        )
+
+    def test_eq21_alpha_weighting(self, ctx):
+        early_weighted = weighted_average_preserved(ctx, alpha=0.9)
+        late_weighted = weighted_average_preserved(ctx, alpha=0.1)
+        # Degradation side (0.85) is worse than recovery side (0.93).
+        assert early_weighted < late_weighted
+
+    def test_eq21_invalid_alpha(self, ctx):
+        with pytest.raises(MetricError, match="alpha"):
+            weighted_average_preserved(ctx, alpha=0.0)
+
+
+class TestLossSignConvention:
+    def test_negative_loss_when_system_improves(self):
+        """The paper interprets negative loss as recovery above the
+        level at the disruption time."""
+        curve = ResilienceCurve([0, 1, 2], [1.0, 1.2, 1.4], nominal=1.0)
+        ctx = MetricContext.from_curve(curve)
+        assert performance_lost(ctx) < 0.0
+        assert average_performance_lost(ctx) < 0.0
+
+
+class TestFromModel:
+    def test_model_context_uses_closed_forms(self, bound_quadratic):
+        ctx = MetricContext.from_model(
+            bound_quadratic, hazard_time=0.0, recovery_time=40.0
+        )
+        assert ctx.trough_time == pytest.approx(20.0)
+        expected_area = bound_quadratic.area_under_curve(0.0, 40.0)
+        assert performance_preserved(ctx) == pytest.approx(expected_area)
+
+    def test_explicit_trough_override(self, bound_quadratic):
+        ctx = MetricContext.from_model(
+            bound_quadratic, hazard_time=0.0, recovery_time=40.0, trough_time=15.0
+        )
+        assert ctx.trough_time == 15.0
+        assert ctx.trough_value == pytest.approx(
+            float(bound_quadratic.predict([15.0])[0])
+        )
+
+    def test_nominal_defaults_to_hazard_time_value(self, bound_quadratic):
+        ctx = MetricContext.from_model(
+            bound_quadratic, hazard_time=2.0, recovery_time=30.0
+        )
+        assert ctx.nominal == pytest.approx(float(bound_quadratic.predict([2.0])[0]))
+
+
+class TestDegenerateWindows:
+    def test_trough_at_recovery_rejected_for_eq18(self, simple_curve):
+        ctx = MetricContext.from_curve(
+            simple_curve, hazard_time=0.0, recovery_time=3.0, trough_time=3.0
+        )
+        with pytest.raises(MetricError, match="not before"):
+            performance_from_minimum(ctx)
+
+    def test_trough_at_start_rejected_for_eq21(self):
+        curve = ResilienceCurve([0, 1, 2], [1.0, 1.2, 1.4])
+        ctx = MetricContext.from_curve(curve, trough_time=0.0)
+        with pytest.raises(MetricError, match="degenerate"):
+            weighted_average_preserved(ctx)
+
+
+class TestRegistry:
+    def test_eight_metrics(self):
+        assert len(METRICS) == 8
+
+    def test_all_callable_on_context(self, ctx):
+        for name, metric in METRICS.items():
+            value = metric(ctx)
+            assert np.isfinite(value), name

@@ -1,0 +1,98 @@
+"""Tests for the point-based resilience metrics."""
+
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.core.phases import detect_phases
+from repro.exceptions import MetricError
+from repro.metrics.point import (
+    POINT_METRICS,
+    depth,
+    rapidity,
+    recovery_ratio,
+    robustness,
+    time_to_minimum,
+    time_to_recovery,
+)
+
+
+class TestOnSimpleCurve:
+    """simple_curve: P = [1,.9,.8,.7,.8,.9,1,1.05,1.1] at t = 0..8."""
+
+    def test_robustness(self, simple_curve):
+        assert robustness(simple_curve) == pytest.approx(0.7)
+
+    def test_depth(self, simple_curve):
+        assert depth(simple_curve) == pytest.approx(0.3)
+
+    def test_time_to_minimum(self, simple_curve):
+        assert time_to_minimum(simple_curve) == pytest.approx(3.0)
+
+    def test_time_to_recovery(self, simple_curve):
+        # Recovery to the nominal band happens at t = 6.
+        assert time_to_recovery(simple_curve) == pytest.approx(6.0)
+
+    def test_rapidity(self, simple_curve):
+        # (1.0 − 0.7) regained over (6 − 3) = 0.1 per unit time.
+        assert rapidity(simple_curve) == pytest.approx(0.1)
+
+    def test_recovery_ratio_above_one_for_improvement(self, simple_curve):
+        # Final 1.1, trough 0.7, hazard level 1.0 → (0.4)/(0.3).
+        assert recovery_ratio(simple_curve) == pytest.approx(0.4 / 0.3)
+
+    def test_precomputed_phases_accepted(self, simple_curve):
+        phases = detect_phases(simple_curve)
+        assert time_to_minimum(simple_curve, phases) == pytest.approx(3.0)
+
+
+class TestEdgeCases:
+    def test_unrecovered_time_to_recovery_raises(self):
+        curve = ResilienceCurve([0, 1, 2, 3], [1.0, 0.8, 0.7, 0.72])
+        with pytest.raises(MetricError, match="does not recover"):
+            time_to_recovery(curve)
+
+    def test_unrecovered_rapidity_uses_window_end(self):
+        curve = ResilienceCurve([0, 1, 2, 3], [1.0, 0.8, 0.7, 0.72])
+        # (0.72 − 0.7) over (3 − 2).
+        assert rapidity(curve) == pytest.approx(0.02)
+
+    def test_flat_curve_recovery_ratio_raises(self):
+        from repro.exceptions import CurveError
+
+        flat = ResilienceCurve([0, 1], [1.0, 1.0])
+        # detect_phases refuses a curve that never degrades.
+        with pytest.raises(CurveError):
+            recovery_ratio(flat)
+        shallow = ResilienceCurve([0, 1, 2], [1.0, 0.99, 1.0])
+        assert recovery_ratio(shallow) > 0
+
+    def test_zero_nominal_robustness(self):
+        curve = ResilienceCurve([0, 1], [0.0, 1.0], nominal=0.0)
+        with pytest.raises(MetricError, match="zero nominal"):
+            robustness(curve)
+
+
+class TestOnRecessions:
+    def test_2020_depth_largest(self):
+        from repro.datasets.recessions import load_all_recessions
+
+        depths = {name: depth(curve) for name, curve in load_all_recessions().items()}
+        assert max(depths, key=depths.get) == "2020-21"
+
+    def test_v_faster_than_u(self):
+        """V recessions recover in less time than U recessions."""
+        from repro.datasets.recessions import load_recession
+
+        v_time = time_to_recovery(load_recession("1974-76"), None)
+        u_time = time_to_recovery(load_recession("2001-05"), None)
+        assert v_time < u_time
+
+    def test_registry_complete(self):
+        assert set(POINT_METRICS) == {
+            "robustness",
+            "depth",
+            "time_to_minimum",
+            "time_to_recovery",
+            "rapidity",
+            "recovery_ratio",
+        }

@@ -1,0 +1,98 @@
+"""Tests for the Section IV predictive metric protocol (Tables II/IV)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.predictive import (
+    MetricComparison,
+    predictive_metric_report,
+    relative_error,
+)
+from repro.models.quadratic import QuadraticResilienceModel
+from repro.validation.crossval import evaluate_predictive
+
+
+class TestRelativeError:
+    def test_eq22(self):
+        assert relative_error(2.0, 1.5) == pytest.approx(0.25)
+
+    def test_symmetric_in_magnitude(self):
+        assert relative_error(2.0, 2.5) == relative_error(2.0, 1.5)
+
+    def test_zero_actual(self):
+        with pytest.raises(MetricError, match="undefined"):
+            relative_error(0.0, 1.0)
+
+    def test_comparison_delta_nan_on_zero_actual(self):
+        row = MetricComparison("m", actual=0.0, predicted=1.0)
+        assert np.isnan(row.delta)
+
+
+@pytest.fixture(scope="module")
+def report(recession_1990):
+    evaluation = evaluate_predictive(QuadraticResilienceModel(), recession_1990)
+    return predictive_metric_report(
+        evaluation.model, recession_1990, evaluation.split_time
+    )
+
+
+class TestPredictiveReport:
+    def test_eight_rows(self, report):
+        assert len(report.rows) == 8
+
+    def test_window_is_heldout_suffix(self, report, recession_1990):
+        assert report.hazard_time == 43.0
+        assert report.recovery_time == float(recession_1990.times[-1])
+
+    def test_trough_is_observed_minimum(self, report, recession_1990):
+        assert report.trough_time == recession_1990.trough_time
+
+    def test_actual_performance_preserved_matches_curve_area(
+        self, report, recession_1990
+    ):
+        row = report.row("performance_preserved")
+        assert row.actual == pytest.approx(recession_1990.area(43.0, 47.0))
+
+    def test_window_metric_deltas_small_on_good_fit(self, report):
+        """Table II: both bathtub models achieve < 0.01 relative error
+        on area-style metrics for 1990-93."""
+        for name in (
+            "performance_preserved",
+            "normalized_average_performance_preserved",
+            "average_performance_preserved",
+            "weighted_average_preserved",
+        ):
+            assert report.row(name).delta < 0.01, name
+
+    def test_row_lookup_unknown(self, report):
+        with pytest.raises(MetricError, match="unknown metric"):
+            report.row("nonexistent")
+
+    def test_to_table_contains_all_metrics(self, report):
+        table = report.to_table()
+        for row in report.rows:
+            assert row.name in table
+
+    def test_split_time_out_of_range(self, recession_1990):
+        evaluation = evaluate_predictive(QuadraticResilienceModel(), recession_1990)
+        with pytest.raises(MetricError, match="outside"):
+            predictive_metric_report(evaluation.model, recession_1990, 99.0)
+
+
+class TestTroughFallbackToModel:
+    def test_monotone_curve_uses_model_minimum(self):
+        """When the observed minimum sits on the boundary (trough not
+        yet observed), Section IV says to use the model's minimum."""
+        from repro.core.curve import ResilienceCurve
+        from repro.fitting.least_squares import fit_least_squares
+
+        times = np.arange(20.0)
+        perf = 1.0 - 0.01 * times  # still falling at the end
+        curve = ResilienceCurve(times, perf, name="falling")
+        fit = fit_least_squares(QuadraticResilienceModel(), curve.head(16))
+        report = predictive_metric_report(fit.model, curve, 16.0)
+        t_model, _ = fit.model.minimum(float(times[-1]))
+        assert report.trough_time == pytest.approx(
+            min(max(t_model, 0.0), float(times[-1]))
+        )

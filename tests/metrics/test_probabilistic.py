@@ -1,0 +1,89 @@
+"""Tests for the probabilistic resilience metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import curve_from_model
+from repro.exceptions import MetricError
+from repro.fitting.least_squares import fit_least_squares
+from repro.metrics.probabilistic import (
+    performance_distribution_at,
+    recovery_probability_by,
+    recovery_time_quantile,
+)
+from repro.models.quadratic import QuadraticResilienceModel
+
+_TIMES = np.arange(48.0)
+
+
+@pytest.fixture(scope="module")
+def fit():
+    truth = QuadraticResilienceModel().bind((1.0, -0.03, 0.0008))
+    curve = curve_from_model(truth, _TIMES, noise_std=0.002, seed=3)
+    return fit_least_squares(QuadraticResilienceModel(), curve)
+
+
+class TestRecoveryProbability:
+    def test_monotone_in_deadline(self, fit):
+        probabilities = [
+            recovery_probability_by(fit, 1.0, deadline, n_samples=100)
+            for deadline in (30.0, 36.0, 40.0, 60.0)
+        ]
+        for earlier, later in zip(probabilities, probabilities[1:]):
+            assert later >= earlier
+
+    def test_certain_before_and_after(self, fit):
+        # The fitted recovery is near month 37.
+        assert recovery_probability_by(fit, 1.0, 20.0, n_samples=100) == 0.0
+        assert recovery_probability_by(fit, 1.0, 60.0, n_samples=100) == 1.0
+
+    def test_deterministic(self, fit):
+        a = recovery_probability_by(fit, 1.0, 37.0, n_samples=100, seed=2)
+        b = recovery_probability_by(fit, 1.0, 37.0, n_samples=100, seed=2)
+        assert a == b
+
+    def test_invalid_deadline(self, fit):
+        with pytest.raises(MetricError, match="deadline"):
+            recovery_probability_by(fit, 1.0, 0.0)
+
+    def test_too_few_samples(self, fit):
+        with pytest.raises(MetricError, match=">= 10"):
+            recovery_probability_by(fit, 1.0, 30.0, n_samples=5)
+
+
+class TestRecoveryTimeQuantile:
+    def test_quantiles_ordered(self, fit):
+        q10 = recovery_time_quantile(fit, 1.0, 0.1, n_samples=100)
+        q50 = recovery_time_quantile(fit, 1.0, 0.5, n_samples=100)
+        q90 = recovery_time_quantile(fit, 1.0, 0.9, n_samples=100)
+        assert q10 <= q50 <= q90
+
+    def test_median_near_point_estimate(self, fit):
+        q50 = recovery_time_quantile(fit, 1.0, 0.5, n_samples=200)
+        point = fit.model.recovery_time(1.0)
+        assert q50 == pytest.approx(point, abs=1.0)
+
+    def test_unreachable_level_gives_inf(self, fit):
+        q = recovery_time_quantile(fit, 100.0, 0.5, n_samples=50, horizon=100.0)
+        assert np.isinf(q)
+
+    def test_invalid_quantile(self, fit):
+        with pytest.raises(MetricError, match="quantile"):
+            recovery_time_quantile(fit, 1.0, 1.0)
+
+
+class TestPerformanceDistribution:
+    def test_centered_on_prediction(self, fit):
+        samples = performance_distribution_at(fit, 40.0, n_samples=300)
+        point = float(fit.predict([40.0])[0])
+        assert samples.mean() == pytest.approx(point, abs=0.001)
+
+    def test_noise_widens(self, fit):
+        with_noise = performance_distribution_at(fit, 40.0, n_samples=300, seed=1)
+        without = performance_distribution_at(
+            fit, 40.0, n_samples=300, seed=1, include_noise=False
+        )
+        assert with_noise.std() > without.std()
+
+    def test_sample_count(self, fit):
+        assert performance_distribution_at(fit, 10.0, n_samples=123).size == 123

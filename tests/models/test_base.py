@@ -1,0 +1,97 @@
+"""Tests for the ResilienceModel base-class machinery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+
+
+class TestBinding:
+    def test_unbound_predict_raises(self):
+        family = QuadraticResilienceModel()
+        with pytest.raises(ParameterError, match="unbound"):
+            family.predict([0.0, 1.0])
+
+    def test_bind_returns_new_instance(self):
+        family = QuadraticResilienceModel()
+        bound = family.bind((1.0, -0.1, 0.01))
+        assert bound is not family
+        assert not family.is_bound
+        assert bound.is_bound
+
+    def test_bind_wrong_length(self):
+        with pytest.raises(ParameterError, match="expects 3"):
+            QuadraticResilienceModel().bind((1.0, -0.1))
+
+    def test_bind_non_finite(self):
+        with pytest.raises(ParameterError, match="finite"):
+            QuadraticResilienceModel().bind((1.0, float("nan"), 0.0))
+
+    def test_param_dict(self, bound_quadratic):
+        assert bound_quadratic.param_dict == {
+            "alpha": 1.0,
+            "beta": -0.04,
+            "gamma": 0.001,
+        }
+
+    def test_repr_unbound_vs_bound(self, bound_quadratic):
+        assert "unbound" in repr(QuadraticResilienceModel())
+        assert "alpha=1" in repr(bound_quadratic)
+
+
+class TestNumericDefaults:
+    """Base-class numeric minimum/recovery/area vs closed forms."""
+
+    def test_numeric_minimum_matches_closed_form(self, bound_competing_risks):
+        from repro.models.base import ResilienceModel
+
+        t_numeric, v_numeric = ResilienceModel.minimum(bound_competing_risks, 100.0)
+        t_closed, v_closed = bound_competing_risks.minimum(100.0)
+        assert t_numeric == pytest.approx(t_closed, abs=1e-2)
+        assert v_numeric == pytest.approx(v_closed, abs=1e-6)
+
+    def test_numeric_recovery_matches_closed_form(self, bound_quadratic):
+        from repro.models.base import ResilienceModel
+
+        level = 0.95
+        numeric = ResilienceModel.recovery_time(bound_quadratic, level, horizon=200.0)
+        closed = bound_quadratic.recovery_time(level)
+        assert numeric == pytest.approx(closed, rel=1e-5)
+
+    def test_numeric_area_matches_closed_form(self, bound_quadratic):
+        from repro.models.base import ResilienceModel
+
+        numeric = ResilienceModel.area_under_curve(bound_quadratic, 0.0, 40.0)
+        closed = bound_quadratic.area_under_curve(0.0, 40.0)
+        assert numeric == pytest.approx(closed, rel=1e-8)
+
+    def test_numeric_recovery_unreachable(self, bound_quadratic):
+        from repro.models.base import ResilienceModel
+
+        with pytest.raises(ValueError, match="never recovers"):
+            ResilienceModel.recovery_time(bound_quadratic, 1e6, horizon=100.0)
+
+    def test_recovery_at_or_below_trough_returns_trough(self, bound_quadratic):
+        from repro.models.base import ResilienceModel
+
+        t_min, v_min = bound_quadratic.minimum(100.0)
+        out = ResilienceModel.recovery_time(bound_quadratic, v_min - 1e-6, horizon=100.0)
+        assert out == pytest.approx(t_min, abs=0.1)
+
+
+class TestResidualsAndSse:
+    def test_residuals_zero_on_own_samples(self, bound_quadratic, simple_curve):
+        from repro.datasets.synthetic import curve_from_model
+
+        curve = curve_from_model(bound_quadratic, np.linspace(0, 30, 10))
+        residuals = bound_quadratic.residuals(curve)
+        np.testing.assert_allclose(residuals, 0.0, atol=1e-12)
+        assert bound_quadratic.sse(curve) == pytest.approx(0.0, abs=1e-20)
+
+    def test_sse_with_explicit_params(self, simple_curve):
+        family = QuadraticResilienceModel()
+        value = family.sse(simple_curve, params=(1.0, 0.0, 0.0))
+        expected = float(np.sum((simple_curve.performance - 1.0) ** 2))
+        assert value == pytest.approx(expected)

@@ -1,0 +1,132 @@
+"""Tests for the quadratic and competing-risks resilience models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+
+
+class TestQuadraticEvaluate:
+    def test_polynomial(self):
+        family = QuadraticResilienceModel()
+        out = family.evaluate([0.0, 1.0, 2.0], (1.0, -0.5, 0.25))
+        np.testing.assert_allclose(out, [1.0, 0.75, 1.0])
+
+    def test_closed_form_area_is_eq3(self, bound_quadratic):
+        """Eq. (3): αt + βt²/2 + γt³/3."""
+        alpha, beta, gamma = bound_quadratic.params
+        t = 30.0
+        expected = alpha * t + beta * t * t / 2 + gamma * t**3 / 3
+        assert bound_quadratic.area_under_curve(0.0, t) == pytest.approx(expected)
+
+    def test_recovery_time_eq2(self, bound_quadratic):
+        """Eq. (2): the later root of γt² + βt + (α − P) = 0."""
+        level = 0.95
+        t_r = bound_quadratic.recovery_time(level)
+        alpha, beta, gamma = bound_quadratic.params
+        assert gamma * t_r**2 + beta * t_r + alpha == pytest.approx(level)
+        assert t_r > -beta / (2 * gamma)  # after the vertex
+
+    def test_is_bathtub(self, bound_quadratic):
+        assert bound_quadratic.is_bathtub()
+
+    def test_initial_guesses_respect_bounds(self, recession_1990):
+        family = QuadraticResilienceModel()
+        for guess in family.initial_guesses(recession_1990):
+            assert len(guess) == 3
+            for value, lo, hi in zip(guess, family.lower_bounds, family.upper_bounds):
+                assert lo <= value <= hi
+
+    def test_polyfit_guess_near_optimal_on_parabola(self):
+        """The quadratic LSE is linear: polyfit should already be the
+        global optimum for bathtub-compatible data."""
+        from repro.datasets.synthetic import curve_from_model
+
+        truth = QuadraticResilienceModel().bind((1.0, -0.03, 0.0008))
+        curve = curve_from_model(truth, np.arange(40.0))
+        family = QuadraticResilienceModel()
+        first_guess = family.initial_guesses(curve)[0]
+        assert family.sse(curve, first_guess) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCompetingRisksEvaluate:
+    def test_superposition(self):
+        family = CompetingRisksResilienceModel()
+        out = family.evaluate([0.0, 1.0], (1.0, 1.0, 0.25))
+        np.testing.assert_allclose(out, [1.0, 0.5 + 0.5])
+
+    def test_closed_form_area_is_eq6(self, bound_competing_risks):
+        """Eq. (6): γt² + (α/β)·ln(1 + βt)."""
+        alpha, beta, gamma = bound_competing_risks.params
+        t = 25.0
+        expected = gamma * t * t + (alpha / beta) * np.log1p(beta * t)
+        assert bound_competing_risks.area_under_curve(0.0, t) == pytest.approx(expected)
+
+    def test_recovery_time_eq5(self, bound_competing_risks):
+        level = 0.9
+        t_r = bound_competing_risks.recovery_time(level)
+        predicted = float(bound_competing_risks.predict([t_r])[0])
+        assert predicted == pytest.approx(level)
+        t_min, _ = bound_competing_risks.minimum(1000.0)
+        assert t_r > t_min
+
+    def test_is_bathtub(self, bound_competing_risks):
+        assert bound_competing_risks.is_bathtub(horizon=200.0)
+
+    def test_initial_guesses_multiple_timescales(self, recession_1990):
+        family = CompetingRisksResilienceModel()
+        guesses = family.initial_guesses(recession_1990)
+        assert len(guesses) >= 3
+        betas = [g[1] for g in guesses]
+        assert len(set(betas)) >= 3  # spans slow/medium/fast deterioration
+
+
+@pytest.mark.parametrize(
+    "family_cls", [QuadraticResilienceModel, CompetingRisksResilienceModel]
+)
+class TestFamilyMetadata:
+    def test_param_names_match_bounds(self, family_cls):
+        family = family_cls()
+        assert len(family.param_names) == family.n_params
+        assert len(family.lower_bounds) == family.n_params
+        assert len(family.upper_bounds) == family.n_params
+        for lo, hi in zip(family.lower_bounds, family.upper_bounds):
+            assert lo < hi
+
+    def test_evaluate_finite_inside_bounds(self, family_cls):
+        """Optimizers must be able to traverse the entire box."""
+        family = family_cls()
+        rng = np.random.default_rng(5)
+        t = np.linspace(0.0, 47.0, 48)
+        lower = np.asarray(family.lower_bounds)
+        upper = np.minimum(np.asarray(family.upper_bounds), 1e3)
+        for _ in range(25):
+            params = rng.uniform(lower, upper)
+            values = family.evaluate(t, tuple(params))
+            assert np.isfinite(values).all()
+
+
+class TestAreaConsistency:
+    """Closed-form areas must agree with the numeric base implementation."""
+
+    @given(lower=st.floats(0.0, 20.0), width=st.floats(0.1, 20.0))
+    @settings(max_examples=25)
+    def test_quadratic_area_additivity(self, lower, width):
+        model = QuadraticResilienceModel().bind((1.0, -0.04, 0.001))
+        upper = lower + width
+        mid = lower + width / 2
+        total = model.area_under_curve(lower, upper)
+        split = model.area_under_curve(lower, mid) + model.area_under_curve(mid, upper)
+        assert total == pytest.approx(split, rel=1e-9)
+
+    @given(lower=st.floats(0.0, 20.0), width=st.floats(0.1, 20.0))
+    @settings(max_examples=25)
+    def test_competing_risks_area_additivity(self, lower, width):
+        model = CompetingRisksResilienceModel().bind((1.0, 0.2, 0.002))
+        upper = lower + width
+        mid = lower + width / 2
+        total = model.area_under_curve(lower, upper)
+        split = model.area_under_curve(lower, mid) + model.area_under_curve(mid, upper)
+        assert total == pytest.approx(split, rel=1e-9)

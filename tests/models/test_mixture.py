@@ -1,0 +1,110 @@
+"""Tests for the mixture-distribution resilience model (Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ParameterError
+from repro.models.mixture import MixtureResilienceModel
+from repro.models.trends import LogTrend
+
+
+class TestConfiguration:
+    def test_paper_pairings_names(self):
+        assert MixtureResilienceModel("exp", "exp").name == "exp-exp"
+        assert MixtureResilienceModel("wei", "exp").name == "wei-exp"
+        assert MixtureResilienceModel("exp", "wei").name == "exp-wei"
+        assert MixtureResilienceModel("wei", "wei").name == "wei-wei"
+
+    def test_non_default_trend_in_name(self):
+        model = MixtureResilienceModel("wei", "exp", trend="linear")
+        assert model.name == "wei-exp(linear)"
+
+    def test_param_names_prefixed(self):
+        model = MixtureResilienceModel("wei", "exp")
+        assert model.param_names == ("d_theta", "d_k", "r_theta", "beta")
+
+    def test_param_count_by_pairing(self):
+        assert MixtureResilienceModel("exp", "exp").n_params == 3
+        assert MixtureResilienceModel("wei", "wei").n_params == 5
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ParameterError):
+            MixtureResilienceModel("cauchy", "exp")
+
+    def test_bounds_concatenated(self):
+        model = MixtureResilienceModel("wei", "wei")
+        assert len(model.lower_bounds) == 5
+        assert model.lower_bounds[-1] == LogTrend.beta_lower_bound
+
+
+class TestEvaluate:
+    def test_eq7_composition(self):
+        """P(t) = (1 − F₁(t)) + β·ln(t)·F₂(t) with a₁ = 1."""
+        model = MixtureResilienceModel("exp", "exp", trend="log")
+        theta1, theta2, beta = 5.0, 8.0, 0.3
+        t = np.array([0.5, 2.0, 10.0, 40.0])
+        f1 = Exponential(theta1)
+        f2 = Exponential(theta2)
+        expected = (1.0 - f1.cdf(t)) + beta * np.log(t) * f2.cdf(t)
+        out = model.evaluate(t, (theta1, theta2, beta))
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_starts_at_one(self):
+        """At t = 0: sf₁ = 1 and F₂ = 0, so P(0) = 1 regardless of β."""
+        for f1, f2 in (("exp", "exp"), ("wei", "wei"), ("wei", "exp")):
+            model = MixtureResilienceModel(f1, f2)
+            params = tuple(
+                1.0 if name != "beta" else 0.7 for name in model.param_names
+            )
+            assert float(model.evaluate([0.0], params)[0]) == pytest.approx(1.0)
+
+    def test_finite_everywhere_in_bounds(self):
+        model = MixtureResilienceModel("wei", "wei")
+        rng = np.random.default_rng(11)
+        t = np.linspace(0.0, 47.0, 48)
+        lower = np.asarray(model.lower_bounds)
+        upper = np.minimum(np.asarray(model.upper_bounds), 100.0)
+        for _ in range(25):
+            params = rng.uniform(lower, upper)
+            assert np.isfinite(model.evaluate(t, tuple(params))).all()
+
+    def test_components_sum_to_prediction(self, recession_1990):
+        model = MixtureResilienceModel("wei", "exp")
+        bound = model.bind((10.0, 2.0, 15.0, 0.3))
+        t = recession_1990.times
+        degradation, recovery = bound.components(t)
+        np.testing.assert_allclose(degradation + recovery, bound.predict(t))
+
+    def test_degradation_component_monotone_decreasing(self):
+        model = MixtureResilienceModel("wei", "exp").bind((10.0, 2.0, 15.0, 0.3))
+        degradation, _ = model.components(np.linspace(0, 47, 48))
+        assert (np.diff(degradation) <= 1e-12).all()
+
+
+class TestInitialGuesses:
+    def test_guesses_within_bounds(self, recession_1990):
+        for pairing in (("exp", "exp"), ("wei", "exp"), ("exp", "wei"), ("wei", "wei")):
+            model = MixtureResilienceModel(*pairing)
+            guesses = model.initial_guesses(recession_1990)
+            assert guesses
+            for guess in guesses:
+                assert len(guess) == model.n_params
+                for value, lo, hi in zip(guess, model.lower_bounds, model.upper_bounds):
+                    assert lo <= value <= hi
+
+    def test_guesses_deduplicated(self, recession_1990):
+        model = MixtureResilienceModel("exp", "exp")
+        guesses = model.initial_guesses(recession_1990)
+        assert len(guesses) == len(set(guesses))
+
+
+class TestExtendedPairings:
+    """Any registered distribution can be mixed in (beyond the paper)."""
+
+    @pytest.mark.parametrize("pairing", [("gamma", "exp"), ("lognormal", "weibull")])
+    def test_extended_mixture_evaluates(self, pairing, recession_1990):
+        model = MixtureResilienceModel(*pairing)
+        guesses = model.initial_guesses(recession_1990)
+        values = model.evaluate(recession_1990.times, guesses[0])
+        assert np.isfinite(values).all()

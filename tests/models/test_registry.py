@@ -1,0 +1,55 @@
+"""Tests for the model factory."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.mixture import MixtureResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+from repro.models.registry import available_models, make_model
+
+
+class TestMakeModel:
+    def test_quadratic(self):
+        assert isinstance(make_model("quadratic"), QuadraticResilienceModel)
+
+    @pytest.mark.parametrize("name", ["competing_risks", "competing-risks", "hjorth"])
+    def test_competing_risks_aliases(self, name):
+        assert isinstance(make_model(name), CompetingRisksResilienceModel)
+
+    @pytest.mark.parametrize("name", ["exp-exp", "wei-exp", "exp-wei", "wei-wei"])
+    def test_paper_mixtures(self, name):
+        model = make_model(name)
+        assert isinstance(model, MixtureResilienceModel)
+        assert model.name == name
+        assert model.trend_class.name == "log"
+
+    def test_mixture_with_trend_suffix(self):
+        model = make_model("wei-exp(linear)")
+        assert model.trend_class.name == "linear"
+
+    def test_full_distribution_names(self):
+        model = make_model("weibull-exponential")
+        assert model.name == "wei-exp"
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(make_model("  QUADRATIC "), QuadraticResilienceModel)
+
+    def test_unknown_model(self):
+        with pytest.raises(ParameterError, match="unknown model"):
+            make_model("transformer")
+
+    def test_unknown_mixture_component(self):
+        with pytest.raises(ParameterError):
+            make_model("cauchy-exp")
+
+
+class TestAvailableModels:
+    def test_all_constructible(self):
+        for name in available_models():
+            assert make_model(name) is not None
+
+    def test_paper_families_listed(self):
+        names = available_models()
+        for expected in ("quadratic", "competing_risks", "exp-exp", "wei-wei"):
+            assert expected in names

@@ -1,0 +1,98 @@
+"""Tests for the segmented (two-episode) bathtub model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.recessions import load_recession
+from repro.exceptions import ParameterError
+from repro.fitting.least_squares import fit_least_squares
+from repro.models.segmented import SegmentedBathtubModel
+from repro.validation.crossval import evaluate_predictive
+
+
+class TestConfiguration:
+    def test_default_episode(self):
+        model = SegmentedBathtubModel()
+        assert model.name == "segmented"
+        assert model.n_params == 7
+
+    def test_quadratic_episode(self):
+        model = SegmentedBathtubModel("quadratic")
+        assert model.name == "segmented(quadratic)"
+        assert model.param_names[0] == "e1_alpha"
+        assert model.param_names[-1] == "changepoint"
+
+    def test_unknown_episode(self):
+        with pytest.raises(ParameterError, match="episode"):
+            SegmentedBathtubModel("mixture")
+
+
+class TestEvaluate:
+    def test_branches_at_changepoint(self):
+        model = SegmentedBathtubModel("quadratic")
+        # Episode 1: constant 1.0; episode 2: constant 0.5; change at t=5.
+        params = (1.0, 0.0, 0.0, 0.5, 0.0, 0.0, 5.0)
+        out = model.evaluate([0.0, 4.9, 5.0, 10.0], params)
+        np.testing.assert_allclose(out, [1.0, 1.0, 0.5, 0.5])
+
+    def test_second_episode_time_reset(self):
+        model = SegmentedBathtubModel("quadratic")
+        # Episode 2 = 1 − 0.1·t (local time), change at t=10.
+        params = (1.0, 0.0, 0.0, 1.0, -0.1, 0.0, 10.0)
+        out = model.evaluate([10.0, 15.0], params)
+        np.testing.assert_allclose(out, [1.0, 0.5])
+
+    def test_episodes_accessor(self):
+        model = SegmentedBathtubModel("quadratic").bind(
+            (1.0, -0.1, 0.01, 0.9, -0.05, 0.005, 20.0)
+        )
+        first, second, changepoint = model.episodes()
+        assert changepoint == 20.0
+        assert first.param_dict["alpha"] == 1.0
+        assert second.param_dict["alpha"] == 0.9
+
+
+class TestInitialGuesses:
+    def test_guesses_on_w_curve(self):
+        curve = load_recession("1980")
+        model = SegmentedBathtubModel()
+        guesses = model.initial_guesses(curve)
+        assert guesses
+        for guess in guesses:
+            assert len(guess) == 7
+            changepoint = guess[-1]
+            assert 0.0 < changepoint < curve.times[-1]
+
+    def test_interior_maximum_near_rebound(self):
+        """On the 1980 W curve the rebound between dips is ~month 14-20."""
+        curve = load_recession("1980")
+        rebound = SegmentedBathtubModel._interior_maximum(curve)
+        assert rebound is not None
+        assert 10.0 <= rebound <= 24.0
+
+    def test_single_dip_no_interior_maximum_crash(self, recession_1990):
+        model = SegmentedBathtubModel()
+        assert model.initial_guesses(recession_1990)
+
+
+class TestFitsWShape:
+    """The headline extension result: segmented models fix 1980."""
+
+    def test_beats_single_episode_on_1980(self):
+        curve = load_recession("1980")
+        segmented = evaluate_predictive(
+            SegmentedBathtubModel(), curve, n_random_starts=4
+        )
+        from repro.models.competing_risks import CompetingRisksResilienceModel
+
+        single = evaluate_predictive(
+            CompetingRisksResilienceModel(), curve, n_random_starts=4
+        )
+        assert segmented.measures.r2_adjusted > 0.8
+        assert segmented.measures.r2_adjusted > single.measures.r2_adjusted + 0.3
+
+    def test_no_regression_on_single_dip_curve(self, recession_1990):
+        """On a plain U the segmented model should still fit well (it
+        nests the single-episode behaviour)."""
+        fit = fit_least_squares(SegmentedBathtubModel(), recession_1990)
+        assert fit.sse < 0.001

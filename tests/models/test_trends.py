@@ -1,0 +1,80 @@
+"""Tests for the recovery transition trends a₂(t)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models.trends import (
+    ConstantTrend,
+    ExponentialTrend,
+    LinearTrend,
+    LogTrend,
+    available_trends,
+    get_trend_class,
+)
+
+
+class TestTrendValues:
+    def test_constant(self):
+        np.testing.assert_allclose(
+            ConstantTrend.value([0.0, 5.0, 10.0], 1.3), [1.3, 1.3, 1.3]
+        )
+
+    def test_linear(self):
+        np.testing.assert_allclose(
+            LinearTrend.value([0.0, 2.0, 4.0], 0.5), [0.0, 1.0, 2.0]
+        )
+
+    def test_exponential(self):
+        out = ExponentialTrend.value([0.0, 1.0], 0.2)
+        np.testing.assert_allclose(out, [1.0, math.exp(0.2)])
+
+    def test_log(self):
+        out = LogTrend.value([1.0, math.e], 2.0)
+        np.testing.assert_allclose(out, [0.0, 2.0], atol=1e-12)
+
+    def test_log_finite_at_zero(self):
+        """β·ln t must stay finite at t = 0 (the paper's curves start
+        at the employment peak, t = 0)."""
+        out = LogTrend.value([0.0], 1.0)
+        assert np.isfinite(out).all()
+
+
+class TestDefaultBeta:
+    """The heuristic must roughly invert a₂(t_end) = target."""
+
+    @pytest.mark.parametrize(
+        "cls", [ConstantTrend, LinearTrend, ExponentialTrend, LogTrend]
+    )
+    def test_inversion(self, cls):
+        target, t_end = 1.05, 47.0
+        beta = cls.default_beta(target, t_end)
+        value = float(cls.value([t_end], beta)[0])
+        assert value == pytest.approx(target, rel=0.05)
+
+    def test_exponential_nonpositive_target(self):
+        assert ExponentialTrend.default_beta(0.0, 10.0) == 0.0
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_trends()) == {"constant", "linear", "exponential", "log"}
+
+    def test_lookup(self):
+        assert get_trend_class("log") is LogTrend
+
+    @pytest.mark.parametrize(
+        "alias,cls",
+        [("ln", LogTrend), ("logarithmic", LogTrend), ("exp", ExponentialTrend)],
+    )
+    def test_aliases(self, alias, cls):
+        assert get_trend_class(alias) is cls
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError, match="known:"):
+            get_trend_class("quadratic")
+
+    def test_exponential_bounds_tightened(self):
+        assert ExponentialTrend.beta_upper_bound <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for the aging/maintenance simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.simulation.degradation import AgingSystem, MaintenancePolicy
+
+
+class TestMaintenancePolicy:
+    def test_defaults_valid(self):
+        policy = MaintenancePolicy()
+        assert policy.kind == "periodic"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "heroic"},
+            {"interval": 0.0},
+            {"threshold": 1.0},
+            {"threshold": 0.0},
+            {"restoration": 0.0},
+            {"restoration": 1.5},
+            {"duration": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            MaintenancePolicy(**kwargs)
+
+
+class TestAgingSystem:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            AgingSystem(wear_rate=0.0)
+        with pytest.raises(ParameterError):
+            AgingSystem(wear_volatility=-1.0)
+        with pytest.raises(ParameterError):
+            AgingSystem(floor=1.0)
+
+    def test_simulate_shape(self):
+        system = AgingSystem(wear_rate=0.01)
+        curve = system.simulate(100.0, MaintenancePolicy(interval=20.0), seed=1)
+        assert len(curve) == 101
+        assert curve.nominal == 1.0
+        assert (curve.performance <= 1.0 + 1e-12).all()
+
+    def test_deterministic(self):
+        system = AgingSystem()
+        policy = MaintenancePolicy(interval=15.0)
+        a = system.simulate(80.0, policy, seed=3)
+        b = system.simulate(80.0, policy, seed=3)
+        assert a == b
+
+    def test_no_maintenance_decays_to_floor(self):
+        system = AgingSystem(wear_rate=0.05, wear_volatility=0.0, floor=0.3)
+        # Periodic policy with interval beyond the horizon = no actions.
+        policy = MaintenancePolicy(interval=1e6)
+        curve = system.simulate(100.0, policy, seed=2)
+        assert curve.final_performance == pytest.approx(0.3)
+        assert curve.metadata["n_maintenance_actions"] == 0
+
+    def test_periodic_maintains_sawtooth(self):
+        system = AgingSystem(wear_rate=0.02, wear_volatility=0.0)
+        policy = MaintenancePolicy(kind="periodic", interval=10.0, restoration=1.0)
+        curve = system.simulate(100.0, policy, seed=4)
+        assert curve.metadata["n_maintenance_actions"] >= 9
+        # Restoration keeps long-run performance well above no-repair decay.
+        assert float(curve.performance[-20:].mean()) > 0.8
+
+    def test_condition_policy_respects_threshold(self):
+        system = AgingSystem(wear_rate=0.02, wear_volatility=0.0)
+        policy = MaintenancePolicy(kind="condition", threshold=0.85, restoration=1.0)
+        curve = system.simulate(200.0, policy, seed=5)
+        # Performance may touch the trigger but never drift far below it
+        # (one wear step of 0.02, plus the frozen repair interval).
+        assert curve.min_performance > 0.85 - 3 * 0.02
+
+    def test_better_restoration_higher_average(self):
+        system = AgingSystem(wear_rate=0.02, wear_volatility=0.0)
+        good = system.simulate(
+            200.0, MaintenancePolicy(interval=10.0, restoration=1.0), seed=6
+        )
+        poor = system.simulate(
+            200.0, MaintenancePolicy(interval=10.0, restoration=0.3), seed=6
+        )
+        assert good.performance.mean() > poor.performance.mean()
+
+    def test_models_fit_single_cycle(self):
+        """A maintenance cycle is itself a resilience curve the paper's
+        models can fit: decay then restoration."""
+        from repro.core.episodes import split_episodes
+        from repro.fitting.least_squares import fit_least_squares
+        from repro.models.quadratic import QuadraticResilienceModel
+
+        system = AgingSystem(wear_rate=0.01, wear_volatility=0.001)
+        policy = MaintenancePolicy(interval=25.0, restoration=1.0)
+        history = system.simulate(100.0, policy, seed=7)
+        episodes = split_episodes(history, tolerance=0.02, min_samples=5)
+        assert episodes
+        episode = episodes[0].curve.shifted(-float(episodes[0].curve.times[0]))
+        fit = fit_least_squares(QuadraticResilienceModel(), episode)
+        assert np.isfinite(fit.sse)

@@ -1,0 +1,67 @@
+"""Tests for shock arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Weibull
+from repro.exceptions import ParameterError
+from repro.simulation.shocks import PoissonShockProcess, RenewalShockProcess
+
+
+class TestPoissonShockProcess:
+    def test_expected_count(self):
+        process = PoissonShockProcess(rate=0.5)
+        assert process.expected_count(10.0) == 5.0
+
+    def test_empirical_rate_close(self):
+        process = PoissonShockProcess(rate=0.5)
+        rng = np.random.default_rng(1)
+        counts = [process.arrival_times(100.0, rng).size for _ in range(50)]
+        assert np.mean(counts) == pytest.approx(50.0, rel=0.12)
+
+    def test_arrivals_sorted_and_within_horizon(self):
+        process = PoissonShockProcess(rate=1.0)
+        times = process.arrival_times(20.0, np.random.default_rng(2))
+        assert (np.diff(times) > 0).all()
+        assert times.size == 0 or (times[0] > 0 and times[-1] <= 20.0)
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("inf")])
+    def test_invalid_rate(self, rate):
+        with pytest.raises(ParameterError):
+            PoissonShockProcess(rate)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ParameterError, match="horizon"):
+            PoissonShockProcess(1.0).arrival_times(0.0)
+
+    def test_negative_expected_horizon(self):
+        with pytest.raises(ParameterError):
+            PoissonShockProcess(1.0).expected_count(-1.0)
+
+
+class TestRenewalShockProcess:
+    def test_weibull_interarrivals(self):
+        process = RenewalShockProcess(Weibull(5.0, 2.0))
+        times = process.arrival_times(50.0, np.random.default_rng(3))
+        assert times.size > 0
+        assert (np.diff(times) > 0).all()
+
+    def test_magnitude_range_validation(self):
+        with pytest.raises(ParameterError, match="magnitude_range"):
+            RenewalShockProcess(Weibull(5.0, 2.0), magnitude_range=(0.5, 0.1))
+        with pytest.raises(ParameterError):
+            RenewalShockProcess(Weibull(5.0, 2.0), magnitude_range=(0.0, 0.5))
+
+    def test_sample_events(self):
+        process = PoissonShockProcess(rate=0.3, magnitude_range=(0.1, 0.2))
+        events = process.sample_events(50.0, np.random.default_rng(4))
+        assert events
+        for event in events:
+            assert 0.1 <= event.magnitude <= 0.2
+            assert 0.0 < event.onset <= 50.0
+
+    def test_events_deterministic_given_rng(self):
+        process = PoissonShockProcess(rate=0.3)
+        a = process.sample_events(50.0, np.random.default_rng(9))
+        b = process.sample_events(50.0, np.random.default_rng(9))
+        assert [e.onset for e in a] == [e.onset for e in b]

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fit_arguments(self):
+        args = build_parser().parse_args(
+            ["fit", "quadratic", "1990-93", "--train-fraction", "0.8", "--metrics"]
+        )
+        assert args.model == "quadratic"
+        assert args.train_fraction == 0.8
+        assert args.metrics
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "1990-93" in out
+        assert "2020-21" in out
+
+    def test_fit_recession(self, capsys):
+        assert main(["fit", "quadratic", "1990-93"]) == 0
+        out = capsys.readouterr().out
+        assert "SSE" in out
+        assert "r2adj" in out
+
+    def test_fit_with_metrics(self, capsys):
+        assert main(["fit", "quadratic", "1990-93", "--metrics"]) == 0
+        assert "performance_preserved" in capsys.readouterr().out
+
+    def test_fit_csv_file(self, tmp_path, capsys, recession_1990):
+        from repro.datasets.loader import curve_to_csv
+
+        path = tmp_path / "series.csv"
+        curve_to_csv(recession_1990, path)
+        assert main(["fit", "quadratic", str(path)]) == 0
+
+    def test_fit_unknown_model_errors(self, capsys):
+        assert main(["fit", "transformer", "1990-93"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fit_unknown_dataset_errors(self, capsys):
+        assert main(["fit", "quadratic", "2042"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_table_2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_table_roman_numeral(self, capsys):
+        assert main(["table", "II"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+
+class TestRecommendCommand:
+    def test_recommend_l_shape(self, capsys):
+        assert main(["recommend", "2020-21", "--criterion", "r2_adjusted"]) == 0
+        out = capsys.readouterr().out
+        assert "Classified shape: L" in out
+        assert "Recommended model: partial-" in out
+
+    def test_recommend_no_shape_gate(self, capsys):
+        assert main(["recommend", "1990-93", "--no-shape-gate"]) == 0
+        out = capsys.readouterr().out
+        assert "Classified shape" not in out
+        assert "Recommended model:" in out
+
+    def test_recommend_unknown_dataset(self, capsys):
+        assert main(["recommend", "2042"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCardCommand:
+    def test_card_renders(self, capsys):
+        assert main(["card", "1990-93"]) == 0
+        out = capsys.readouterr().out
+        assert "Resilience report card" in out
+        assert "best model" in out
+
+
+class TestEpisodesCommand:
+    def test_episodes_on_recession(self, capsys):
+        assert main(["episodes", "1990-93", "--tolerance", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "Episode scorecard" in out
+
+    def test_episodes_custom_model(self, capsys):
+        assert main(["episodes", "1990-93", "--model", "quadratic"]) == 0
+        assert "Episode scorecard" in capsys.readouterr().out
+
+
+class TestTableExportOptions:
+    def test_table_csv_and_json(self, capsys, tmp_path):
+        csv_path = tmp_path / "t2.csv"
+        json_path = tmp_path / "t2.json"
+        assert main(["table", "2", "--csv", str(csv_path), "--json", str(json_path)]) == 0
+        assert csv_path.exists() and json_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestFigureCommands:
+    @pytest.mark.parametrize("number", ["1", "3"])
+    def test_more_figures(self, capsys, number):
+        assert main(["figure", number]) == 0
+        assert f"Figure {number}" in capsys.readouterr().out

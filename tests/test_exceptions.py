@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in exceptions.__all__:
+        cls = getattr(exceptions, name)
+        assert issubclass(cls, exceptions.ReproError)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [
+        exceptions.ParameterError,
+        exceptions.CurveError,
+        exceptions.DataError,
+        exceptions.MetricError,
+        exceptions.ShapeError,
+    ],
+)
+def test_value_like_errors_are_value_errors(cls):
+    assert issubclass(cls, ValueError)
+
+
+def test_fit_errors_are_runtime_errors():
+    assert issubclass(exceptions.FitError, RuntimeError)
+    assert issubclass(exceptions.ConvergenceError, exceptions.FitError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(exceptions.ReproError):
+        raise exceptions.ConvergenceError("nope")

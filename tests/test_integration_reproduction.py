@@ -1,0 +1,170 @@
+"""Integration tests: the paper's qualitative findings must reproduce.
+
+These assertions encode the expected-reproduction-quality contract in
+DESIGN.md §4. Absolute numbers differ from the paper (the datasets are
+reconstructions — see DESIGN.md §2), but the orderings and fit/no-fit
+conclusions are the reproduction target and are enforced here.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table1, table2, table3, table4
+
+#: Datasets the paper identifies as well-modeled V/U curves.
+GOOD_DATASETS = ("1974-76", "1981-83", "1990-93", "2001-05", "2007-09")
+
+#: Datasets the paper identifies as failures (W and L/K shapes).
+BAD_DATASETS = ("1980", "2020-21")
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1(n_random_starts=4)
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    return table3(n_random_starts=4)
+
+
+class TestTableOneFindings:
+    """Section V, Table I conclusions."""
+
+    @pytest.mark.parametrize("dataset", GOOD_DATASETS)
+    @pytest.mark.parametrize("model", ["quadratic", "competing_risks"])
+    def test_bathtub_models_fit_v_and_u_curves(self, table1_result, dataset, model):
+        assert table1_result.measure(dataset, model, "r2_adjusted") > 0.85
+
+    @pytest.mark.parametrize("dataset", BAD_DATASETS)
+    @pytest.mark.parametrize("model", ["quadratic", "competing_risks"])
+    def test_bathtub_models_fail_w_and_l_curves(self, table1_result, dataset, model):
+        """Neither model characterizes the 1980 (W) or 2020-21 (L/K)
+        data satisfactorily."""
+        assert table1_result.measure(dataset, model, "r2_adjusted") < 0.6
+
+    def test_failures_dramatically_worse_than_successes(self, table1_result):
+        worst_good = min(
+            table1_result.measure(d, m, "r2_adjusted")
+            for d in GOOD_DATASETS
+            for m in ("quadratic", "competing_risks")
+        )
+        best_bad = max(
+            table1_result.measure(d, m, "r2_adjusted")
+            for d in BAD_DATASETS
+            for m in ("quadratic", "competing_risks")
+        )
+        assert worst_good - best_bad > 0.2
+
+    @pytest.mark.parametrize("dataset", GOOD_DATASETS + BAD_DATASETS)
+    def test_coverage_near_nominal(self, table1_result, dataset):
+        """EC of the 95% band lands in the paper's observed 85-100% range."""
+        for model in ("quadratic", "competing_risks"):
+            ec = table1_result.measure(dataset, model, "empirical_coverage")
+            assert 0.8 <= ec <= 1.0
+
+    def test_competing_risks_flexibility(self, table1_result):
+        """The competing-risks model matches or beats the quadratic on
+        a majority of datasets by SSE (its extra flexibility)."""
+        wins = sum(
+            table1_result.measure(d, "competing_risks", "sse")
+            <= table1_result.measure(d, "quadratic", "sse") * 1.05
+            for d in GOOD_DATASETS + BAD_DATASETS
+        )
+        assert wins >= 4
+
+
+class TestTableThreeFindings:
+    """Section V-A, Table III conclusions."""
+
+    @pytest.mark.parametrize("dataset", GOOD_DATASETS)
+    def test_some_weibull_mixture_strong_on_good_datasets(
+        self, table3_result, dataset
+    ):
+        """At least one of Wei-Exp / Exp-Wei / Wei-Wei reaches
+        r²adj > 0.9 on every dataset except 1980 and 2020-21."""
+        best = max(
+            table3_result.measure(dataset, m, "r2_adjusted")
+            for m in ("wei-exp", "exp-wei", "wei-wei")
+        )
+        assert best > 0.9
+
+    @pytest.mark.parametrize("dataset", BAD_DATASETS)
+    def test_mixtures_degrade_on_bad_datasets(self, table3_result, dataset):
+        """The W and L/K curves remain the hardest for mixtures too."""
+        exp_exp = table3_result.measure(dataset, "exp-exp", "r2_adjusted")
+        assert exp_exp < 0.75
+
+    def test_exp_exp_never_best(self, table3_result):
+        """The simplest Exp-Exp pairing is never the best mixture by
+        SSE on any dataset."""
+        for dataset in GOOD_DATASETS + BAD_DATASETS:
+            exp_exp = table3_result.measure(dataset, "exp-exp", "sse")
+            best_other = min(
+                table3_result.measure(dataset, m, "sse")
+                for m in ("wei-exp", "exp-wei", "wei-wei")
+            )
+            assert best_other <= exp_exp * 1.001, dataset
+
+    def test_wei_wei_most_flexible_by_sse(self, table3_result):
+        """The 5-parameter Wei-Wei attains the lowest training SSE on
+        most datasets (flexibility ordering)."""
+        wins = 0
+        for dataset in GOOD_DATASETS + BAD_DATASETS:
+            sses = {
+                m: table3_result.measure(dataset, m, "sse")
+                for m in ("exp-exp", "wei-exp", "exp-wei", "wei-wei")
+            }
+            if sses["wei-wei"] <= min(sses.values()) * 1.05:
+                wins += 1
+        assert wins >= 5
+
+
+class TestMetricTables:
+    """Tables II and IV conclusions on the 1990-93 dataset."""
+
+    @pytest.fixture(scope="class")
+    def table2_result(self):
+        return table2(n_random_starts=4)
+
+    @pytest.fixture(scope="class")
+    def table4_result(self):
+        return table4(n_random_starts=4)
+
+    AREA_METRICS = (
+        "performance_preserved",
+        "normalized_average_performance_preserved",
+        "average_performance_preserved",
+        "weighted_average_preserved",
+    )
+
+    def test_bathtub_area_metrics_accurate(self, table2_result):
+        """Table II: bathtub models predict area-style metrics within
+        1% relative error on 1990-93."""
+        for model, report in table2_result.reports.items():
+            for metric in self.AREA_METRICS:
+                assert report.row(metric).delta < 0.01, (model, metric)
+
+    def test_mixture_area_metrics_accurate(self, table4_result):
+        """Table IV: mixtures predict area-style metrics within a few
+        percent on 1990-93."""
+        for model, report in table4_result.reports.items():
+            for metric in self.AREA_METRICS:
+                assert report.row(metric).delta < 0.05, (model, metric)
+
+    def test_normalized_loss_metric_is_amplified(self, table2_result):
+        """The paper: the normalized-average-performance-lost error is
+        larger 'because of the normalization step'."""
+        for report in table2_result.reports.values():
+            loss_delta = report.row("normalized_average_performance_lost").delta
+            preserved_delta = report.row(
+                "normalized_average_performance_preserved"
+            ).delta
+            assert loss_delta > preserved_delta
+
+    def test_negative_loss_interpretation(self, table2_result):
+        """1990-93 recovered above its level at the split: performance
+        lost over the prediction window is negative (paper's Table II
+        discussion)."""
+        for report in table2_result.reports.values():
+            assert report.row("performance_lost").actual < 0.0
+            assert report.row("performance_lost").predicted < 0.0

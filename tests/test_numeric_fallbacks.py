@@ -1,0 +1,112 @@
+"""Coverage for the generic numeric fallbacks that concrete classes
+usually shadow with closed forms — they must stay correct because every
+*new* distribution/hazard/model starts out relying on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gompertz, LogLogistic, Weibull
+from repro.hazards import HjorthHazard, QuadraticHazard
+from repro.hazards.base import HazardFunction
+
+
+class TestDistributionNumericFallbacks:
+    def test_numeric_mean_matches_closed_form(self):
+        """Weibull has a closed-form mean; the base-class quadrature
+        fallback must agree."""
+        from repro.distributions.base import LifetimeDistribution
+
+        dist = Weibull(3.0, 2.0)
+        numeric = LifetimeDistribution.mean(dist)
+        assert numeric == pytest.approx(dist.mean(), rel=1e-6)
+
+    def test_numeric_variance_matches_closed_form(self):
+        from repro.distributions.base import LifetimeDistribution
+
+        dist = Weibull(3.0, 2.0)
+        numeric = LifetimeDistribution.variance(dist)
+        assert numeric == pytest.approx(dist.variance(), rel=1e-5)
+
+    def test_gompertz_mean_is_numeric_and_finite(self):
+        # Gompertz has no elementary closed-form mean: exercises the
+        # fallback directly.
+        mean = Gompertz(0.1, 0.5).mean()
+        assert 0.0 < mean < 10.0
+
+    def test_bisection_quantile_matches_closed_form(self):
+        from repro.distributions.base import LifetimeDistribution
+
+        dist = LogLogistic(2.0, 3.0)
+        probs = np.array([0.2, 0.5, 0.8])
+        numeric = LifetimeDistribution.quantile(dist, probs)
+        np.testing.assert_allclose(numeric, dist.quantile(probs), rtol=1e-8)
+
+    def test_generic_hazard_rate_formula(self):
+        from repro.distributions.base import LifetimeDistribution
+
+        dist = Weibull(2.0, 1.5)
+        t = np.linspace(0.5, 5.0, 10)
+        generic = LifetimeDistribution.hazard(dist, t)
+        np.testing.assert_allclose(generic, dist.pdf(t) / dist.sf(t), rtol=1e-9)
+
+    def test_generic_cumulative_hazard(self):
+        from repro.distributions.base import LifetimeDistribution
+
+        dist = Weibull(2.0, 1.5)
+        t = np.linspace(0.1, 5.0, 10)
+        generic = LifetimeDistribution.cumulative_hazard(dist, t)
+        np.testing.assert_allclose(generic, dist.cumulative_hazard(t), rtol=1e-8)
+
+
+class TestHazardNumericFallbacks:
+    @pytest.mark.parametrize(
+        "hazard",
+        [QuadraticHazard(1.0, -0.04, 0.001), HjorthHazard(1.0, 0.2, 0.002)],
+        ids=["quadratic", "hjorth"],
+    )
+    def test_numeric_cumulative_matches_closed_form(self, hazard):
+        t = np.array([0.5, 3.0, 10.0])
+        numeric = HazardFunction.cumulative(hazard, t)
+        np.testing.assert_allclose(numeric, hazard.cumulative(t), rtol=1e-6)
+
+    @pytest.mark.parametrize(
+        "hazard",
+        [QuadraticHazard(1.0, -0.04, 0.001), HjorthHazard(1.0, 0.2, 0.002)],
+        ids=["quadratic", "hjorth"],
+    )
+    def test_numeric_minimum_matches_closed_form(self, hazard):
+        t_generic, v_generic = HazardFunction.minimum(hazard, 100.0)
+        t_closed, v_closed = hazard.minimum(100.0)
+        assert t_generic == pytest.approx(t_closed, abs=0.1)
+        assert v_generic == pytest.approx(v_closed, abs=1e-6)
+
+
+class TestComparisonFailurePlumbing:
+    def test_compare_models_records_convergence_failures(
+        self, recession_1990, monkeypatch
+    ):
+        """A family whose fit raises ConvergenceError lands in .failed,
+        not in .evaluations, and does not abort the comparison."""
+        import repro.validation.comparison as comparison_module
+        from repro.exceptions import ConvergenceError
+        from repro.models.quadratic import QuadraticResilienceModel
+        from repro.models.competing_risks import CompetingRisksResilienceModel
+        from repro.validation.comparison import compare_models
+
+        real = comparison_module.evaluate_predictive
+
+        def flaky(family, curve, **kwargs):
+            if family.name == "competing_risks":
+                raise ConvergenceError("forced failure")
+            return real(family, curve, **kwargs)
+
+        monkeypatch.setattr(comparison_module, "evaluate_predictive", flaky)
+        result = compare_models(
+            [QuadraticResilienceModel(), CompetingRisksResilienceModel()],
+            recession_1990,
+            n_random_starts=0,
+        )
+        assert result.failed == ["competing_risks"]
+        assert set(result.evaluations) == {"quadratic"}
+        assert result.best("sse") == "quadratic"

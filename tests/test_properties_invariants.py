@@ -1,0 +1,208 @@
+"""Cross-cutting property-based tests: invariances the whole stack
+must respect, regardless of which concrete curve or model is involved.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.curve import ResilienceCurve
+from repro.core.episodes import split_episodes
+from repro.metrics.interval import (
+    MetricContext,
+    normalized_performance_lost,
+    normalized_performance_preserved,
+    performance_lost,
+    performance_preserved,
+)
+from repro.models.quadratic import QuadraticResilienceModel
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_performance_lists = st.lists(
+    st.floats(0.5, 1.5, allow_nan=False, allow_infinity=False),
+    min_size=4,
+    max_size=40,
+)
+
+
+def _curve_from(values: list[float], nominal: float = 1.0) -> ResilienceCurve:
+    return ResilienceCurve(
+        np.arange(float(len(values))), values, nominal=nominal, name="prop"
+    )
+
+
+# ----------------------------------------------------------------------
+# Curve invariances
+# ----------------------------------------------------------------------
+class TestCurveInvariants:
+    @given(_performance_lists)
+    @settings(max_examples=40)
+    def test_area_additivity(self, values):
+        curve = _curve_from(values)
+        end = float(curve.times[-1])
+        mid = end / 2.0
+        total = curve.area()
+        split = curve.area(0.0, mid) + curve.area(mid, end)
+        assert total == pytest.approx(split, abs=1e-9)
+
+    @given(_performance_lists, st.floats(-100.0, 100.0))
+    @settings(max_examples=40)
+    def test_shift_preserves_area(self, values, offset):
+        curve = _curve_from(values)
+        shifted = curve.shifted(offset)
+        assert shifted.area() == pytest.approx(curve.area(), rel=1e-12)
+
+    @given(_performance_lists)
+    @settings(max_examples=40)
+    def test_serialization_roundtrip(self, values):
+        curve = _curve_from(values)
+        assert ResilienceCurve.from_dict(curve.to_dict()) == curve
+
+    @given(_performance_lists, st.floats(0.1, 10.0))
+    @settings(max_examples=40)
+    def test_normalization_scales_performance(self, values, scale):
+        scaled = _curve_from([v * scale for v in values], nominal=scale)
+        normalized = scaled.normalized()
+        np.testing.assert_allclose(
+            normalized.performance, np.asarray(values), rtol=1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# Metric invariances
+# ----------------------------------------------------------------------
+class TestMetricInvariants:
+    @given(_performance_lists, st.floats(-50.0, 50.0))
+    @settings(max_examples=40)
+    def test_interval_metrics_time_shift_invariant(self, values, offset):
+        curve = _curve_from(values)
+        ctx = MetricContext.from_curve(curve)
+        shifted_ctx = MetricContext.from_curve(curve.shifted(offset))
+        assert performance_preserved(shifted_ctx) == pytest.approx(
+            performance_preserved(ctx), rel=1e-9
+        )
+        assert performance_lost(shifted_ctx) == pytest.approx(
+            performance_lost(ctx), rel=1e-9, abs=1e-9
+        )
+
+    @given(_performance_lists, st.floats(0.1, 10.0))
+    @settings(max_examples=40)
+    def test_normalized_metrics_scale_invariant(self, values, scale):
+        """Normalized metrics must not change when the measurement unit
+        does (performance and nominal scaled together)."""
+        base = _curve_from(values, nominal=1.0)
+        scaled = _curve_from([v * scale for v in values], nominal=scale)
+        base_ctx = MetricContext.from_curve(base)
+        scaled_ctx = MetricContext.from_curve(scaled)
+        assert normalized_performance_preserved(scaled_ctx) == pytest.approx(
+            normalized_performance_preserved(base_ctx), rel=1e-9
+        )
+        assert normalized_performance_lost(scaled_ctx) == pytest.approx(
+            normalized_performance_lost(base_ctx), rel=1e-9, abs=1e-9
+        )
+
+    @given(_performance_lists)
+    @settings(max_examples=40)
+    def test_preserved_plus_lost_is_rectangle(self, values):
+        """Eq. (14) + Eq. (16) = the nominal rectangle, by construction."""
+        curve = _curve_from(values)
+        ctx = MetricContext.from_curve(curve)
+        rectangle = ctx.nominal * (ctx.recovery_time - ctx.hazard_time)
+        assert performance_preserved(ctx) + performance_lost(ctx) == pytest.approx(
+            rectangle, rel=1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# Model invariances
+# ----------------------------------------------------------------------
+class TestModelInvariants:
+    @given(
+        alpha=st.floats(0.5, 2.0),
+        beta=st.floats(-0.08, -0.005),
+        gamma=st.floats(0.0002, 0.002),
+        level_offset=st.floats(0.01, 0.2),
+    )
+    @settings(max_examples=40)
+    def test_clamped_prediction_capped_after_recovery(
+        self, alpha, beta, gamma, level_offset
+    ):
+        model = QuadraticResilienceModel().bind((alpha, beta, gamma))
+        _, trough = model.minimum(1e4)
+        level = trough + level_offset
+        assume(level <= alpha)  # reachable on the recovery arm
+        t = np.linspace(0.0, 500.0, 200)
+        clamped = model.predict_clamped(t, level, horizon=1e5)
+        t_r = model.recovery_time(level, horizon=1e5)
+        after = t > t_r
+        # Past the recovery time the curve is held at P(t_r) = level;
+        # before it (including the pre-disruption arm) it is untouched.
+        np.testing.assert_allclose(clamped[after], level)
+        np.testing.assert_allclose(clamped[~after], model.predict(t[~after]))
+
+    @given(
+        alpha=st.floats(0.5, 2.0),
+        beta=st.floats(-0.08, -0.005),
+        gamma=st.floats(0.0002, 0.002),
+    )
+    @settings(max_examples=40)
+    def test_clamped_matches_raw_before_recovery(self, alpha, beta, gamma):
+        model = QuadraticResilienceModel().bind((alpha, beta, gamma))
+        level = alpha  # recovery back to the starting level
+        t_r = model.recovery_time(level, horizon=1e6)
+        t = np.linspace(0.0, t_r * 0.999, 50)
+        np.testing.assert_allclose(
+            model.predict_clamped(t, level, horizon=1e6), model.predict(t)
+        )
+
+    @given(
+        alpha=st.floats(0.5, 2.0),
+        beta=st.floats(-0.08, -0.005),
+        gamma=st.floats(0.0002, 0.002),
+    )
+    @settings(max_examples=40)
+    def test_recovery_time_after_minimum(self, alpha, beta, gamma):
+        model = QuadraticResilienceModel().bind((alpha, beta, gamma))
+        t_min, trough = model.minimum(1e4)
+        t_r = model.recovery_time(alpha, horizon=1e6)
+        assert t_r >= t_min
+        assert float(model.predict([t_r])[0]) == pytest.approx(alpha, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Episode segmentation invariances
+# ----------------------------------------------------------------------
+class TestEpisodeInvariants:
+    @given(
+        st.lists(
+            st.floats(0.7, 1.0, allow_nan=False), min_size=10, max_size=60
+        )
+    )
+    @settings(max_examples=40)
+    def test_every_deep_sample_covered(self, values):
+        """Every sample below the band belongs to some episode (when it
+        satisfies the minimum-size filters)."""
+        curve = _curve_from(values)
+        episodes = split_episodes(curve, tolerance=0.01, min_samples=2)
+        covered = np.zeros(len(curve), dtype=bool)
+        for episode in episodes:
+            covered[episode.start_index : episode.end_index] = True
+        degraded = curve.performance < curve.nominal * 0.99
+        # Allow uncovered degraded samples only where an episode was
+        # filtered for size; in that case no episode overlaps them.
+        if episodes:
+            run_lengths_ok = covered[degraded]
+            # At least the majority of degraded mass must be attributed.
+            assert run_lengths_ok.mean() > 0.5 or degraded.sum() <= 2
+
+    @given(
+        st.lists(st.floats(0.7, 1.0, allow_nan=False), min_size=10, max_size=60)
+    )
+    @settings(max_examples=40)
+    def test_episodes_ordered_and_disjoint(self, values):
+        curve = _curve_from(values)
+        episodes = split_episodes(curve, tolerance=0.01, min_samples=2)
+        for first, second in zip(episodes, episodes[1:]):
+            assert first.end_index <= second.start_index + 1

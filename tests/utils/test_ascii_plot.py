@@ -1,0 +1,51 @@
+"""Tests for repro.utils.ascii_plot."""
+
+import pytest
+
+from repro.utils.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_legend_and_marker(self):
+        out = ascii_plot({"data": ([0, 1, 2], [1.0, 0.5, 1.0])})
+        assert "legend: * data" in out
+        assert "*" in out.splitlines()[0] or any("*" in ln for ln in out.splitlines())
+
+    def test_title(self):
+        out = ascii_plot({"s": ([0, 1], [0, 1])}, title="Heading")
+        assert out.splitlines()[0] == "Heading"
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot(
+            {"one": ([0, 1], [0, 1]), "two": ([0, 1], [1, 0])}
+        )
+        assert "* one" in out and "o two" in out
+
+    def test_empty_series_mapping_rejected(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_plot({})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ascii_plot({"s": ([], [])})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ascii_plot({"s": ([0, 1], [1.0])})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_plot({"s": ([0, 1], [0, 1])}, width=2, height=2)
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"flat": ([0, 1, 2], [1.0, 1.0, 1.0])})
+        assert "flat" in out
+
+    def test_axis_labels_show_range(self):
+        out = ascii_plot({"s": ([0, 10], [2.0, 4.0])})
+        assert "4" in out and "2" in out and "10" in out
+
+    def test_canvas_dimensions(self):
+        out = ascii_plot({"s": ([0, 1], [0, 1])}, width=40, height=10)
+        canvas_lines = [ln for ln in out.splitlines() if "|" in ln]
+        assert len(canvas_lines) == 10

@@ -1,0 +1,105 @@
+"""Tests for JSON persistence of models and fit results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.fitting.least_squares import fit_least_squares
+from repro.models.registry import make_model
+from repro.utils.serialization import (
+    fit_result_from_dict,
+    fit_result_to_dict,
+    load_fit_result,
+    model_from_dict,
+    model_to_dict,
+    save_fit_result,
+)
+
+
+@pytest.fixture(scope="module")
+def fit(recession_1990):
+    return fit_least_squares(make_model("competing_risks"), recession_1990.head(43))
+
+
+class TestModelRoundtrip:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("quadratic", (1.0, -0.03, 0.0008)),
+            ("competing_risks", (1.0, 0.2, 0.002)),
+            ("wei-exp", (10.0, 2.0, 8.0, 0.05)),
+            ("partial-wei-exp", (2.0, 3.0, 8.0, 0.05, 0.3)),
+            ("segmented", (1.0, 0.2, 0.002, 0.9, 0.3, 0.001, 20.0)),
+        ],
+    )
+    def test_roundtrip(self, name, params):
+        model = make_model(name).bind(params)
+        clone = model_from_dict(model_to_dict(model))
+        assert clone.name == model.name
+        assert clone.params == model.params
+        t = np.linspace(0.0, 40.0, 20)
+        np.testing.assert_allclose(clone.predict(t), model.predict(t))
+
+    def test_malformed_payload(self):
+        with pytest.raises(DataError, match="malformed"):
+            model_from_dict({"params": [1.0]})
+
+    def test_unknown_model_name(self):
+        with pytest.raises(DataError, match="cannot rebuild"):
+            model_from_dict({"name": "transformer", "params": [1.0]})
+
+
+class TestFitResultRoundtrip:
+    def test_dict_roundtrip(self, fit):
+        clone = fit_result_from_dict(fit_result_to_dict(fit))
+        assert clone.model.params == fit.model.params
+        assert clone.sse == fit.sse
+        assert clone.curve == fit.curve
+        assert clone.converged == fit.converged
+
+    def test_file_roundtrip(self, fit, tmp_path):
+        path = tmp_path / "fit.json"
+        save_fit_result(fit, path)
+        clone = load_fit_result(path)
+        np.testing.assert_allclose(
+            clone.predict(fit.curve.times), fit.predict(fit.curve.times)
+        )
+
+    def test_reloaded_fit_supports_forecasting(self, fit, tmp_path):
+        """The 'fit once, forecast later' workflow end-to-end."""
+        path = tmp_path / "fit.json"
+        save_fit_result(fit, path)
+        clone = load_fit_result(path)
+        assert clone.model.recovery_time(1.0) == pytest.approx(
+            fit.model.recovery_time(1.0)
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such"):
+            load_fit_result(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DataError, match="invalid JSON"):
+            load_fit_result(path)
+
+    def test_wrong_format_tag(self, fit):
+        payload = fit_result_to_dict(fit)
+        payload["format"] = "something-else"
+        with pytest.raises(DataError, match="not a repro"):
+            fit_result_from_dict(payload)
+
+    def test_unsupported_version(self, fit):
+        payload = fit_result_to_dict(fit)
+        payload["version"] = 99
+        with pytest.raises(DataError, match="version"):
+            fit_result_from_dict(payload)
+
+    def test_json_serializable(self, fit):
+        # The payload must survive an actual json encode/decode cycle.
+        text = json.dumps(fit_result_to_dict(fit))
+        clone = fit_result_from_dict(json.loads(text))
+        assert clone.sse == fit.sse

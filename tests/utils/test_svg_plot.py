@@ -1,0 +1,85 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils.svg_plot import SvgChart
+
+
+def _chart() -> SvgChart:
+    t = np.linspace(0.0, 10.0, 20)
+    chart = SvgChart(title="Demo", x_label="t", y_label="P(t)")
+    chart.add_series("data", t, 1.0 - 0.02 * t)
+    chart.add_series("fit", t, 1.0 - 0.019 * t, dashed=True)
+    chart.add_band("CI", t, 0.95 - 0.02 * t, 1.05 - 0.02 * t)
+    return chart
+
+
+class TestRender:
+    def test_valid_xml(self):
+        document = _chart().render()
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_contains_title_and_labels(self):
+        document = _chart().render()
+        assert "Demo" in document
+        assert "P(t)" in document
+
+    def test_one_polyline_per_series(self):
+        document = _chart().render()
+        assert document.count("<polyline") == 2
+
+    def test_band_polygon_present(self):
+        document = _chart().render()
+        assert document.count("<polygon") == 1
+        assert "fill-opacity" in document
+
+    def test_dashed_series(self):
+        document = _chart().render()
+        assert "stroke-dasharray" in document
+
+    def test_legend_entries(self):
+        document = _chart().render()
+        assert ">data</text>" in document
+        assert ">fit</text>" in document
+
+    def test_title_escaped(self):
+        chart = SvgChart(title="a < b & c")
+        chart.add_series("s", [0, 1], [0, 1])
+        document = chart.render()
+        assert "a &lt; b &amp; c" in document
+        ET.fromstring(document)  # must stay valid XML
+
+    def test_constant_series_renders(self):
+        chart = SvgChart()
+        chart.add_series("flat", [0, 1, 2], [1.0, 1.0, 1.0])
+        ET.fromstring(chart.render())
+
+
+class TestValidation:
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ReproError, match="no series"):
+            SvgChart().render()
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ReproError):
+            SvgChart().add_series("bad", [0, 1], [1.0])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ReproError):
+            SvgChart().add_series("tiny", [0], [1.0])
+
+    def test_mismatched_band_rejected(self):
+        with pytest.raises(ReproError):
+            SvgChart().add_band("bad", [0, 1], [0, 0], [1.0])
+
+
+class TestSave:
+    def test_save_roundtrip(self, tmp_path):
+        path = _chart().save(tmp_path / "figure.svg")
+        assert path.exists()
+        ET.parse(path)

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_fixed_point(self):
+        assert format_float(0.00227675) == "0.00227675"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0.00000000"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_large_uses_scientific(self):
+        assert "e" in format_float(1e12)
+
+    def test_tiny_uses_scientific(self):
+        assert "e" in format_float(1e-12)
+
+    def test_digits_parameter(self):
+        assert format_float(0.5, digits=3) == "0.500"
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "b"], [["x", 1.5], ["y", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a"], [["x", "y"]])
+
+    def test_numeric_columns_right_aligned(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bbbb", 22.0]])
+        data_lines = out.splitlines()[2:]
+        # Numeric column: last characters align to the right edge.
+        assert data_lines[0].endswith("1.00000000")
+        assert data_lines[1].endswith("22.00000000")
+
+    def test_bool_rendered_as_text(self):
+        out = format_table(["flag"], [[True]])
+        assert "True" in out
+
+    def test_column_wider_than_header(self):
+        out = format_table(["x"], [["a-very-long-cell"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) == len("a-very-long-cell")

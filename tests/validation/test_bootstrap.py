@@ -1,0 +1,74 @@
+"""Tests for the residual bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import curve_from_model
+from repro.exceptions import FitError
+from repro.fitting.least_squares import fit_least_squares
+from repro.models.quadratic import QuadraticResilienceModel
+from repro.validation.bootstrap import residual_bootstrap
+
+_TIMES = np.arange(48.0)
+_TRUTH = (1.0, -0.03, 0.0008)
+
+
+@pytest.fixture(scope="module")
+def fit():
+    truth = QuadraticResilienceModel().bind(_TRUTH)
+    curve = curve_from_model(truth, _TIMES, noise_std=0.002, seed=11)
+    return fit_least_squares(QuadraticResilienceModel(), curve)
+
+
+@pytest.fixture(scope="module")
+def boot(fit):
+    return residual_bootstrap(fit, n_replications=40, seed=5)
+
+
+class TestResidualBootstrap:
+    def test_sample_shape(self, boot, fit):
+        assert boot.parameter_samples.shape == (40, fit.model.n_params)
+        assert boot.n_failed == 0
+        assert boot.n_successful == 40
+
+    def test_deterministic(self, fit):
+        a = residual_bootstrap(fit, n_replications=15, seed=9)
+        b = residual_bootstrap(fit, n_replications=15, seed=9)
+        np.testing.assert_array_equal(a.parameter_samples, b.parameter_samples)
+
+    def test_parameter_interval_brackets_estimate(self, boot, fit):
+        for name, value in fit.model.param_dict.items():
+            lo, hi = boot.parameter_interval(name)
+            assert lo <= value <= hi, name
+
+    def test_parameter_interval_brackets_truth(self, boot):
+        for name, truth in zip(("alpha", "beta", "gamma"), _TRUTH):
+            lo, hi = boot.parameter_interval(name, confidence=0.999)
+            assert lo <= truth <= hi, name
+
+    def test_unknown_parameter(self, boot):
+        with pytest.raises(FitError, match="unknown parameter"):
+            boot.parameter_interval("omega")
+
+    def test_prediction_band(self, boot, fit):
+        band = boot.prediction_band(_TIMES)
+        np.testing.assert_allclose(band.center, fit.predict(_TIMES))
+        assert (band.lower <= band.center + 1e-12).all()
+        assert (band.upper >= band.center - 1e-12).all()
+
+    def test_band_wider_in_extrapolation(self, boot):
+        band = boot.prediction_band(np.array([20.0, 120.0]))
+        widths = band.upper - band.lower
+        assert widths[1] > widths[0]
+
+    def test_minimum_replications(self, fit):
+        with pytest.raises(FitError, match=">= 10"):
+            residual_bootstrap(fit, n_replications=5)
+
+    def test_agrees_with_asymptotic_theory(self, boot, fit):
+        """Bootstrap std of alpha within 3x of the Gauss-Newton SE."""
+        from repro.fitting.uncertainty import parameter_uncertainty
+
+        asymptotic = parameter_uncertainty(fit).std_errors["alpha"]
+        empirical = float(boot.parameter_samples[:, 0].std(ddof=1))
+        assert asymptotic / 3.0 < empirical < asymptotic * 3.0

@@ -1,0 +1,52 @@
+"""Tests for side-by-side model comparison."""
+
+import pytest
+
+from repro.exceptions import MetricError
+from repro.models.competing_risks import CompetingRisksResilienceModel
+from repro.models.quadratic import QuadraticResilienceModel
+from repro.validation.comparison import compare_models
+
+
+@pytest.fixture(scope="module")
+def comparison(recession_1990):
+    return compare_models(
+        [QuadraticResilienceModel(), CompetingRisksResilienceModel()],
+        recession_1990,
+    )
+
+
+class TestCompareModels:
+    def test_both_models_evaluated(self, comparison):
+        assert set(comparison.evaluations) == {"quadratic", "competing_risks"}
+        assert comparison.failed == []
+
+    def test_measure_lookup(self, comparison):
+        value = comparison.measure("quadratic", "sse")
+        assert value > 0.0
+
+    def test_unknown_measure(self, comparison):
+        with pytest.raises(MetricError, match="unknown measure"):
+            comparison.measure("quadratic", "nonsense")
+
+    def test_best_minimizes_sse(self, comparison):
+        winner = comparison.best("sse")
+        loser = ({"quadratic", "competing_risks"} - {winner}).pop()
+        assert comparison.measure(winner, "sse") <= comparison.measure(loser, "sse")
+
+    def test_best_maximizes_r2(self, comparison):
+        winner = comparison.best("r2_adjusted")
+        loser = ({"quadratic", "competing_risks"} - {winner}).pop()
+        assert comparison.measure(winner, "r2_adjusted") >= comparison.measure(
+            loser, "r2_adjusted"
+        )
+
+    def test_best_unknown_measure(self, comparison):
+        with pytest.raises(MetricError):
+            comparison.best("elegance")
+
+    def test_to_table_renders(self, comparison):
+        table = comparison.to_table()
+        assert "quadratic" in table
+        assert "competing_risks" in table
+        assert "1990-93" in table

@@ -1,0 +1,135 @@
+"""Tests for the goodness-of-fit measures (Eqs. 9-11)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import MetricError
+from repro.validation.gof import (
+    GoodnessOfFit,
+    adjusted_r_squared,
+    aic,
+    bic,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    pmse,
+    r_squared,
+    rmse,
+    sse,
+)
+
+
+class TestSse:
+    def test_eq9(self):
+        assert sse([1.0, 2.0, 3.0], [1.0, 1.5, 3.5]) == pytest.approx(0.5)
+
+    def test_zero_for_perfect_fit(self):
+        assert sse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(MetricError):
+            sse([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(MetricError):
+            sse([], [])
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_nonnegative(self, values):
+        predictions = [v + 1.0 for v in values]
+        assert sse(values, predictions) >= 0.0
+
+
+class TestPmse:
+    def test_eq10_is_mean_of_squares(self):
+        """PMSE = (1/ℓ)·Σ residuals² over the held-out points."""
+        actual = [1.0, 2.0, 3.0, 4.0]
+        predicted = [1.1, 2.1, 3.1, 4.1]
+        assert pmse(actual, predicted) == pytest.approx(0.01)
+
+    def test_single_point(self):
+        assert pmse([2.0], [1.0]) == 1.0
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        actual = [1.0, 2.0, 3.0]
+        mean = [2.0, 2.0, 2.0]
+        assert r_squared(actual, mean) == pytest.approx(0.0)
+
+    def test_negative_for_worse_than_mean(self):
+        """The paper reports negative r²adj for the quadratic on the
+        W-shaped 1980 data — worse than the naive mean predictor."""
+        actual = [1.0, 2.0, 3.0]
+        bad = [3.0, 2.0, 1.0]
+        assert r_squared(actual, bad) < 0.0
+
+    def test_constant_actual_rejected(self):
+        with pytest.raises(MetricError, match="constant"):
+            r_squared([2.0, 2.0], [1.0, 3.0])
+
+
+class TestAdjustedRSquared:
+    def test_eq11_penalizes_parameters(self):
+        actual = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        predicted = [1.1, 1.9, 3.1, 3.9, 5.1, 5.9]
+        r2_few = adjusted_r_squared(actual, predicted, n_params=1)
+        r2_many = adjusted_r_squared(actual, predicted, n_params=3)
+        assert r2_few > r2_many
+
+    def test_matches_formula(self):
+        actual = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        predicted = np.array([1.2, 1.8, 3.2, 3.8, 5.2])
+        n, m = 5, 2
+        r2 = r_squared(actual, predicted)
+        expected = 1 - (1 - r2) * (n - 1) / (n - m - 1)
+        assert adjusted_r_squared(actual, predicted, m) == pytest.approx(expected)
+
+    def test_insufficient_dof(self):
+        with pytest.raises(MetricError, match="undefined"):
+            adjusted_r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.1], n_params=2)
+
+    def test_negative_n_params(self):
+        with pytest.raises(MetricError):
+            adjusted_r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], n_params=-1)
+
+
+class TestExtensions:
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(math.sqrt(12.5))
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error([2.0, 4.0], [1.0, 5.0]) == pytest.approx(
+            0.375
+        )
+
+    def test_mape_zero_actual(self):
+        with pytest.raises(MetricError, match="zeros"):
+            mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+
+    def test_aic_bic_order_by_parameters(self):
+        actual = list(np.linspace(1, 2, 20))
+        predicted = [v + 0.01 for v in actual]
+        assert aic(actual, predicted, 2) < aic(actual, predicted, 5)
+        assert bic(actual, predicted, 2) < bic(actual, predicted, 5)
+
+    def test_aic_perfect_fit_rejected(self):
+        with pytest.raises(MetricError, match="zero residual"):
+            aic([1.0, 2.0], [1.0, 2.0], 1)
+
+
+class TestGoodnessOfFitBundle:
+    def test_row_order_matches_paper(self):
+        bundle = GoodnessOfFit(
+            sse=0.1, pmse=0.01, r2_adjusted=0.9, empirical_coverage=0.95
+        )
+        assert bundle.as_row() == (0.1, 0.01, 0.9, 0.95)

@@ -1,0 +1,141 @@
+"""Tests for residual diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.validation.residuals import (
+    ResidualDiagnostics,
+    diagnose_residuals,
+    durbin_watson,
+    jarque_bera,
+    ljung_box,
+    runs_test,
+)
+
+_RNG = np.random.default_rng(42)
+_WHITE = _RNG.normal(0.0, 1.0, size=200)
+_TREND = np.sin(np.linspace(0.0, 6.0, 200)) + _RNG.normal(0.0, 0.05, size=200)
+
+
+class TestDurbinWatson:
+    def test_white_noise_near_two(self):
+        assert durbin_watson(_WHITE) == pytest.approx(2.0, abs=0.35)
+
+    def test_positive_autocorrelation_below_two(self):
+        assert durbin_watson(_TREND) < 1.0
+
+    def test_alternating_near_four(self):
+        alternating = np.array([1.0, -1.0] * 50)
+        assert durbin_watson(alternating) > 3.5
+
+    def test_too_short(self):
+        with pytest.raises(MetricError):
+            durbin_watson([1.0])
+
+    def test_all_zero(self):
+        with pytest.raises(MetricError, match="all-zero"):
+            durbin_watson(np.zeros(10))
+
+
+class TestLjungBox:
+    def test_white_noise_not_rejected(self):
+        _, p = ljung_box(_WHITE, lags=10)
+        assert p > 0.05
+
+    def test_autocorrelated_rejected(self):
+        _, p = ljung_box(_TREND, lags=10)
+        assert p < 1e-6
+
+    def test_argument_validation(self):
+        with pytest.raises(MetricError):
+            ljung_box(_WHITE, lags=0)
+        with pytest.raises(MetricError):
+            ljung_box(np.ones(5), lags=10)
+
+
+class TestJarqueBera:
+    def test_gaussian_not_rejected(self):
+        _, p = jarque_bera(_WHITE)
+        assert p > 0.01
+
+    def test_heavy_tails_rejected(self):
+        heavy = _RNG.standard_t(df=1.5, size=300)
+        _, p = jarque_bera(heavy)
+        assert p < 0.01
+
+    def test_too_short(self):
+        with pytest.raises(MetricError):
+            jarque_bera(np.ones(4))
+
+
+class TestRunsTest:
+    def test_random_signs_not_rejected(self):
+        # The p-value is uniform under the null; demand only that this
+        # fixed draw is not an extreme rejection.
+        _, p = runs_test(_WHITE)
+        assert p > 0.01
+
+    def test_blocked_signs_rejected(self):
+        blocked = np.concatenate([np.ones(50), -np.ones(50)])
+        runs, p = runs_test(blocked)
+        assert runs == 2
+        assert p < 1e-10
+
+    def test_one_sign_degenerate(self):
+        runs, p = runs_test(np.ones(20))
+        assert runs == 1 and p == 0.0
+
+    def test_too_short(self):
+        with pytest.raises(MetricError):
+            runs_test([1.0, -1.0])
+
+
+class TestDiagnoseResiduals:
+    def test_good_fit_passes(self):
+        """A quadratic fit to quadratic-generated data: white residuals."""
+        from repro.datasets.synthetic import curve_from_model
+        from repro.fitting.least_squares import fit_least_squares
+        from repro.models.quadratic import QuadraticResilienceModel
+
+        truth = QuadraticResilienceModel().bind((1.0, -0.03, 0.0008))
+        curve = curve_from_model(truth, np.arange(48.0), noise_std=0.002, seed=5)
+        fit = fit_least_squares(QuadraticResilienceModel(), curve)
+        diagnostics = diagnose_residuals(fit)
+        assert diagnostics.white_noise_ok
+        assert "white noise" in diagnostics.summary()
+
+    def test_structural_misfit_flagged(self):
+        """A quadratic forced onto the W-shaped 1980 curve: residuals
+        carry the second dip and must be flagged."""
+        from repro.datasets.recessions import load_recession
+        from repro.fitting.least_squares import fit_least_squares
+        from repro.models.quadratic import QuadraticResilienceModel
+
+        fit = fit_least_squares(QuadraticResilienceModel(), load_recession("1980"))
+        diagnostics = diagnose_residuals(fit)
+        assert not diagnostics.autocorrelation_ok
+        assert not diagnostics.white_noise_ok
+        assert "autocorrelated" in diagnostics.summary()
+
+    def test_invalid_significance(self):
+        from repro.datasets.recessions import load_recession
+        from repro.fitting.least_squares import fit_least_squares
+        from repro.models.quadratic import QuadraticResilienceModel
+
+        fit = fit_least_squares(QuadraticResilienceModel(), load_recession("1990-93"))
+        with pytest.raises(MetricError, match="significance"):
+            diagnose_residuals(fit, significance=1.5)
+
+    def test_verdict_properties(self):
+        diagnostics = ResidualDiagnostics(
+            durbin_watson=2.0,
+            ljung_box_p=0.5,
+            jarque_bera_p=0.01,
+            runs_p=0.5,
+            significance=0.05,
+        )
+        assert diagnostics.autocorrelation_ok
+        assert not diagnostics.normality_ok
+        assert not diagnostics.white_noise_ok
+        assert "non-normal" in diagnostics.summary()
