@@ -1,0 +1,190 @@
+"""Fit-engine performance — executor backends and vectorized kernels.
+
+Times the Table III mixture sweep (28 multi-start bounded fits) on the
+``serial``, ``thread``, and ``process`` executor backends, and
+micro-times the vectorized derived-quantity kernels against the scalar
+implementations they replaced (``adaptive_quad`` on a one-point lambda,
+``minimize_scalar``, ``brentq``). Everything is written to
+``benchmarks/output/BENCH_fit_engine.json``.
+
+Two things are asserted, neither of them a speedup:
+
+* every backend produces **bit-identical** fit parameters (the whole
+  point of the input-ordered executor reduction), and
+* the vectorized kernels agree with the scalar references.
+
+Speedups are *recorded*, not asserted — on a single-CPU container the
+thread/process backends lose to serial (GIL hand-offs respectively
+fork+pickle overhead with no second core to amortize them), and the
+JSON exists precisely to make that honest measurement visible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import table3
+from repro.models.base import ResilienceModel
+from repro.utils.integrate import adaptive_quad
+
+#: Backends the sweep is timed on, serial first (the baseline).
+BACKENDS = ("serial", "thread", "process")
+#: Worker count for the pooled backends.
+N_WORKERS = 2
+#: Repeats for the kernel micro-timings (best-of, fits are ~ms each).
+KERNEL_REPEATS = 5
+
+
+# ----------------------------------------------------------------------
+# Scalar reference kernels — the pre-vectorization implementations of
+# the ResilienceModel numeric fallbacks, kept here as the baseline.
+# ----------------------------------------------------------------------
+def _scalar_predict(model: ResilienceModel):
+    return lambda t: float(model.predict(np.array([t]))[0])
+
+
+def _scalar_area(model: ResilienceModel, lower: float, upper: float) -> float:
+    return adaptive_quad(_scalar_predict(model), lower, upper)
+
+
+def _scalar_minimum(model: ResilienceModel, horizon: float) -> tuple[float, float]:
+    grid = np.linspace(0.0, horizon, 2001)
+    values = model.predict(grid)
+    arg = int(np.argmin(values))
+    lo = float(grid[max(arg - 1, 0)])
+    hi = float(grid[min(arg + 1, grid.size - 1)])
+    if lo == hi:
+        return float(grid[arg]), float(values[arg])
+    result = optimize.minimize_scalar(
+        _scalar_predict(model), bounds=(lo, hi), method="bounded"
+    )
+    return float(result.x), float(result.fun)
+
+
+def _scalar_recovery(model: ResilienceModel, level: float, horizon: float = 1e4) -> float:
+    trough_time, trough_value = _scalar_minimum(model, horizon)
+    if trough_value >= level:
+        return trough_time
+    grid = np.linspace(trough_time, horizon, 4001)
+    values = model.predict(grid) - level
+    above = np.nonzero(values >= 0.0)[0]
+    if not above.size:
+        raise ValueError("never recovers")
+    hit = int(above[0])
+    if hit == 0:
+        return float(grid[0])
+    func = _scalar_predict(model)
+    return float(
+        optimize.brentq(lambda t: func(t) - level, grid[hit - 1], grid[hit])
+    )
+
+
+def _best_of(repeats: int, func, *args):
+    best = np.inf
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = func(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _fit_params(result):
+    """Every fitted parameter vector in a Table III result, keyed by
+    (dataset, model) — the payload compared across backends."""
+    return {
+        (dataset, model): evaluation.fit.model.params
+        for dataset, cells in result.cells.items()
+        for model, evaluation in cells.items()
+    }
+
+
+def test_fit_engine(benchmark, artifact_dir):
+    # -- executor sweep: serial (timed by pytest-benchmark) then pooled.
+    backend_seconds: dict[str, float] = {}
+    start = time.perf_counter()
+    serial_result = run_once(benchmark, table3, n_random_starts=4)
+    backend_seconds["serial"] = time.perf_counter() - start
+    reference = _fit_params(serial_result)
+
+    for name in BACKENDS[1:]:
+        start = time.perf_counter()
+        result = table3(n_random_starts=4, executor=name, n_workers=N_WORKERS)
+        backend_seconds[name] = time.perf_counter() - start
+        assert _fit_params(result) == reference, (
+            f"{name} backend did not reproduce the serial fits bit-for-bit"
+        )
+
+    # -- kernel micro-timings on a fitted mixture (numeric fallbacks).
+    model = serial_result.cells["1990-93"]["wei-exp"].fit.model
+    horizon = 60.0
+    level = 0.995 * float(model.predict(np.array([horizon]))[0])
+
+    scalar_auc_s, scalar_auc = _best_of(
+        KERNEL_REPEATS, _scalar_area, model, 0.0, horizon
+    )
+    vector_auc_s, vector_auc = _best_of(
+        KERNEL_REPEATS, ResilienceModel.area_under_curve, model, 0.0, horizon
+    )
+    assert vector_auc == pytest.approx(scalar_auc, abs=1e-6)
+
+    scalar_min_s, scalar_min = _best_of(KERNEL_REPEATS, _scalar_minimum, model, horizon)
+    vector_min_s, vector_min = _best_of(
+        KERNEL_REPEATS, ResilienceModel.minimum, model, horizon
+    )
+    assert vector_min[1] == pytest.approx(scalar_min[1], abs=1e-8)
+
+    scalar_rec_s, scalar_rec = _best_of(KERNEL_REPEATS, _scalar_recovery, model, level)
+    vector_rec_s, vector_rec = _best_of(
+        KERNEL_REPEATS, ResilienceModel.recovery_time, model, level
+    )
+    assert vector_rec == pytest.approx(scalar_rec, abs=1e-6)
+
+    payload = {
+        "generated_by": "benchmarks/bench_perf_fit_engine.py",
+        "workload": "table3(n_random_starts=4): 7 recessions x 4 mixtures",
+        "cpu_count": os.cpu_count(),
+        "workers": N_WORKERS,
+        "backend_wall_seconds": backend_seconds,
+        "speedup_vs_serial": {
+            name: backend_seconds["serial"] / backend_seconds[name]
+            for name in BACKENDS[1:]
+        },
+        "bit_identical_across_backends": True,
+        "kernels": {
+            "area_under_curve": {
+                "scalar_seconds": scalar_auc_s,
+                "vectorized_seconds": vector_auc_s,
+                "speedup": scalar_auc_s / vector_auc_s,
+                "abs_diff": abs(vector_auc - scalar_auc),
+            },
+            "minimum": {
+                "scalar_seconds": scalar_min_s,
+                "vectorized_seconds": vector_min_s,
+                "speedup": scalar_min_s / vector_min_s,
+                "abs_diff": abs(vector_min[1] - scalar_min[1]),
+            },
+            "recovery_time": {
+                "scalar_seconds": scalar_rec_s,
+                "vectorized_seconds": vector_rec_s,
+                "speedup": scalar_rec_s / vector_rec_s,
+                "abs_diff": abs(vector_rec - scalar_rec),
+            },
+        },
+    }
+    path = artifact_dir / "BENCH_fit_engine.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+    assert path.exists()
+    # The vectorized AUC kernel replaces hundreds of scalar predict
+    # calls with one batched one; anything short of a large win here
+    # means the kernel regressed to scalar evaluation.
+    assert payload["kernels"]["area_under_curve"]["speedup"] > 5.0

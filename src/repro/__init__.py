@@ -26,8 +26,9 @@ from repro.datasets.recessions import (
     load_recession,
 )
 from repro.datasets.synthetic import curve_from_model, make_shape_curve
-from repro.fitting.least_squares import fit_least_squares, fit_many
+from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
 from repro.fitting.result import FitResult
+from repro.parallel import FitExecutor, get_executor
 from repro.metrics.predictive import predictive_metric_report, relative_error
 from repro.models.competing_risks import CompetingRisksResilienceModel
 from repro.models.mixture import MixtureResilienceModel
@@ -52,7 +53,10 @@ __all__ = [
     "curve_from_model",
     "fit_least_squares",
     "fit_many",
+    "FitManyResult",
     "FitResult",
+    "FitExecutor",
+    "get_executor",
     "QuadraticResilienceModel",
     "CompetingRisksResilienceModel",
     "MixtureResilienceModel",

@@ -8,6 +8,7 @@ benchmark harness can regenerate each artifact in isolation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -17,6 +18,7 @@ from repro.datasets.synthetic import make_shape_curve
 from repro.exceptions import DataError
 from repro.metrics.predictive import PredictiveMetricReport, predictive_metric_report
 from repro.models.registry import make_model
+from repro.parallel import ExecutorLike, get_executor
 from repro.utils.ascii_plot import ascii_plot
 from repro.utils.tables import format_table
 from repro.validation.crossval import PredictiveEvaluation, evaluate_predictive
@@ -141,25 +143,60 @@ class FigureResult:
 # ----------------------------------------------------------------------
 # Tables
 # ----------------------------------------------------------------------
+class _SweepCell(NamedTuple):
+    """Picklable work unit: one (dataset, model) grid cell."""
+
+    dataset: str
+    curve: ResilienceCurve
+    model: str
+    train_fraction: float
+    confidence: float
+    fit_kwargs: dict
+
+
+def _evaluate_cell(cell: _SweepCell) -> PredictiveEvaluation:
+    """Evaluate one grid cell (module-level so the process backend can
+    pickle it)."""
+    return evaluate_predictive(
+        make_model(cell.model),
+        cell.curve,
+        train_fraction=cell.train_fraction,
+        confidence=cell.confidence,
+        **cell.fit_kwargs,
+    )
+
+
 def _validation_sweep(
     model_names: tuple[str, ...],
     *,
     train_fraction: float,
     confidence: float,
     title: str,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableOneResult:
+    """Evaluate every (dataset, model) cell of a Table I/III-style grid.
+
+    The cells are independent fitting problems, so the grid runs on the
+    chosen executor backend; results are assembled in grid order,
+    making the table identical on every backend.
+    """
+    recessions = load_all_recessions()
+    cells = [
+        _SweepCell(
+            dataset_name, curve, model_name, train_fraction, confidence,
+            dict(fit_kwargs),
+        )
+        for dataset_name, curve in recessions.items()
+        for model_name in model_names
+    ]
+    evaluations = get_executor(executor, max_workers=n_workers).map(
+        _evaluate_cell, cells
+    )
     result = TableOneResult(model_names=model_names, title=title)
-    for dataset_name, curve in load_all_recessions().items():
-        result.cells[dataset_name] = {}
-        for model_name in model_names:
-            result.cells[dataset_name][model_name] = evaluate_predictive(
-                make_model(model_name),
-                curve,
-                train_fraction=train_fraction,
-                confidence=confidence,
-                **fit_kwargs,
-            )
+    for cell, evaluation in zip(cells, evaluations):
+        result.cells.setdefault(cell.dataset, {})[cell.model] = evaluation
     return result
 
 
@@ -167,6 +204,8 @@ def table1(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     confidence: float = 0.95,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableOneResult:
     """Table I: quadratic vs competing-risks on all seven recessions."""
@@ -175,6 +214,8 @@ def table1(
         train_fraction=train_fraction,
         confidence=confidence,
         title="Table I — Validation of prediction using two bathtub functions",
+        executor=executor,
+        n_workers=n_workers,
         **fit_kwargs,
     )
 
@@ -183,6 +224,8 @@ def table3(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     confidence: float = 0.95,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableOneResult:
     """Table III: the four mixture pairings on all seven recessions."""
@@ -191,7 +234,32 @@ def table3(
         train_fraction=train_fraction,
         confidence=confidence,
         title="Table III — Validation of prediction using mixture distributions",
+        executor=executor,
+        n_workers=n_workers,
         **fit_kwargs,
+    )
+
+
+class _MetricCell(NamedTuple):
+    """Picklable work unit: one model column of a Table II/IV report."""
+
+    dataset: str
+    curve: ResilienceCurve
+    model: str
+    train_fraction: float
+    alpha: float
+    fit_kwargs: dict
+
+
+def _evaluate_metric_cell(cell: _MetricCell) -> PredictiveMetricReport:
+    evaluation = evaluate_predictive(
+        make_model(cell.model),
+        cell.curve,
+        train_fraction=cell.train_fraction,
+        **cell.fit_kwargs,
+    )
+    return predictive_metric_report(
+        evaluation.model, cell.curve, evaluation.split_time, alpha=cell.alpha
     )
 
 
@@ -202,17 +270,21 @@ def _metric_table(
     train_fraction: float,
     alpha: float,
     title: str,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableMetricsResult:
     curve = load_recession(dataset)
+    cells = [
+        _MetricCell(dataset, curve, model_name, train_fraction, alpha, dict(fit_kwargs))
+        for model_name in model_names
+    ]
+    reports = get_executor(executor, max_workers=n_workers).map(
+        _evaluate_metric_cell, cells
+    )
     result = TableMetricsResult(dataset=dataset, title=title)
-    for model_name in model_names:
-        evaluation = evaluate_predictive(
-            make_model(model_name), curve, train_fraction=train_fraction, **fit_kwargs
-        )
-        result.reports[model_name] = predictive_metric_report(
-            evaluation.model, curve, evaluation.split_time, alpha=alpha
-        )
+    for cell, report in zip(cells, reports):
+        result.reports[cell.model] = report
     return result
 
 
@@ -221,6 +293,8 @@ def table2(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     alpha: float = 0.5,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableMetricsResult:
     """Table II: interval metrics for the bathtub models on 1990-93."""
@@ -230,6 +304,8 @@ def table2(
         train_fraction=train_fraction,
         alpha=alpha,
         title="Table II — Interval-based resilience metrics (bathtub models)",
+        executor=executor,
+        n_workers=n_workers,
         **fit_kwargs,
     )
 
@@ -239,6 +315,8 @@ def table4(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     alpha: float = 0.5,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableMetricsResult:
     """Table IV: interval metrics for the four mixtures on 1990-93."""
@@ -248,6 +326,8 @@ def table4(
         train_fraction=train_fraction,
         alpha=alpha,
         title="Table IV — Interval-based resilience metrics (mixture models)",
+        executor=executor,
+        n_workers=n_workers,
         **fit_kwargs,
     )
 

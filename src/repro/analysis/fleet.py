@@ -4,12 +4,15 @@ Formalizes the multi-event pipeline (simulated in
 ``examples/operational_history.py``): segment a history into
 disruption episodes, compute each episode's point metrics, fit a model
 per episode, and aggregate — turning the paper's single-event
-machinery into an operational report.
+machinery into an operational report. Episodes are independent fitting
+problems, so the per-episode work can run on any
+:class:`~repro.parallel.FitExecutor` backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -21,6 +24,7 @@ from repro.fitting.least_squares import fit_least_squares
 from repro.fitting.result import FitResult
 from repro.metrics.point import rapidity, time_to_recovery
 from repro.models.registry import make_model
+from repro.parallel import ExecutorLike, get_executor
 from repro.utils.tables import format_table
 
 __all__ = ["EpisodeScore", "EpisodeScorecard", "episode_scorecard"]
@@ -63,10 +67,12 @@ class EpisodeScorecard:
         return len(self.scores)
 
     @property
-    def recovered_fraction(self) -> float:
-        """Fraction of episodes that recovered within their window."""
+    def recovered_fraction(self) -> float | None:
+        """Fraction of episodes that recovered within their window, or
+        ``None`` for an empty scorecard (matching :meth:`worst_depth`
+        and :meth:`median_recovery`)."""
         if not self.scores:
-            return float("nan")
+            return None
         recovered = sum(1 for s in self.scores if s.observed_recovery is not None)
         return recovered / len(self.scores)
 
@@ -107,16 +113,62 @@ class EpisodeScorecard:
                     ),
                 ]
             )
+        recovered = self.recovered_fraction
+        recovered_label = "n/a" if recovered is None else f"{recovered:.0%}"
         return format_table(
             ["Episode", "Start", "Depth", "Rapidity", "Observed rec.", "Model rec."],
             rows,
             title=(
                 f"Episode scorecard — {self.history.name or '<history>'} "
                 f"({self.n_episodes} episodes, "
-                f"{self.recovered_fraction:.0%} recovered)"
+                f"{recovered_label} recovered)"
             ),
             float_digits=4,
         )
+
+
+class _EpisodeWork(NamedTuple):
+    """Picklable work unit: score one episode."""
+
+    episode: Episode
+    model: str
+    tolerance: float
+    level: float
+    fit_kwargs: dict
+
+
+def _score_episode(work: _EpisodeWork) -> EpisodeScore:
+    """Compute one episode's metrics and fit (module-level so the
+    process backend can pickle it)."""
+    curve = work.episode.curve.shifted(-float(work.episode.curve.times[0]))
+
+    observed_recovery: float | None = None
+    episode_rapidity: float | None = None
+    try:
+        phases = detect_phases(curve, tolerance=work.tolerance)
+        episode_rapidity = rapidity(curve, phases)
+        observed_recovery = time_to_recovery(curve, phases)
+    except ReproError:
+        pass
+
+    fit: FitResult | None = None
+    predicted_recovery: float | None = None
+    try:
+        fit = fit_least_squares(make_model(work.model), curve, **work.fit_kwargs)
+        predicted_recovery = fit.model.recovery_time(
+            work.level, horizon=100.0 * max(curve.duration, 1.0)
+        )
+    except (ReproError, ValueError):
+        pass
+
+    return EpisodeScore(
+        episode=work.episode,
+        depth=work.episode.depth,
+        rapidity=episode_rapidity,
+        observed_recovery=observed_recovery,
+        fit=fit,
+        predicted_recovery=predicted_recovery,
+    )
 
 
 def episode_scorecard(
@@ -127,6 +179,8 @@ def episode_scorecard(
     min_depth: float = 0.0,
     min_samples: int = 4,
     recovery_level: float | None = None,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> EpisodeScorecard:
     """Build an :class:`EpisodeScorecard` for *history*.
@@ -144,6 +198,9 @@ def episode_scorecard(
     recovery_level:
         Level for the model's predicted recovery; defaults to
         ``nominal·(1 − tolerance)``.
+    executor, n_workers:
+        Backend the independent per-episode fits run on; scores are
+        assembled in episode order on every backend.
     """
     episodes = split_episodes(
         history, tolerance=tolerance, min_depth=min_depth, min_samples=min_samples
@@ -153,37 +210,13 @@ def episode_scorecard(
         if recovery_level is None
         else float(recovery_level)
     )
-    scorecard = EpisodeScorecard(history=history, band_tolerance=tolerance)
-    for episode in episodes:
-        curve = episode.curve.shifted(-float(episode.curve.times[0]))
-
-        observed_recovery: float | None = None
-        episode_rapidity: float | None = None
-        try:
-            phases = detect_phases(curve, tolerance=tolerance)
-            episode_rapidity = rapidity(curve, phases)
-            observed_recovery = time_to_recovery(curve, phases)
-        except ReproError:
-            pass
-
-        fit: FitResult | None = None
-        predicted_recovery: float | None = None
-        try:
-            fit = fit_least_squares(make_model(model), curve, **fit_kwargs)
-            predicted_recovery = fit.model.recovery_time(
-                level, horizon=100.0 * max(curve.duration, 1.0)
-            )
-        except (ReproError, ValueError):
-            pass
-
-        scorecard.scores.append(
-            EpisodeScore(
-                episode=episode,
-                depth=episode.depth,
-                rapidity=episode_rapidity,
-                observed_recovery=observed_recovery,
-                fit=fit,
-                predicted_recovery=predicted_recovery,
-            )
-        )
-    return scorecard
+    work_units = [
+        _EpisodeWork(episode, model, tolerance, level, dict(fit_kwargs))
+        for episode in episodes
+    ]
+    scores = get_executor(executor, max_workers=n_workers).map(
+        _score_episode, work_units
+    )
+    return EpisodeScorecard(
+        history=history, scores=list(scores), band_tolerance=tolerance
+    )

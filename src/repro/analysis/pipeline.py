@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.parallel import ExecutorLike
+
 from repro.analysis.experiments import (
     FigureResult,
     TableMetricsResult,
@@ -54,25 +56,33 @@ def run_full_reproduction(
     train_fraction: float = 0.9,
     confidence: float = 0.95,
     alpha: float = 0.5,
+    executor: "ExecutorLike" = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> ReproductionResults:
     """Regenerate Tables I–IV and Figures 1–6.
 
     Parameters mirror the paper's protocol: 90% fitting prefix, 95%
     confidence band, α = 0.5 for the Eq. (21) weighted metric.
+    *executor*/*n_workers* select the backend each table's fit grid
+    runs on (tables are identical on every backend).
     """
     results = ReproductionResults(
         table_one=table1(
-            train_fraction=train_fraction, confidence=confidence, **fit_kwargs
+            train_fraction=train_fraction, confidence=confidence,
+            executor=executor, n_workers=n_workers, **fit_kwargs
         ),
         table_two=table2(
-            train_fraction=train_fraction, alpha=alpha, **fit_kwargs
+            train_fraction=train_fraction, alpha=alpha,
+            executor=executor, n_workers=n_workers, **fit_kwargs
         ),
         table_three=table3(
-            train_fraction=train_fraction, confidence=confidence, **fit_kwargs
+            train_fraction=train_fraction, confidence=confidence,
+            executor=executor, n_workers=n_workers, **fit_kwargs
         ),
         table_four=table4(
-            train_fraction=train_fraction, alpha=alpha, **fit_kwargs
+            train_fraction=train_fraction, alpha=alpha,
+            executor=executor, n_workers=n_workers, **fit_kwargs
         ),
     )
     results.figures["1"] = figure1()

@@ -36,10 +36,33 @@ from repro.datasets.recessions import (
 from repro.exceptions import ReproError
 from repro.metrics.predictive import predictive_metric_report
 from repro.models.registry import available_models, make_model
+from repro.parallel import available_backends
 from repro.utils.tables import format_table
 from repro.validation.crossval import evaluate_predictive
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_executor_arguments(command: argparse.ArgumentParser) -> None:
+    """Attach the shared parallel-backend knobs to a subcommand."""
+    command.add_argument(
+        "--executor",
+        choices=available_backends(),
+        default=None,
+        help=(
+            "backend the independent fits run on (default: "
+            "$REPRO_FIT_EXECUTOR or serial); results are identical on "
+            "every backend"
+        ),
+    )
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for thread/process backends "
+        "(default: $REPRO_FIT_WORKERS or the CPU count)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the eight interval-based resilience metrics",
     )
+    _add_executor_arguments(fit)
 
     recommend = sub.add_parser(
         "recommend", help="recommend the best model for a dataset"
@@ -118,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="competing_risks",
         help="model fitted to each episode (default competing_risks)",
     )
+    _add_executor_arguments(episodes)
 
     table = sub.add_parser("table", help="regenerate a table from the paper")
     table.add_argument("number", choices=["1", "2", "3", "4", "I", "II", "III", "IV"])
@@ -127,11 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument(
         "--json", metavar="PATH", help="also write the table rows as JSON"
     )
+    _add_executor_arguments(table)
 
     figure = sub.add_parser("figure", help="regenerate a figure from the paper")
     figure.add_argument("number", type=int, choices=range(1, 7))
 
-    sub.add_parser("report", help="regenerate every table and figure")
+    report = sub.add_parser("report", help="regenerate every table and figure")
+    _add_executor_arguments(report)
     return parser
 
 
@@ -169,7 +196,13 @@ def _cmd_datasets() -> int:
 def _cmd_fit(args: argparse.Namespace) -> int:
     curve = _load_curve(args.dataset)
     family = make_model(args.model)
-    evaluation = evaluate_predictive(family, curve, train_fraction=args.train_fraction)
+    evaluation = evaluate_predictive(
+        family,
+        curve,
+        train_fraction=args.train_fraction,
+        executor=args.executor,
+        n_workers=args.workers,
+    )
     measures = evaluation.measures
     print(f"Fitted {family.name} to {curve.name} (n={len(curve)}):")
     for key, value in evaluation.model.param_dict.items():
@@ -228,7 +261,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         "3": experiments.table3,
         "4": experiments.table4,
     }
-    result = builders[key]()
+    result = builders[key](executor=args.executor, n_workers=args.workers)
     print(result.to_table())
     if args.csv:
         from repro.analysis.export import write_table_csv
@@ -246,8 +279,12 @@ def _cmd_figure(number: int) -> int:
     return 0
 
 
-def _cmd_report() -> int:
-    print(render_report(run_full_reproduction()))
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(
+        render_report(
+            run_full_reproduction(executor=args.executor, n_workers=args.workers)
+        )
+    )
     return 0
 
 
@@ -274,6 +311,8 @@ def main(argv: list[str] | None = None) -> int:
                 _load_curve(args.dataset),
                 model=args.model,
                 tolerance=args.tolerance,
+                executor=args.executor,
+                n_workers=args.workers,
             )
             print(scorecard.to_table())
             return 0
@@ -282,7 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "figure":
             return _cmd_figure(args.number)
         if args.command == "report":
-            return _cmd_report()
+            return _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -6,7 +6,7 @@ parametric model using bounded trust-region least squares with a
 deterministic multi-start strategy.
 """
 
-from repro.fitting.least_squares import fit_least_squares, fit_many
+from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
 from repro.fitting.mle import MleResult, fit_mle, profile_likelihood_interval
 from repro.fitting.multistart import generate_starts
 from repro.fitting.result import FitResult
@@ -20,6 +20,7 @@ from repro.fitting.uncertainty import (
 __all__ = [
     "fit_least_squares",
     "fit_many",
+    "FitManyResult",
     "generate_starts",
     "FitResult",
     "MleResult",

@@ -3,12 +3,15 @@
 ``fit_least_squares`` minimizes ``Σᵢ (R(tᵢ) − P(tᵢ))²`` over the
 model's bounded parameter space with scipy's trust-region-reflective
 least squares, trying every multi-start point and keeping the best
-optimum.
+optimum. The starts are independent problems, so they can run on any
+:class:`~repro.parallel.FitExecutor` backend; results are reduced in
+start order, making the outcome identical on every backend.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import logging
+from typing import Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 import numpy as np
 from scipy import optimize
@@ -18,8 +21,75 @@ from repro.exceptions import ConvergenceError, FitError
 from repro.fitting.multistart import generate_starts
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
+from repro.parallel import ExecutorLike, get_executor
 
-__all__ = ["fit_least_squares", "fit_many"]
+__all__ = ["fit_least_squares", "fit_many", "FitManyResult"]
+
+logger = logging.getLogger("repro.fitting")
+
+
+class _StartOutcome(NamedTuple):
+    """Per-start optimizer outcome; ``vector`` is None when the start
+    raised or produced a non-finite objective."""
+
+    sse: float
+    vector: tuple[float, ...] | None
+    message: str
+    converged: bool
+
+
+class _StartWork(NamedTuple):
+    """Picklable work unit: one optimizer run from one start."""
+
+    family: ResilienceModel
+    curve: ResilienceCurve
+    x0: tuple[float, ...]
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+    max_nfev: int
+    sqrt_weights: tuple[float, ...] | None
+
+
+def _solve_start(work: _StartWork) -> _StartOutcome:
+    """Run one bounded least-squares solve (module-level so the process
+    backend can pickle it)."""
+    family = work.family
+    curve = work.curve
+    lower = np.asarray(work.lower, dtype=np.float64)
+    upper = np.asarray(work.upper, dtype=np.float64)
+    sqrt_weights = (
+        None
+        if work.sqrt_weights is None
+        else np.asarray(work.sqrt_weights, dtype=np.float64)
+    )
+
+    def objective(vector: np.ndarray) -> np.ndarray:
+        residuals = family.residuals(curve, vector)
+        residuals = np.where(np.isfinite(residuals), residuals, 1e6)
+        if sqrt_weights is not None:
+            residuals = residuals * sqrt_weights
+        return residuals
+
+    x0 = np.clip(np.asarray(work.x0, dtype=np.float64), lower, upper)
+    try:
+        solution = optimize.least_squares(
+            objective,
+            x0,
+            bounds=(lower, upper),
+            method="trf",
+            max_nfev=work.max_nfev,
+        )
+    except (ValueError, FloatingPointError):
+        return _StartOutcome(float("nan"), None, "", False)
+    sse = float(2.0 * solution.cost)  # cost is 0.5 * sum(residual²)
+    if not np.isfinite(sse):
+        return _StartOutcome(sse, None, "", False)
+    return _StartOutcome(
+        sse,
+        tuple(float(v) for v in solution.x),
+        str(solution.message),
+        bool(solution.success),
+    )
 
 
 def fit_least_squares(
@@ -31,6 +101,8 @@ def fit_least_squares(
     max_nfev: int = 2000,
     starts: Sequence[Sequence[float]] | None = None,
     weights: Sequence[float] | None = None,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
 ) -> FitResult:
     """Fit *family* to *curve* by bounded least squares.
 
@@ -59,6 +131,13 @@ def fit_least_squares(
         outliers. Must be non-negative, same length as the curve. The
         reported :attr:`FitResult.sse` remains the *unweighted* Eq. (9)
         value so it stays comparable across weightings.
+    executor:
+        Backend the independent multi-start solves run on: ``"serial"``
+        (default), ``"thread"``, ``"process"``, or a
+        :class:`~repro.parallel.FitExecutor` instance. Results are
+        reduced in start order, so every backend returns the same fit.
+    n_workers:
+        Worker count for the pooled backends.
 
     Returns
     -------
@@ -92,10 +171,10 @@ def fit_least_squares(
         if not start_vectors:
             raise FitError("explicit starts list is empty")
 
-    lower = np.asarray(family.lower_bounds, dtype=np.float64)
-    upper = np.asarray(family.upper_bounds, dtype=np.float64)
+    lower = tuple(float(v) for v in family.lower_bounds)
+    upper = tuple(float(v) for v in family.upper_bounds)
 
-    sqrt_weights: np.ndarray | None = None
+    sqrt_weights: tuple[float, ...] | None = None
     if weights is not None:
         weight_array = np.asarray(weights, dtype=np.float64)
         if weight_array.shape != (len(curve),):
@@ -107,46 +186,34 @@ def fit_least_squares(
             raise FitError("weights must be finite and non-negative")
         if not np.any(weight_array > 0.0):
             raise FitError("at least one weight must be positive")
-        sqrt_weights = np.sqrt(weight_array)
+        sqrt_weights = tuple(float(v) for v in np.sqrt(weight_array))
 
-    def objective(vector: np.ndarray) -> np.ndarray:
-        residuals = family.residuals(curve, vector)
-        residuals = np.where(np.isfinite(residuals), residuals, 1e6)
-        if sqrt_weights is not None:
-            residuals = residuals * sqrt_weights
-        return residuals
+    work_units = [
+        _StartWork(family, curve, start, lower, upper, max_nfev, sqrt_weights)
+        for start in start_vectors
+    ]
+    outcomes = get_executor(executor, max_workers=n_workers).map(
+        _solve_start, work_units
+    )
 
+    # Reduce in start order — bit-identical to the historical serial loop
+    # regardless of which backend produced the outcomes.
     best_sse = np.inf
-    best_vector: np.ndarray | None = None
+    best_vector: tuple[float, ...] | None = None
     best_message = ""
     best_converged = False
     failures = 0
     per_start_sse: list[float] = []
-
-    for start in start_vectors:
-        x0 = np.clip(np.asarray(start, dtype=np.float64), lower, upper)
-        try:
-            solution = optimize.least_squares(
-                objective,
-                x0,
-                bounds=(lower, upper),
-                method="trf",
-                max_nfev=max_nfev,
-            )
-        except (ValueError, FloatingPointError):
-            failures += 1
-            per_start_sse.append(float("nan"))
-            continue
-        sse = float(2.0 * solution.cost)  # cost is 0.5 * sum(residual²)
-        per_start_sse.append(sse)
-        if not np.isfinite(sse):
+    for outcome in outcomes:
+        per_start_sse.append(outcome.sse)
+        if outcome.vector is None:
             failures += 1
             continue
-        if sse < best_sse:
-            best_sse = sse
-            best_vector = solution.x
-            best_message = str(solution.message)
-            best_converged = bool(solution.success)
+        if outcome.sse < best_sse:
+            best_sse = outcome.sse
+            best_vector = outcome.vector
+            best_message = outcome.message
+            best_converged = outcome.converged
 
     if best_vector is None:
         raise ConvergenceError(
@@ -171,21 +238,87 @@ def fit_least_squares(
     )
 
 
+class FitManyResult(dict):
+    """Mapping of family name → :class:`FitResult`, plus failure records.
+
+    Behaves exactly like the plain dict :func:`fit_many` historically
+    returned, with a :attr:`failures` mapping of family name → error
+    message for families whose fit raised
+    :class:`~repro.exceptions.ConvergenceError` — so callers can
+    distinguish "not requested" from "failed to converge".
+    """
+
+    def __init__(
+        self,
+        results: Mapping[str, FitResult] | None = None,
+        failures: Mapping[str, str] | None = None,
+    ) -> None:
+        super().__init__(results or {})
+        #: Family name → stringified ConvergenceError for failed fits.
+        self.failures: dict[str, str] = dict(failures or {})
+
+    @property
+    def converged_names(self) -> tuple[str, ...]:
+        """Names that produced a fit, in request order."""
+        return tuple(self)
+
+    @property
+    def failed_names(self) -> tuple[str, ...]:
+        """Names whose fit failed to converge, in request order."""
+        return tuple(self.failures)
+
+
+class _FamilyWork(NamedTuple):
+    """Picklable work unit: one family fit against the shared curve."""
+
+    family: ResilienceModel
+    curve: ResilienceCurve
+    fit_kwargs: dict
+
+
+def _fit_family(work: _FamilyWork) -> tuple[str, FitResult | None, str]:
+    """Fit one family, encoding convergence failure in the result."""
+    try:
+        return work.family.name, fit_least_squares(
+            work.family, work.curve, **work.fit_kwargs
+        ), ""
+    except ConvergenceError as exc:
+        return work.family.name, None, str(exc)
+
+
 def fit_many(
     families: Iterable[ResilienceModel],
     curve: ResilienceCurve,
+    *,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **kwargs: object,
-) -> dict[str, FitResult]:
+) -> FitManyResult:
     """Fit several families to the same curve.
 
-    Returns a mapping from family name to its :class:`FitResult`;
-    families that fail to converge are omitted (the caller can compare
-    the returned key set against the requested one).
+    Returns a :class:`FitManyResult` mapping family name to its
+    :class:`FitResult`; families that fail to converge are recorded in
+    :attr:`FitManyResult.failures` (and logged) instead of being
+    silently dropped.
+
+    Parameters
+    ----------
+    executor, n_workers:
+        Backend for the per-family fits (each family is an independent
+        problem). The per-family fits themselves run serially when the
+        family loop is parallelized.
+    kwargs:
+        Passed through to :func:`fit_least_squares`.
     """
-    results: dict[str, FitResult] = {}
-    for family in families:
-        try:
-            results[family.name] = fit_least_squares(family, curve, **kwargs)  # type: ignore[arg-type]
-        except ConvergenceError:
-            continue
-    return results
+    work_units = [_FamilyWork(family, curve, dict(kwargs)) for family in families]
+    triples = get_executor(executor, max_workers=n_workers).map(
+        _fit_family, work_units
+    )
+    result = FitManyResult()
+    for name, fit, error in triples:
+        if fit is None:
+            logger.warning("fit_many: family %r failed to converge: %s", name, error)
+            result.failures[name] = error
+        else:
+            result[name] = fit
+    return result

@@ -34,8 +34,13 @@ def generate_starts(
     The random starts cycle over the heuristic anchors round-robin.
     Perturbation is multiplicative (log-normal) for parameters whose
     current value is nonzero and additive otherwise, then clipped to
-    the family's bounds. The random stream is seeded, so the same
-    (family, curve, n_random) triple always produces the same starts.
+    the family's bounds.
+
+    Each random start draws from its own stream seeded by
+    ``(seed, index)``, so start *i* is a pure function of the seed and
+    its index — never of loop order, how many other starts were
+    generated, or which executor backend/worker count the fitting
+    engine dispatches the starts on.
 
     Raises
     ------
@@ -50,7 +55,6 @@ def generate_starts(
 
     lower = np.asarray(family.lower_bounds, dtype=np.float64)
     upper = np.asarray(family.upper_bounds, dtype=np.float64)
-    rng = np.random.default_rng(seed)
 
     starts: list[tuple[float, ...]] = []
 
@@ -62,6 +66,7 @@ def generate_starts(
     for guess in base:
         push(np.asarray(guess, dtype=np.float64))
     for index in range(n_random):
+        rng = np.random.default_rng((seed, index))
         anchor = np.asarray(base[index % len(base)], dtype=np.float64)
         factors = np.exp(rng.normal(0.0, spread, size=anchor.size))
         jitter = rng.normal(0.0, spread * 0.1, size=anchor.size)

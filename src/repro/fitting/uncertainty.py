@@ -22,6 +22,7 @@ from scipy import stats
 from repro._typing import ArrayLike, FloatArray
 from repro.exceptions import FitError
 from repro.fitting.result import FitResult
+from repro.parallel import ExecutorLike, get_executor
 from repro.validation.intervals import ConfidenceBand
 
 __all__ = [
@@ -163,6 +164,29 @@ def delta_method_band(
     )
 
 
+class _DrawWork:
+    """One Monte-Carlo draw evaluation; a class (not a closure) so the
+    thread backend shares it cheaply and the process backend can pickle
+    it whenever *func* itself is picklable."""
+
+    __slots__ = ("model", "func", "draw")
+
+    def __init__(self, model, func, draw: tuple[float, ...]) -> None:
+        self.model = model
+        self.func = func
+        self.draw = draw
+
+    def __call__(self) -> float | None:
+        try:
+            return float(self.func(self.model.bind(self.draw)))
+        except ValueError:
+            return None
+
+
+def _evaluate_draw(work: _DrawWork) -> float | None:
+    return work()
+
+
 def derived_quantity_interval(
     fit: FitResult,
     func,
@@ -170,6 +194,8 @@ def derived_quantity_interval(
     confidence: float = 0.95,
     n_samples: int = 400,
     seed: int = 0,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
 ) -> tuple[float, float, float]:
     """Monte-Carlo interval for any derived quantity of a fitted model.
 
@@ -180,6 +206,11 @@ def derived_quantity_interval(
     evaluated successfully. Samples where *func* raises ``ValueError``
     (e.g. "never recovers") are skipped; if more than half fail, a
     FitError is raised since the interval would be misleading.
+
+    The draws are generated up front from a single seeded stream, so
+    the sample set is identical on every *executor* backend. *func*
+    must be picklable (a module-level function) for the process
+    backend; lambdas degrade gracefully to in-process execution.
 
     Examples
     --------
@@ -202,12 +233,13 @@ def derived_quantity_interval(
     )
     draws = np.clip(draws, lower_bounds, upper_bounds)
 
-    values: list[float] = []
-    for draw in draws:
-        try:
-            values.append(float(func(model.bind(tuple(draw)))))
-        except ValueError:
-            continue
+    work_units = [
+        _DrawWork(model, func, tuple(float(v) for v in draw)) for draw in draws
+    ]
+    outcomes = get_executor(executor, max_workers=n_workers).map(
+        _evaluate_draw, work_units
+    )
+    values = [value for value in outcomes if value is not None]
     if len(values) < n_samples / 2:
         raise FitError(
             f"derived quantity undefined for {n_samples - len(values)} of "

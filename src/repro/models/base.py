@@ -11,18 +11,79 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
-from scipy import optimize
 
 from repro._typing import ArrayLike, FloatArray
 from repro.core.curve import ResilienceCurve
 from repro.exceptions import ParameterError
-from repro.utils.integrate import adaptive_quad
+from repro.utils.integrate import gauss_legendre_quad
 from repro.utils.numerics import as_float_array
 
 __all__ = ["ResilienceModel"]
+
+
+def _refine_minimum(
+    func: Callable[[FloatArray], FloatArray],
+    lo: float,
+    hi: float,
+    *,
+    n_points: int = 65,
+    rel_tol: float = 1e-9,
+    max_rounds: int = 60,
+) -> tuple[float, float]:
+    """Vectorized bracket-shrinking minimization.
+
+    Each round evaluates *func* once on an ``n_points`` grid over the
+    bracket and keeps the two cells around the argmin, shrinking the
+    bracket by ``(n_points − 1) / 2`` per batched call — the vectorized
+    replacement for scalar ``minimize_scalar`` on a model ``predict``.
+    """
+    best_t = best_v = float("nan")
+    for _ in range(max_rounds):
+        grid = np.linspace(lo, hi, n_points)
+        values = func(grid)
+        arg = int(np.argmin(values))
+        best_t, best_v = float(grid[arg]), float(values[arg])
+        if (hi - lo) <= rel_tol * max(1.0, abs(lo) + abs(hi)):
+            break
+        lo = float(grid[max(arg - 1, 0)])
+        hi = float(grid[min(arg + 1, n_points - 1)])
+    return best_t, best_v
+
+
+def _refine_crossing(
+    func: Callable[[FloatArray], FloatArray],
+    lo: float,
+    hi: float,
+    *,
+    n_points: int = 65,
+    xtol: float = 1e-12,
+    max_rounds: int = 60,
+) -> float:
+    """Vectorized root bracketing for an upward crossing of zero.
+
+    Assumes ``func(lo) < 0 <= func(hi)`` and narrows the bracket to the
+    first sign change on an ``n_points`` grid per round — one batched
+    call shrinks the bracket ``(n_points − 1)``-fold, the vectorized
+    replacement for scalar Brent refinement on a model ``predict``.
+    """
+    for _ in range(max_rounds):
+        if (hi - lo) <= max(xtol, abs(hi) * 4.0 * np.finfo(np.float64).eps):
+            break
+        grid = np.linspace(lo, hi, n_points)
+        values = func(grid)
+        above = np.nonzero(values >= 0.0)[0]
+        if not above.size:  # numeric noise at the endpoint: keep bisecting
+            lo = float(grid[-2])
+            continue
+        hit = int(above[0])
+        if hit == 0:
+            return float(grid[0])
+        lo = float(grid[hit - 1])
+        hi = float(grid[hit])
+    return 0.5 * (lo + hi)
 
 
 class ResilienceModel(abc.ABC):
@@ -139,17 +200,20 @@ class ResilienceModel(abc.ABC):
 
     # ------------------------------------------------------------------
     # Derived quantities — numeric fallbacks; subclasses override with
-    # the paper's closed forms where those exist.
+    # the paper's closed forms where those exist. All three fallbacks
+    # evaluate ``predict`` in batches (fixed-order quadrature panels,
+    # bracket-shrinking grids) so a derived quantity costs a handful of
+    # vectorized calls instead of hundreds of scalar ones.
     # ------------------------------------------------------------------
     def area_under_curve(self, lower: float, upper: float) -> float:
-        """``∫ P(t) dt`` over ``[lower, upper]`` (numeric by default)."""
-        return adaptive_quad(
-            lambda t: float(self.predict(np.array([t]))[0]), lower, upper
-        )
+        """``∫ P(t) dt`` over ``[lower, upper]`` (numeric by default:
+        composite Gauss–Legendre panels on one batched ``predict``)."""
+        return gauss_legendre_quad(self.predict, lower, upper)
 
     def minimum(self, horizon: float) -> tuple[float, float]:
         """Time and value of the predicted performance minimum on
-        ``[0, horizon]`` (grid + bounded refinement by default)."""
+        ``[0, horizon]`` (coarse grid + vectorized bracket refinement
+        by default)."""
         grid = np.linspace(0.0, horizon, 2001)
         values = self.predict(grid)
         arg = int(np.argmin(values))
@@ -157,19 +221,14 @@ class ResilienceModel(abc.ABC):
         hi = float(grid[min(arg + 1, grid.size - 1)])
         if lo == hi:
             return float(grid[arg]), float(values[arg])
-        result = optimize.minimize_scalar(
-            lambda t: float(self.predict(np.array([t]))[0]),
-            bounds=(lo, hi),
-            method="bounded",
-        )
-        return float(result.x), float(result.fun)
+        return _refine_minimum(self.predict, lo, hi)
 
     def recovery_time(self, level: float, horizon: float = 1e4) -> float:
         """First time after the trough at which ``P(t) = level``.
 
-        Numeric default: bracket on a grid beyond the trough and refine
-        with Brent's method. Subclasses with closed forms (Eqs. 2, 5)
-        override.
+        Numeric default: bracket on a grid beyond the trough and narrow
+        the bracket with vectorized grid refinement. Subclasses with
+        closed forms (Eqs. 2, 5) override.
 
         Raises
         ------
@@ -190,12 +249,11 @@ class ResilienceModel(abc.ABC):
         hit = int(above[0])
         if hit == 0:
             return float(grid[0])
-        root = optimize.brentq(
-            lambda t: float(self.predict(np.array([t]))[0]) - level,
+        return _refine_crossing(
+            lambda t: self.predict(t) - level,
             float(grid[hit - 1]),
             float(grid[hit]),
         )
-        return float(root)
 
     def predict_clamped(
         self, times: ArrayLike, recovery_level: float, horizon: float = 1e4

@@ -1,0 +1,229 @@
+"""The :class:`FitExecutor` abstraction and its three backends.
+
+Design constraints (all load-bearing for the fitting stack):
+
+* **Deterministic ordering** — :meth:`FitExecutor.map` always returns
+  results in input order, so a parallel reduction (e.g. "keep the
+  lowest-SSE start, ties broken by position") is bit-identical to the
+  serial loop it replaced.
+* **Picklable work units** — the process backend ships ``(func, item)``
+  pairs through pickle; callers pass module-level functions and plain
+  data. When pickling fails anyway (lambdas, closures), the process
+  backend logs a warning and falls back to in-process execution rather
+  than raising, so an executor choice is a performance knob, never a
+  correctness knob. Work functions must therefore be pure: a fallback
+  may re-run them.
+* **Graceful degradation** — environments without working process
+  support (restricted sandboxes, missing semaphores) degrade to serial
+  with a logged warning.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar, Union
+
+from repro.exceptions import FitError
+
+__all__ = [
+    "DEFAULT_EXECUTOR_ENV",
+    "DEFAULT_WORKERS_ENV",
+    "ExecutorLike",
+    "FitExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "available_backends",
+    "default_worker_count",
+    "get_executor",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+logger = logging.getLogger("repro.parallel")
+
+#: Environment variable selecting the default backend name.
+DEFAULT_EXECUTOR_ENV = "REPRO_FIT_EXECUTOR"
+
+#: Environment variable selecting the default worker count.
+DEFAULT_WORKERS_ENV = "REPRO_FIT_WORKERS"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_executor`."""
+    return ("serial", "thread", "process")
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is given.
+
+    ``REPRO_FIT_WORKERS`` wins when set; otherwise the number of CPUs
+    available to this process (respecting affinity masks on Linux).
+    """
+    env = os.environ.get(DEFAULT_WORKERS_ENV)
+    if env:
+        try:
+            workers = int(env)
+        except ValueError as exc:
+            raise FitError(
+                f"{DEFAULT_WORKERS_ENV} must be a positive integer, got {env!r}"
+            ) from exc
+        if workers < 1:
+            raise FitError(
+                f"{DEFAULT_WORKERS_ENV} must be a positive integer, got {workers}"
+            )
+        return workers
+    if hasattr(os, "sched_getaffinity"):
+        return max(1, len(os.sched_getaffinity(0)))
+    return max(1, os.cpu_count() or 1)
+
+
+class FitExecutor(abc.ABC):
+    """Maps a pure function over independent work units.
+
+    Subclasses decide the execution strategy; all of them preserve the
+    input order of results so callers can reduce deterministically.
+    """
+
+    #: Registry/display name of the backend.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map(self, func: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        """Apply *func* to every item, returning results in input order.
+
+        Exceptions raised by *func* propagate to the caller (work-unit
+        functions in this codebase catch their own expected failures and
+        encode them in the result value).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialExecutor(FitExecutor):
+    """In-order, in-thread execution — the reference backend."""
+
+    name = "serial"
+
+    def map(self, func: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        return [func(item) for item in items]
+
+
+class ThreadExecutor(FitExecutor):
+    """Thread-pool execution.
+
+    Best when the work is NumPy/scipy-heavy: the linear algebra inside
+    ``scipy.optimize.least_squares`` releases the GIL, so threads
+    overlap real work without any pickling cost.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = int(max_workers) if max_workers else default_worker_count()
+        if self.max_workers < 1:
+            raise FitError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    def map(self, func: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        items = list(items)
+        if len(items) <= 1 or self.max_workers == 1:
+            return [func(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(self.max_workers, len(items))) as pool:
+            return list(pool.map(func, items))
+
+
+class ProcessExecutor(FitExecutor):
+    """Process-pool execution.
+
+    Sidesteps the GIL entirely at the cost of pickling every work unit
+    and result. Falls back to serial execution (with a logged warning)
+    when worker processes cannot be created or the work is unpicklable,
+    so callers never have to special-case restricted environments.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = int(max_workers) if max_workers else default_worker_count()
+        if self.max_workers < 1:
+            raise FitError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    def map(self, func: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        items = list(items)
+        if len(items) <= 1 or self.max_workers == 1:
+            return [func(item) for item in items]
+        try:
+            pickle.dumps(func)
+        except Exception:
+            logger.warning(
+                "process backend: work function %r is not picklable; "
+                "running serially",
+                getattr(func, "__name__", func),
+            )
+            return [func(item) for item in items]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(items))
+            ) as pool:
+                return list(pool.map(func, items))
+        except (OSError, RuntimeError, pickle.PicklingError) as exc:
+            # BrokenProcessPool is a RuntimeError subclass; restricted
+            # sandboxes commonly fail with OSError on semaphore setup.
+            logger.warning(
+                "process backend unavailable (%s: %s); running serially",
+                type(exc).__name__,
+                exc,
+            )
+            return [func(item) for item in items]
+
+
+#: Anything accepted wherever an executor is configurable: a backend
+#: name, an instance, or ``None`` for the environment default.
+ExecutorLike = Union[str, FitExecutor, None]
+
+_BACKENDS: dict[str, type[FitExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def get_executor(
+    spec: ExecutorLike = None, *, max_workers: int | None = None
+) -> FitExecutor:
+    """Resolve an executor spec to a concrete backend.
+
+    Parameters
+    ----------
+    spec:
+        Backend name (``"serial"``, ``"thread"``, ``"process"``), an
+        existing :class:`FitExecutor` (returned as-is), or ``None`` to
+        read ``REPRO_FIT_EXECUTOR`` (default ``"serial"``).
+    max_workers:
+        Worker count for the pooled backends; ``None`` uses
+        ``REPRO_FIT_WORKERS`` or the available CPU count.
+
+    Raises
+    ------
+    FitError
+        On an unknown backend name.
+    """
+    if isinstance(spec, FitExecutor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(DEFAULT_EXECUTOR_ENV) or "serial"
+    key = str(spec).strip().lower()
+    if key not in _BACKENDS:
+        raise FitError(
+            f"unknown executor backend {spec!r}; "
+            f"expected one of {', '.join(available_backends())}"
+        )
+    if key == "serial":
+        return SerialExecutor()
+    return _BACKENDS[key](max_workers=max_workers)

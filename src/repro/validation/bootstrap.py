@@ -12,6 +12,7 @@ near-boundary parameters).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -20,6 +21,8 @@ from repro.core.curve import ResilienceCurve
 from repro.exceptions import ConvergenceError, FitError
 from repro.fitting.least_squares import fit_least_squares
 from repro.fitting.result import FitResult
+from repro.models.base import ResilienceModel
+from repro.parallel import ExecutorLike, get_executor
 from repro.validation.intervals import ConfidenceBand
 
 __all__ = ["BootstrapResult", "residual_bootstrap"]
@@ -80,19 +83,45 @@ class BootstrapResult:
         )
 
 
+class _ReplicationWork(NamedTuple):
+    """Picklable work unit: one bootstrap refit."""
+
+    family: ResilienceModel
+    curve: ResilienceCurve
+    starts: tuple[tuple[float, ...], ...]
+    fit_kwargs: dict
+
+
+def _bootstrap_refit(work: _ReplicationWork) -> tuple[float, ...] | None:
+    """Refit one synthetic curve; ``None`` encodes convergence failure
+    (module-level so the process backend can pickle it)."""
+    try:
+        refit = fit_least_squares(
+            work.family, work.curve, starts=work.starts, **work.fit_kwargs
+        )
+    except ConvergenceError:
+        return None
+    return refit.model.params
+
+
 def residual_bootstrap(
     fit: FitResult,
     *,
     n_replications: int = 200,
     seed: int = 0,
     max_failure_fraction: float = 0.25,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> BootstrapResult:
     """Residual bootstrap around a least-squares fit.
 
     Each replication draws residuals with replacement, adds them to the
     fitted predictions, and refits the same family (seeding the
-    optimizer at the original optimum for speed and stability).
+    optimizer at the original optimum for speed and stability). All
+    resampling happens up front from a single seeded stream, so the
+    replication set — and therefore the ensemble — is identical on
+    every executor backend and worker count.
 
     Raises
     ------
@@ -106,9 +135,8 @@ def residual_bootstrap(
     residuals = curve.performance - predictions
     rng = np.random.default_rng(seed)
 
-    samples: list[tuple[float, ...]] = []
-    failed = 0
-    starts = [fit.model.params]
+    starts = (fit.model.params,)
+    work_units = []
     for _ in range(n_replications):
         resampled = rng.choice(residuals, size=residuals.size, replace=True)
         synthetic = ResilienceCurve(
@@ -117,14 +145,15 @@ def residual_bootstrap(
             nominal=curve.nominal,
             name=f"{curve.name}-boot",
         )
-        try:
-            refit = fit_least_squares(
-                fit.model, synthetic, starts=starts, **fit_kwargs
-            )
-        except ConvergenceError:
-            failed += 1
-            continue
-        samples.append(refit.model.params)
+        work_units.append(
+            _ReplicationWork(fit.model, synthetic, starts, dict(fit_kwargs))
+        )
+
+    outcomes = get_executor(executor, max_workers=n_workers).map(
+        _bootstrap_refit, work_units
+    )
+    samples = [params for params in outcomes if params is not None]
+    failed = n_replications - len(samples)
 
     if failed > max_failure_fraction * n_replications:
         raise FitError(

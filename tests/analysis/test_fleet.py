@@ -57,12 +57,15 @@ class TestEpisodeScorecard:
         assert "100% recovered" in table
 
     def test_no_episodes(self):
+        """Empty scorecards answer None uniformly across the three
+        aggregates (recovered_fraction historically returned NaN)."""
         flat = ResilienceCurve(np.arange(20.0), np.ones(20), name="calm")
         scorecard = episode_scorecard(flat)
         assert scorecard.n_episodes == 0
-        assert np.isnan(scorecard.recovered_fraction)
+        assert scorecard.recovered_fraction is None
         assert scorecard.median_recovery() is None
         assert scorecard.worst_depth() is None
+        assert "n/a recovered" in scorecard.to_table()
 
     def test_unrecovered_episode_handled(self):
         p = np.concatenate([np.ones(6), [0.9, 0.8, 0.75, 0.73, 0.72, 0.71]])

@@ -1,0 +1,142 @@
+"""The batched derived-quantity fallbacks vs. their scalar ancestors.
+
+``ResilienceModel.area_under_curve`` / ``minimum`` / ``recovery_time``
+were rewritten from scalar scipy calls (``quad``/``minimize_scalar``/
+``brentq`` over one-point lambdas) to batched kernels (Gauss–Legendre
+panels, grid-shrinking brackets) evaluating ``predict`` on whole
+arrays. These property tests pin the new kernels to reimplementations
+of the old scalar versions on every registered hazard and mixture
+family — the closed-form overrides of ``quadratic``/``competing_risks``
+are bypassed with unbound base-class calls so the fallbacks themselves
+are what is exercised everywhere.
+"""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.models.base import ResilienceModel
+from repro.models.registry import make_model
+from repro.utils.integrate import adaptive_quad
+
+#: Every registered hazard (bathtub) and mixture family.
+FAMILIES = (
+    "quadratic",
+    "competing_risks",
+    "exp-exp",
+    "wei-exp",
+    "exp-wei",
+    "wei-wei",
+)
+
+HORIZON = 60.0
+
+
+# ----------------------------------------------------------------------
+# The pre-vectorization scalar implementations, verbatim in spirit.
+# ----------------------------------------------------------------------
+def _scalar_predict(model):
+    return lambda t: float(model.predict(np.array([t]))[0])
+
+
+def _scalar_area(model, lower, upper):
+    return adaptive_quad(_scalar_predict(model), lower, upper)
+
+
+def _scalar_minimum(model, horizon):
+    grid = np.linspace(0.0, horizon, 2001)
+    values = model.predict(grid)
+    arg = int(np.argmin(values))
+    lo = float(grid[max(arg - 1, 0)])
+    hi = float(grid[min(arg + 1, grid.size - 1)])
+    if lo == hi:
+        return float(grid[arg]), float(values[arg])
+    result = optimize.minimize_scalar(
+        _scalar_predict(model), bounds=(lo, hi), method="bounded"
+    )
+    return float(result.x), float(result.fun)
+
+
+def _scalar_recovery(model, level, horizon=1e4):
+    trough_time, trough_value = _scalar_minimum(model, horizon)
+    if trough_value >= level:
+        return trough_time
+    grid = np.linspace(trough_time, horizon, 4001)
+    values = model.predict(grid) - level
+    above = np.nonzero(values >= 0.0)[0]
+    if not above.size:
+        raise ValueError("never recovers")
+    hit = int(above[0])
+    if hit == 0:
+        return float(grid[0])
+    func = _scalar_predict(model)
+    return float(
+        optimize.brentq(lambda t: func(t) - level, grid[hit - 1], grid[hit])
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(recession_1990):
+    """One fitted model per family (heuristic starts keep this quick)."""
+    from repro.fitting.least_squares import fit_least_squares
+
+    return {
+        name: fit_least_squares(
+            make_model(name), recession_1990, n_random_starts=0
+        ).model
+        for name in FAMILIES
+    }
+
+
+class TestBatchedKernelsMatchScalar:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_area_under_curve(self, name, fitted):
+        model = fitted[name]
+        batched = ResilienceModel.area_under_curve(model, 0.0, HORIZON)
+        scalar = _scalar_area(model, 0.0, HORIZON)
+        assert batched == pytest.approx(scalar, rel=1e-8, abs=1e-8)
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_area_of_reversed_interval_is_negated(self, name, fitted):
+        model = fitted[name]
+        forward = ResilienceModel.area_under_curve(model, 0.0, HORIZON)
+        backward = ResilienceModel.area_under_curve(model, HORIZON, 0.0)
+        assert backward == pytest.approx(-forward, rel=1e-12)
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_minimum(self, name, fitted):
+        model = fitted[name]
+        t_batched, v_batched = ResilienceModel.minimum(model, HORIZON)
+        t_scalar, v_scalar = _scalar_minimum(model, HORIZON)
+        # minimize_scalar stops at xatol=1e-5; the trough is flat, so
+        # the *value* agrees far more tightly than the argmin.
+        assert v_batched == pytest.approx(v_scalar, abs=1e-8)
+        assert t_batched == pytest.approx(t_scalar, abs=1e-4)
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_recovery_time(self, name, fitted):
+        model = fitted[name]
+        level = 0.995 * float(model.predict(np.array([HORIZON]))[0])
+        batched = ResilienceModel.recovery_time(model, level)
+        scalar = _scalar_recovery(model, level)
+        assert batched == pytest.approx(scalar, abs=1e-6)
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_recovery_at_or_below_trough_returns_trough_time(self, name, fitted):
+        model = fitted[name]
+        trough_time, trough_value = ResilienceModel.minimum(model, 1e4)
+        recovery = ResilienceModel.recovery_time(model, trough_value - 0.01)
+        assert recovery == pytest.approx(trough_time)
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_never_recovers_raises_value_error(self, name, fitted):
+        """A level above everything the model reaches inside the
+        horizon keeps the historical ValueError contract on every
+        family — for the batched kernel and the scalar ancestor alike."""
+        model = fitted[name]
+        horizon = 200.0
+        level = float(model.predict(np.linspace(0.0, horizon, 4001)).max()) + 1.0
+        with pytest.raises(ValueError, match="never recovers"):
+            ResilienceModel.recovery_time(model, level, horizon)
+        with pytest.raises(ValueError, match="never recovers"):
+            _scalar_recovery(model, level, horizon)

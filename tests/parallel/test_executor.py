@@ -1,0 +1,139 @@
+"""Unit tests for the :mod:`repro.parallel` executor backends."""
+
+import logging
+import time
+
+import pytest
+
+from repro.exceptions import FitError
+from repro.parallel import (
+    DEFAULT_EXECUTOR_ENV,
+    DEFAULT_WORKERS_ENV,
+    FitExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_worker_count,
+    get_executor,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _sleepy_identity(pair):
+    """Sleep then echo — exposes any backend that yields completion
+    order instead of input order."""
+    delay, value = pair
+    time.sleep(delay)
+    return value
+
+
+def _all_backends():
+    return [
+        SerialExecutor(),
+        ThreadExecutor(max_workers=4),
+        ProcessExecutor(max_workers=2),
+    ]
+
+
+class TestBackendMap:
+    @pytest.mark.parametrize("executor", _all_backends(), ids=lambda e: e.name)
+    def test_applies_function_in_input_order(self, executor):
+        assert executor.map(_square, list(range(10))) == [x * x for x in range(10)]
+
+    @pytest.mark.parametrize("executor", _all_backends(), ids=lambda e: e.name)
+    def test_empty_items(self, executor):
+        assert executor.map(_square, []) == []
+
+    def test_thread_order_survives_skewed_durations(self):
+        pairs = [(0.05, "slow"), (0.0, "fast"), (0.02, "mid")]
+        out = ThreadExecutor(max_workers=3).map(_sleepy_identity, pairs)
+        assert out == ["slow", "fast", "mid"]
+
+    @pytest.mark.parametrize("cls", [ThreadExecutor, ProcessExecutor])
+    def test_single_worker_runs_in_caller(self, cls):
+        assert cls(max_workers=1).map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    @pytest.mark.parametrize("cls", [ThreadExecutor, ProcessExecutor])
+    def test_negative_workers_rejected(self, cls):
+        with pytest.raises(FitError, match="max_workers"):
+            cls(max_workers=-1)
+
+    def test_exceptions_propagate(self):
+        def boom(_):
+            raise RuntimeError("work-unit bug")
+
+        with pytest.raises(RuntimeError, match="work-unit bug"):
+            SerialExecutor().map(boom, [1])
+
+
+class TestProcessFallback:
+    def test_unpicklable_function_falls_back_to_serial(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            out = ProcessExecutor(max_workers=2).map(lambda x: x + 1, [1, 2, 3])
+        assert out == [2, 3, 4]
+        assert any("not picklable" in r.message for r in caplog.records)
+
+    def test_broken_pool_falls_back_to_serial(self, caplog, monkeypatch):
+        import repro.parallel.executor as executor_module
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", BrokenPool)
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            out = ProcessExecutor(max_workers=2).map(_square, [1, 2, 3])
+        assert out == [1, 4, 9]
+        assert any("running serially" in r.message for r in caplog.records)
+
+
+class TestGetExecutor:
+    def test_instance_passthrough(self):
+        executor = ThreadExecutor(max_workers=2)
+        assert get_executor(executor) is executor
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_EXECUTOR_ENV, raising=False)
+        assert isinstance(get_executor(None), SerialExecutor)
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_EXECUTOR_ENV, "thread")
+        assert isinstance(get_executor(None), ThreadExecutor)
+
+    def test_name_is_case_and_space_insensitive(self):
+        assert isinstance(get_executor("  Process "), ProcessExecutor)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(FitError, match="unknown executor backend"):
+            get_executor("gpu")
+
+    def test_max_workers_forwarded(self):
+        executor = get_executor("thread", max_workers=3)
+        assert executor.max_workers == 3
+
+
+class TestDefaultWorkerCount:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "7")
+        assert default_worker_count() == 7
+
+    def test_env_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "many")
+        with pytest.raises(FitError, match="positive integer"):
+            default_worker_count()
+
+    def test_env_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "0")
+        with pytest.raises(FitError, match="positive integer"):
+            default_worker_count()
+
+    def test_defaults_to_at_least_one(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_WORKERS_ENV, raising=False)
+        assert default_worker_count() >= 1
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            FitExecutor()

@@ -1,0 +1,96 @@
+"""Wall-time regression guard for the fit engine.
+
+Tier-1 smoke bounds on the hot paths the perf work optimized. The
+bounds are deliberately generous — roughly 5× the measured single-CPU
+baseline with headroom for slow CI — so they only trip on
+*catastrophic* regressions (an accidental O(n²) loop, a kernel falling
+back to scalar quadrature), never on machine noise. The full
+measurement story lives in ``benchmarks/bench_perf_fit_engine.py`` /
+``BENCH_fit_engine.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.recessions import load_recession
+from repro.fitting.least_squares import fit_least_squares
+from repro.models.base import ResilienceModel
+from repro.models.registry import make_model
+from repro.utils.integrate import adaptive_quad
+
+#: Multi-start mixture fit: ~1.4 s measured baseline.
+FIT_BOUND_SECONDS = 10.0
+#: 20 batched AUC + 20 recovery-time evaluations: ~0.03 s baseline.
+KERNEL_BOUND_SECONDS = 2.0
+#: The batched AUC kernel replaces hundreds of scalar ``predict`` calls
+#: per integral (measured ~90×); below 5× it has effectively regressed
+#: to scalar evaluation.
+AUC_MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def mixture_fit():
+    curve = load_recession("1990-93")
+    start = time.perf_counter()
+    fit = fit_least_squares(make_model("wei-exp"), curve, n_random_starts=2)
+    return fit, time.perf_counter() - start
+
+
+class TestPerfGuard:
+    def test_multistart_fit_wall_time(self, mixture_fit):
+        _, elapsed = mixture_fit
+        assert elapsed < FIT_BOUND_SECONDS, (
+            f"multi-start wei-exp fit took {elapsed:.1f}s "
+            f"(bound {FIT_BOUND_SECONDS}s) — catastrophic fit-path slowdown"
+        )
+
+    def test_derived_quantity_wall_time(self, mixture_fit):
+        fit, _ = mixture_fit
+        model = fit.model
+        level = 0.995 * float(model.predict(np.array([60.0]))[0])
+        start = time.perf_counter()
+        for _ in range(20):
+            ResilienceModel.area_under_curve(model, 0.0, 60.0)
+            ResilienceModel.recovery_time(model, level)
+        elapsed = time.perf_counter() - start
+        assert elapsed < KERNEL_BOUND_SECONDS, (
+            f"20 derived-quantity rounds took {elapsed:.2f}s "
+            f"(bound {KERNEL_BOUND_SECONDS}s) — numeric-kernel slowdown"
+        )
+
+    def test_batched_auc_beats_scalar_quadrature(self, mixture_fit):
+        """Relative guard, immune to machine speed: the batched kernel
+        must decisively beat the scalar adaptive-quad path it replaced."""
+        fit, _ = mixture_fit
+        model = fit.model
+
+        def scalar_area() -> float:
+            return adaptive_quad(
+                lambda t: float(model.predict(np.array([t]))[0]), 0.0, 60.0
+            )
+
+        def batched_area() -> float:
+            return ResilienceModel.area_under_curve(model, 0.0, 60.0)
+
+        # Warm both paths, then take best-of-5 to shed scheduler noise.
+        scalar_value, batched_value = scalar_area(), batched_area()
+        assert batched_value == pytest.approx(scalar_value, abs=1e-6)
+
+        def best_of(func) -> float:
+            best = float("inf")
+            for _ in range(5):
+                start = time.perf_counter()
+                func()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        scalar_best, batched_best = best_of(scalar_area), best_of(batched_area)
+        assert batched_best * AUC_MIN_SPEEDUP < scalar_best, (
+            f"batched AUC ({batched_best * 1e3:.2f} ms) is not ≥"
+            f"{AUC_MIN_SPEEDUP}× faster than scalar quad "
+            f"({scalar_best * 1e3:.2f} ms) — kernel regressed to scalar"
+        )
