@@ -30,7 +30,8 @@ import pytest
 from scipy import optimize
 
 from benchmarks.conftest import run_once
-from repro.analysis.experiments import table3
+from repro.analysis.experiments import table3, truncation_grid
+from repro.fitting.cache import FitCache
 from repro.models.base import ResilienceModel
 from repro.utils.integrate import adaptive_quad
 
@@ -108,15 +109,21 @@ def _fit_params(result):
 
 def test_fit_engine(benchmark, artifact_dir):
     # -- executor sweep: serial (timed by pytest-benchmark) then pooled.
+    # cache=False throughout: the sweep measures solving on each
+    # backend, and the second and third runs would otherwise be pure
+    # cache hits (the cache's own cold/warm story lives in
+    # BENCH_jacobian.json).
     backend_seconds: dict[str, float] = {}
     start = time.perf_counter()
-    serial_result = run_once(benchmark, table3, n_random_starts=4)
+    serial_result = run_once(benchmark, table3, n_random_starts=4, cache=False)
     backend_seconds["serial"] = time.perf_counter() - start
     reference = _fit_params(serial_result)
 
     for name in BACKENDS[1:]:
         start = time.perf_counter()
-        result = table3(n_random_starts=4, executor=name, n_workers=N_WORKERS)
+        result = table3(
+            n_random_starts=4, executor=name, n_workers=N_WORKERS, cache=False
+        )
         backend_seconds[name] = time.perf_counter() - start
         assert _fit_params(result) == reference, (
             f"{name} backend did not reproduce the serial fits bit-for-bit"
@@ -188,3 +195,145 @@ def test_fit_engine(benchmark, artifact_dir):
     # calls with one batched one; anything short of a large win here
     # means the kernel regressed to scalar evaluation.
     assert payload["kernels"]["area_under_curve"]["speedup"] > 5.0
+
+
+def _fit_counters(result) -> tuple[dict[str, int], dict[str, dict[str, int]]]:
+    """Summed and per-fit residual/Jacobian evaluation counts for a
+    Table III result. The counters are maintained inside the objective
+    closure, so — unlike scipy's reported ``nfev`` — they include the
+    residual calls spent on finite-difference Jacobian columns."""
+    totals = {"nfev": 0, "njev": 0}
+    per_fit: dict[str, dict[str, int]] = {}
+    for dataset, cells in result.cells.items():
+        for model, evaluation in cells.items():
+            details = evaluation.fit.details
+            counts = {"nfev": details["nfev"], "njev": details["njev"]}
+            per_fit[f"{dataset}/{model}"] = counts
+            totals["nfev"] += counts["nfev"]
+            totals["njev"] += counts["njev"]
+    return totals, per_fit
+
+
+def _grid_nfev(grid) -> int:
+    return sum(
+        evaluations[fraction].fit.details["nfev"]
+        for by_model in grid.cells.values()
+        for evaluations in by_model.values()
+        for fraction in evaluations
+    )
+
+
+def test_jacobian_engine(artifact_dir):
+    """Analytic Jacobians, the fit cache, and warm-start propagation.
+
+    Three claims are asserted, all on the Table III workload:
+
+    * the analytic-Jacobian engine spends at least 3x fewer residual
+      evaluations than 2-point finite differences while rendering a
+      bit-identical table,
+    * a warm cache run answers every fit from the store and reproduces
+      the cold table bit-for-bit, and
+    * warm-start propagation along a truncation chain costs fewer
+      residual evaluations than refitting every prefix cold.
+
+    Wall-clock numbers are recorded, not asserted — the analytic path
+    trades residual calls for Jacobian calls, so its wall-time win
+    depends on how expensive a model evaluation is relative to its
+    closed-form derivative.
+    """
+    # -- analytic vs 2-point finite differences -------------------------
+    start = time.perf_counter()
+    numeric_result = table3(n_random_starts=4, jac="2-point", cache=False)
+    numeric_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    analytic_result = table3(n_random_starts=4, jac="auto", cache=False)
+    analytic_seconds = time.perf_counter() - start
+
+    numeric_totals, numeric_per_fit = _fit_counters(numeric_result)
+    analytic_totals, analytic_per_fit = _fit_counters(analytic_result)
+
+    # 2-point mode only evaluates the closed form while polishing the
+    # winning start; the analytic engine uses it on every iteration.
+    assert analytic_totals["njev"] > numeric_totals["njev"]
+    nfev_ratio = numeric_totals["nfev"] / analytic_totals["nfev"]
+    assert nfev_ratio >= 3.0, (
+        f"analytic Jacobians only cut residual evaluations by {nfev_ratio:.2f}x"
+    )
+    assert analytic_result.to_table() == numeric_result.to_table(), (
+        "analytic and finite-difference engines rendered different tables"
+    )
+
+    # -- fit cache: cold run populates, warm run answers from the store -
+    cache = FitCache()
+    start = time.perf_counter()
+    cold_result = table3(n_random_starts=4, cache=cache)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_result = table3(n_random_starts=4, cache=cache)
+    warm_seconds = time.perf_counter() - start
+
+    stats = cache.stats()
+    assert stats["hits"] >= len(warm_result.cells) * 4, (
+        f"warm run should hit for all 28 fits, saw {stats['hits']} hits"
+    )
+    assert warm_result.to_table() == cold_result.to_table()
+
+    # -- warm-start propagation along truncation chains -----------------
+    grid_kwargs = dict(
+        model_names=("wei-exp", "exp-wei"),
+        datasets=("1990-93", "2007-09"),
+        fractions=(0.7, 0.8, 0.9),
+        cache=False,
+    )
+    warm_grid = truncation_grid(warm_start=True, **grid_kwargs)
+    cold_grid = truncation_grid(warm_start=False, **grid_kwargs)
+    warm_grid_nfev = _grid_nfev(warm_grid)
+    cold_grid_nfev = _grid_nfev(cold_grid)
+    assert warm_grid_nfev < cold_grid_nfev, (
+        "warm-start chains should spend fewer residual evaluations than "
+        f"cold refits ({warm_grid_nfev} vs {cold_grid_nfev})"
+    )
+
+    payload = {
+        "generated_by": "benchmarks/bench_perf_fit_engine.py",
+        "workload": "table3(n_random_starts=4): 7 recessions x 4 mixtures",
+        "cpu_count": os.cpu_count(),
+        "jacobian": {
+            "2-point": {
+                "wall_seconds": numeric_seconds,
+                "nfev": numeric_totals["nfev"],
+                "njev": numeric_totals["njev"],
+                "per_fit": numeric_per_fit,
+            },
+            "analytic": {
+                "wall_seconds": analytic_seconds,
+                "nfev": analytic_totals["nfev"],
+                "njev": analytic_totals["njev"],
+                "per_fit": analytic_per_fit,
+            },
+            "nfev_ratio": nfev_ratio,
+            "wall_speedup": numeric_seconds / analytic_seconds,
+            "tables_bit_identical": True,
+        },
+        "cache": {
+            "cold_wall_seconds": cold_seconds,
+            "warm_wall_seconds": warm_seconds,
+            "warm_speedup": cold_seconds / warm_seconds,
+            "stats": stats,
+            "tables_bit_identical": True,
+        },
+        "warm_start": {
+            "workload": "truncation_grid: 2 recessions x 2 mixtures x "
+            "3 fractions",
+            "warm_nfev": warm_grid_nfev,
+            "cold_nfev": cold_grid_nfev,
+            "nfev_saved_fraction": 1.0 - warm_grid_nfev / cold_grid_nfev,
+        },
+    }
+    path = artifact_dir / "BENCH_jacobian.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+    assert path.exists()

@@ -28,11 +28,13 @@ __all__ = [
     "MIXTURE_MODEL_NAMES",
     "TableOneResult",
     "TableMetricsResult",
+    "TruncationGridResult",
     "FigureResult",
     "table1",
     "table2",
     "table3",
     "table4",
+    "truncation_grid",
     "figure1",
     "figure2",
     "figure3",
@@ -330,6 +332,153 @@ def table4(
         n_workers=n_workers,
         **fit_kwargs,
     )
+
+
+@dataclass
+class TruncationGridResult:
+    """Truncation-sweep evaluations over training fractions.
+
+    ``cells[dataset][model][fraction]`` is the
+    :class:`PredictiveEvaluation` for that (dataset, model, train
+    fraction) triple. The grid generalizes the Table I/III protocol
+    from the paper's single 90% fraction to a sweep, showing how each
+    family's held-out PMSE degrades as less of the curve is observed.
+    """
+
+    model_names: tuple[str, ...]
+    fractions: tuple[float, ...]
+    cells: dict[str, dict[str, dict[float, PredictiveEvaluation]]] = field(
+        default_factory=dict
+    )
+    title: str = ""
+
+    def measure(
+        self, dataset: str, model: str, fraction: float, name: str
+    ) -> float:
+        """One measure value, e.g. ``measure("1990-93", "wei-exp", 0.8, "pmse")``."""
+        return float(getattr(self.cells[dataset][model][fraction].measures, name))
+
+    def to_table(self) -> str:
+        """PMSE grid: one row per (dataset, fraction), one column per
+        model."""
+        headers = ["Recession", "train%"] + list(self.model_names)
+        rows: list[list[object]] = []
+        for dataset, by_model in self.cells.items():
+            for fraction in self.fractions:
+                row: list[object] = [dataset, f"{fraction:.0%}"]
+                for model in self.model_names:
+                    row.append(self.measure(dataset, model, fraction, "pmse"))
+                rows.append(row)
+        return format_table(headers, rows, title=self.title)
+
+
+class _TruncationChain(NamedTuple):
+    """Picklable work unit: one (dataset, model) pair swept over every
+    training fraction, warm-starting each prefix from the previous."""
+
+    dataset: str
+    curve: ResilienceCurve
+    model: str
+    fractions: tuple[float, ...]
+    confidence: float
+    warm_start: bool
+    warm_n_random_starts: int
+    fit_kwargs: dict
+
+
+def _evaluate_chain(
+    chain: _TruncationChain,
+) -> tuple[str, str, dict[float, PredictiveEvaluation]]:
+    """Evaluate one warm-start chain (module-level so the process
+    backend can pickle it).
+
+    Fractions are visited in ascending order; each prefix's optimum is
+    injected as an extra start for the next prefix, whose random-start
+    budget shrinks to ``warm_n_random_starts`` — adjacent prefixes share
+    most of their data, so the previous optimum is almost always in the
+    right basin already.
+    """
+    evaluations: dict[float, PredictiveEvaluation] = {}
+    previous_optimum: tuple[float, ...] | None = None
+    for fraction in chain.fractions:
+        kwargs = dict(chain.fit_kwargs)
+        if chain.warm_start and previous_optimum is not None:
+            kwargs.setdefault("extra_starts", (previous_optimum,))
+            kwargs.setdefault("n_random_starts", chain.warm_n_random_starts)
+        evaluation = evaluate_predictive(
+            make_model(chain.model),
+            chain.curve,
+            train_fraction=fraction,
+            confidence=chain.confidence,
+            **kwargs,
+        )
+        evaluations[fraction] = evaluation
+        previous_optimum = evaluation.model.params
+    return chain.dataset, chain.model, evaluations
+
+
+def truncation_grid(
+    model_names: tuple[str, ...] = MIXTURE_MODEL_NAMES,
+    *,
+    fractions: tuple[float, ...] = (0.7, 0.8, 0.9),
+    datasets: tuple[str, ...] | None = None,
+    confidence: float = 0.95,
+    warm_start: bool = True,
+    warm_n_random_starts: int = 2,
+    executor: ExecutorLike = None,
+    n_workers: int | None = None,
+    **fit_kwargs: object,
+) -> TruncationGridResult:
+    """Sweep the Table I/III protocol over several training fractions.
+
+    Each (dataset, model) pair forms an independent chain that walks the
+    fractions in ascending order with warm-start propagation (see
+    :func:`_evaluate_chain`); chains run in parallel on the chosen
+    executor backend. Results are assembled in grid order, so the table
+    is identical on every backend.
+
+    Parameters
+    ----------
+    model_names:
+        Families to sweep; defaults to the four mixtures.
+    fractions:
+        Training fractions, swept in ascending order per chain.
+    datasets:
+        Recession names to include; ``None`` uses all seven.
+    warm_start, warm_n_random_starts:
+        Warm-start propagation along each chain: inject the previous
+        prefix's optimum as an extra start and shrink the random-start
+        budget for every fraction after the first. ``warm_start=False``
+        makes every cell an independent full multi-start fit.
+    fit_kwargs:
+        Passed through to :func:`~repro.fitting.fit_least_squares`.
+    """
+    if not fractions:
+        raise DataError("truncation_grid needs at least one training fraction")
+    ordered_fractions = tuple(sorted(float(f) for f in fractions))
+    if datasets is None:
+        recessions = load_all_recessions()
+    else:
+        recessions = {name: load_recession(name) for name in datasets}
+    chains = [
+        _TruncationChain(
+            dataset_name, curve, model_name, ordered_fractions, confidence,
+            warm_start, warm_n_random_starts, dict(fit_kwargs),
+        )
+        for dataset_name, curve in recessions.items()
+        for model_name in model_names
+    ]
+    triples = get_executor(executor, max_workers=n_workers).map(
+        _evaluate_chain, chains
+    )
+    result = TruncationGridResult(
+        model_names=tuple(model_names),
+        fractions=ordered_fractions,
+        title="Truncation sweep — held-out PMSE by training fraction",
+    )
+    for dataset_name, model_name, evaluations in triples:
+        result.cells.setdefault(dataset_name, {})[model_name] = evaluations
+    return result
 
 
 # ----------------------------------------------------------------------

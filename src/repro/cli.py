@@ -63,6 +63,16 @@ def _add_executor_arguments(command: argparse.ArgumentParser) -> None:
         help="worker count for thread/process backends "
         "(default: $REPRO_FIT_WORKERS or the CPU count)",
     )
+    command.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "memoize fits in the content-addressed cache (default: "
+            "governed by $REPRO_FIT_CACHE); --no-cache re-solves "
+            "everything"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +212,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         train_fraction=args.train_fraction,
         executor=args.executor,
         n_workers=args.workers,
+        cache=args.cache,
     )
     measures = evaluation.measures
     print(f"Fitted {family.name} to {curve.name} (n={len(curve)}):")
@@ -261,7 +272,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
         "3": experiments.table3,
         "4": experiments.table4,
     }
-    result = builders[key](executor=args.executor, n_workers=args.workers)
+    result = builders[key](
+        executor=args.executor, n_workers=args.workers, cache=args.cache
+    )
     print(result.to_table())
     if args.csv:
         from repro.analysis.export import write_table_csv
@@ -282,7 +295,9 @@ def _cmd_figure(number: int) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     print(
         render_report(
-            run_full_reproduction(executor=args.executor, n_workers=args.workers)
+            run_full_reproduction(
+                executor=args.executor, n_workers=args.workers, cache=args.cache
+            )
         )
     )
     return 0
@@ -313,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
                 tolerance=args.tolerance,
                 executor=args.executor,
                 n_workers=args.workers,
+                cache=args.cache,
             )
             print(scorecard.to_table())
             return 0

@@ -102,6 +102,23 @@ class LifetimeDistribution(abc.ABC):
         """Cumulative probability ``P(T <= t)`` (0 for negative times)."""
 
     # ------------------------------------------------------------------
+    # Optional analytic-derivative protocol
+    # ------------------------------------------------------------------
+    # Subclasses whose CDF has elementary parameter derivatives define
+    #
+    #     def cdf_gradient(self, times) -> FloatArray   # (n, n_params)
+    #
+    # returning ``∂F(t)/∂θⱼ`` column-per-parameter in canonical order.
+    # The mixture resilience model uses it to assemble a closed-form fit
+    # Jacobian; families built from distributions without it fall back
+    # to finite differences. Test for support with
+    # :meth:`has_cdf_gradient`.
+    @classmethod
+    def has_cdf_gradient(cls) -> bool:
+        """Whether this family implements the analytic ``cdf_gradient``."""
+        return callable(getattr(cls, "cdf_gradient", None))
+
+    # ------------------------------------------------------------------
     # Derived quantities (overridable with closed forms)
     # ------------------------------------------------------------------
     def sf(self, times: ArrayLike) -> FloatArray:

@@ -47,6 +47,15 @@ class Exponential(LifetimeDistribution):
         t = as_float_array(times, "times")
         return np.where(t < 0.0, 1.0, safe_exp(-np.maximum(t, 0.0) / self.theta))
 
+    def cdf_gradient(self, times: ArrayLike) -> FloatArray:
+        """``∂F/∂θ = −(t/θ²)·e^{−t/θ}`` as an ``(n, 1)`` column."""
+        t = as_float_array(times, "times")
+        clipped = np.maximum(t, 0.0)
+        column = -(clipped / (self.theta * self.theta)) * safe_exp(
+            -clipped / self.theta
+        )
+        return np.where(t < 0.0, 0.0, column)[:, np.newaxis]
+
     def hazard(self, times: ArrayLike) -> FloatArray:
         t = as_float_array(times, "times")
         return np.where(t < 0.0, 0.0, np.full_like(t, 1.0 / self.theta))

@@ -72,6 +72,24 @@ class Weibull(LifetimeDistribution):
         t = as_float_array(times, "times")
         return self._z(t)
 
+    def cdf_gradient(self, times: ArrayLike) -> FloatArray:
+        """``(∂F/∂θ, ∂F/∂k) = (−(k/θ)·z·e^{−z}, ln(t/θ)·z·e^{−z})``.
+
+        Both derivatives share the factor ``z·e^{−z}`` which vanishes in
+        either tail (z → 0 and z → ∞), so the gradient is zeroed where
+        ``z`` overflows and at ``t ≤ 0``.
+        """
+        t = as_float_array(times, "times")
+        scaled = np.maximum(t, 0.0) / self.theta
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            z = np.power(scaled, self.k)
+            decay = np.where(np.isfinite(z), z * safe_exp(-z), 0.0)
+            log_scaled = np.log(np.where(scaled > 0.0, scaled, 1.0))
+        gradient = np.stack(
+            [-(self.k / self.theta) * decay, log_scaled * decay], axis=1
+        )
+        return np.where((t > 0.0)[:, np.newaxis], gradient, 0.0)
+
     def quantile(self, probabilities: ArrayLike) -> FloatArray:
         probs = as_float_array(probabilities, "probabilities")
         if np.any((probs < 0.0) | (probs >= 1.0)):

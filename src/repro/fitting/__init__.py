@@ -6,6 +6,7 @@ parametric model using bounded trust-region least squares with a
 deterministic multi-start strategy.
 """
 
+from repro.fitting.cache import FitCache, default_fit_cache, fit_cache_key
 from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
 from repro.fitting.mle import MleResult, fit_mle, profile_likelihood_interval
 from repro.fitting.multistart import generate_starts
@@ -21,6 +22,9 @@ __all__ = [
     "fit_least_squares",
     "fit_many",
     "FitManyResult",
+    "FitCache",
+    "default_fit_cache",
+    "fit_cache_key",
     "generate_starts",
     "FitResult",
     "MleResult",

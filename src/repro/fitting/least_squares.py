@@ -6,18 +6,38 @@ least squares, trying every multi-start point and keeping the best
 optimum. The starts are independent problems, so they can run on any
 :class:`~repro.parallel.FitExecutor` backend; results are reduced in
 start order, making the outcome identical on every backend.
+
+Two layers keep the engine cheap:
+
+* **Analytic Jacobians** — families that expose
+  :meth:`~repro.models.base.ResilienceModel.prediction_jacobian` in
+  closed form (the quadratic, the Hjorth competing-risks model, and all
+  Exp/Weibull mixtures under every trend) hand scipy an exact ``jac=``
+  callable instead of letting it rebuild the Jacobian by finite
+  differences, cutting residual evaluations by roughly the parameter
+  count.
+* **Fit caching** — results are memoized in a content-addressed
+  :class:`~repro.fitting.cache.FitCache`, so experiment grids that
+  revisit the same ``(family, curve, config)`` triple skip the solve
+  entirely.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import Iterable, Iterator, Mapping, NamedTuple, Sequence
+from typing import Any, Iterable, Mapping, NamedTuple, Sequence
 
 import numpy as np
 from scipy import optimize
 
 from repro.core.curve import ResilienceCurve
 from repro.exceptions import ConvergenceError, FitError
+from repro.fitting.cache import (
+    FitCache,
+    fit_cache_key,
+    resolve_cache,
+    sequence_of_vectors,
+)
 from repro.fitting.multistart import generate_starts
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
@@ -26,6 +46,31 @@ from repro.parallel import ExecutorLike, get_executor
 __all__ = ["fit_least_squares", "fit_many", "FitManyResult"]
 
 logger = logging.getLogger("repro.fitting")
+
+#: Magnitude of the penalty applied to non-finite residuals. The
+#: penalty is ``scale·(1 + ‖θ‖)`` rather than a constant: a constant
+#: plateau has zero gradient everywhere, so once a trust-region step
+#: lands in a non-finite pocket the optimizer sees a flat landscape and
+#: stalls there. The ‖θ‖ term restores a slope pointing back toward the
+#: origin (feasible vectors in every family are bounded well below the
+#: scales that overflow), letting the solver walk out of the pocket.
+_PENALTY_SCALE = 1e6
+
+#: Recognized ``jac=`` modes for :func:`fit_least_squares`.
+_JAC_MODES = ("auto", "analytic", "2-point")
+
+
+def _penalty_value(vector: np.ndarray) -> float:
+    """Smoothly increasing replacement for non-finite residuals."""
+    return _PENALTY_SCALE * (1.0 + float(np.linalg.norm(vector)))
+
+
+def _penalty_gradient(vector: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`_penalty_value` with respect to θ."""
+    norm = float(np.linalg.norm(vector))
+    if norm < 1e-12:
+        return np.zeros_like(vector)
+    return (_PENALTY_SCALE / norm) * np.asarray(vector, dtype=np.float64)
 
 
 class _StartOutcome(NamedTuple):
@@ -36,6 +81,8 @@ class _StartOutcome(NamedTuple):
     vector: tuple[float, ...] | None
     message: str
     converged: bool
+    nfev: int
+    njev: int
 
 
 class _StartWork(NamedTuple):
@@ -48,11 +95,19 @@ class _StartWork(NamedTuple):
     upper: tuple[float, ...]
     max_nfev: int
     sqrt_weights: tuple[float, ...] | None
+    jac_mode: str
 
 
 def _solve_start(work: _StartWork) -> _StartOutcome:
     """Run one bounded least-squares solve (module-level so the process
-    backend can pickle it)."""
+    backend can pickle it).
+
+    The residual-evaluation counter lives here rather than trusting
+    ``solution.nfev``: scipy's trf does *not* count the residual calls
+    its 2-point Jacobian makes, so the reported number would flatter the
+    finite-difference mode. Counting inside the closures makes the
+    analytic-vs-FD comparison honest.
+    """
     family = work.family
     curve = work.curve
     lower = np.asarray(work.lower, dtype=np.float64)
@@ -62,34 +117,80 @@ def _solve_start(work: _StartWork) -> _StartOutcome:
         if work.sqrt_weights is None
         else np.asarray(work.sqrt_weights, dtype=np.float64)
     )
+    counters = {"nfev": 0, "njev": 0}
 
     def objective(vector: np.ndarray) -> np.ndarray:
+        counters["nfev"] += 1
         residuals = family.residuals(curve, vector)
-        residuals = np.where(np.isfinite(residuals), residuals, 1e6)
+        bad = ~np.isfinite(residuals)
+        if bad.any():
+            residuals = np.where(bad, _penalty_value(vector), residuals)
         if sqrt_weights is not None:
             residuals = residuals * sqrt_weights
         return residuals
 
+    def analytic_jac(vector: np.ndarray) -> np.ndarray:
+        counters["njev"] += 1
+        jac = -family.prediction_jacobian(curve.times, vector)
+        predictions = family.evaluate(curve.times, vector)
+        bad = ~np.isfinite(predictions)
+        if bad.any():
+            # Match the objective: penalized rows get the penalty's
+            # gradient so the solver still sees a downhill direction.
+            jac[bad, :] = _penalty_gradient(vector)
+        jac = np.where(np.isfinite(jac), jac, 0.0)
+        if sqrt_weights is not None:
+            jac = jac * sqrt_weights[:, np.newaxis]
+        return jac
+
+    jac_arg: Any = analytic_jac if work.jac_mode == "analytic" else "2-point"
     x0 = np.clip(np.asarray(work.x0, dtype=np.float64), lower, upper)
     try:
         solution = optimize.least_squares(
             objective,
             x0,
+            jac=jac_arg,
             bounds=(lower, upper),
             method="trf",
             max_nfev=work.max_nfev,
+            # Far below the 8-decimal precision tables are rendered at,
+            # so the analytic and finite-difference Jacobian modes stop
+            # at the same optimum and render identical artifacts.
+            ftol=1e-12,
+            xtol=1e-12,
+            gtol=1e-12,
         )
     except (ValueError, FloatingPointError):
-        return _StartOutcome(float("nan"), None, "", False)
+        return _StartOutcome(
+            float("nan"), None, "", False, counters["nfev"], counters["njev"]
+        )
     sse = float(2.0 * solution.cost)  # cost is 0.5 * sum(residual²)
     if not np.isfinite(sse):
-        return _StartOutcome(sse, None, "", False)
+        return _StartOutcome(
+            sse, None, "", False, counters["nfev"], counters["njev"]
+        )
     return _StartOutcome(
         sse,
         tuple(float(v) for v in solution.x),
         str(solution.message),
         bool(solution.success),
+        counters["nfev"],
+        counters["njev"],
     )
+
+
+def _resolve_jac_mode(family: ResilienceModel, jac: str) -> str:
+    """Map the user-facing ``jac=`` choice onto a concrete mode."""
+    if jac not in _JAC_MODES:
+        raise FitError(f"jac must be one of {_JAC_MODES}, got {jac!r}")
+    if jac == "auto":
+        return "analytic" if family.has_analytic_jacobian else "2-point"
+    if jac == "analytic" and not family.has_analytic_jacobian:
+        raise FitError(
+            f"family {family.name!r} has no analytic Jacobian; "
+            f"use jac='auto' or jac='2-point'"
+        )
+    return jac
 
 
 def fit_least_squares(
@@ -100,7 +201,10 @@ def fit_least_squares(
     seed: int | None = None,
     max_nfev: int = 2000,
     starts: Sequence[Sequence[float]] | None = None,
+    extra_starts: Sequence[Sequence[float]] | None = None,
     weights: Sequence[float] | None = None,
+    jac: str = "auto",
+    cache: bool | FitCache | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
 ) -> FitResult:
@@ -124,6 +228,11 @@ def fit_least_squares(
         Function-evaluation budget per start.
     starts:
         Explicit starting vectors; overrides generation entirely.
+    extra_starts:
+        Additional heuristic start vectors *prepended* to the start
+        list (clipped to bounds, deduplicated). Used by warm-started
+        sweeps to inject the neighbouring cell's optimum without
+        discarding the family's own seeds.
     weights:
         Optional per-observation weights ``wᵢ`` turning Eq. (8) into
         weighted least squares ``Σ wᵢ(R(tᵢ) − P(tᵢ))²`` — e.g. inverse
@@ -131,6 +240,21 @@ def fit_least_squares(
         outliers. Must be non-negative, same length as the curve. The
         reported :attr:`FitResult.sse` remains the *unweighted* Eq. (9)
         value so it stays comparable across weightings.
+    jac:
+        Jacobian strategy: ``"auto"`` (closed form when the family has
+        one, else finite differences — the default), ``"analytic"``
+        (require the closed form; raises if unavailable), or
+        ``"2-point"`` (force scipy's forward differences during
+        exploration; the winning start is still polished with the
+        closed form when one exists, so the fitted optimum does not
+        depend on the mode).
+    cache:
+        Fit memoization: ``None``/``True`` use the environment-default
+        :class:`~repro.fitting.cache.FitCache` (``REPRO_FIT_CACHE``),
+        ``False`` bypasses caching, and an explicit
+        :class:`~repro.fitting.cache.FitCache` uses that instance.
+        Hits return a result bit-identical to the original solve with
+        ``details["cache_hit"] = True``.
     executor:
         Backend the independent multi-start solves run on: ``"serial"``
         (default), ``"thread"``, ``"process"``, or a
@@ -143,13 +267,16 @@ def fit_least_squares(
     -------
     FitResult
         With the model bound to the lowest-SSE optimum across starts
-        (lowest weighted SSE when *weights* are given).
+        (lowest weighted SSE when *weights* are given). ``details``
+        records the per-start and total residual/Jacobian evaluation
+        counts (``nfev``/``njev``), the resolved ``jac_mode``, and
+        whether the result came from cache.
 
     Raises
     ------
     FitError
         If the curve contains non-finite values or fewer observations
-        than parameters.
+        than parameters, or the ``jac``/``cache`` arguments are invalid.
     ConvergenceError
         If every start fails to produce a finite optimum.
     """
@@ -161,20 +288,13 @@ def fit_least_squares(
     if not np.all(np.isfinite(curve.performance)):
         raise FitError("curve contains non-finite performance values")
 
-    if starts is None:
-        kwargs = {} if seed is None else {"seed": seed}
-        start_vectors: list[tuple[float, ...]] = generate_starts(
-            family, curve, n_random=n_random_starts, **kwargs
-        )
-    else:
-        start_vectors = [tuple(float(v) for v in s) for s in starts]
-        if not start_vectors:
-            raise FitError("explicit starts list is empty")
+    jac_mode = _resolve_jac_mode(family, jac)
 
     lower = tuple(float(v) for v in family.lower_bounds)
     upper = tuple(float(v) for v in family.upper_bounds)
 
     sqrt_weights: tuple[float, ...] | None = None
+    weight_list: list[float] | None = None
     if weights is not None:
         weight_array = np.asarray(weights, dtype=np.float64)
         if weight_array.shape != (len(curve),):
@@ -187,9 +307,77 @@ def fit_least_squares(
         if not np.any(weight_array > 0.0):
             raise FitError("at least one weight must be positive")
         sqrt_weights = tuple(float(v) for v in np.sqrt(weight_array))
+        weight_list = [float(v) for v in weight_array]
+
+    # ------------------------------------------------------------------
+    # Cache lookup. The key covers every input that determines the
+    # optimum; start generation is deterministic, so keying on its
+    # inputs (counts + seed) is equivalent to keying on the vectors.
+    # ------------------------------------------------------------------
+    fit_cache = resolve_cache(cache)
+    cache_key: str | None = None
+    if fit_cache is not None:
+        cache_key = fit_cache_key(
+            family,
+            curve,
+            {
+                "engine": "least_squares.v1",
+                "n_random_starts": int(n_random_starts),
+                "seed": None if seed is None else int(seed),
+                "max_nfev": int(max_nfev),
+                "starts": sequence_of_vectors(starts),
+                "extra_starts": sequence_of_vectors(extra_starts),
+                "weights": weight_list,
+                "jac": jac_mode,
+            },
+        )
+        record = fit_cache.get(cache_key)
+        if record is not None:
+            details = dict(record.get("details", {}))
+            details["cache_hit"] = True
+            return FitResult(
+                model=family.bind(tuple(float(v) for v in record["params"])),
+                curve=curve,
+                sse=float(record["sse"]),
+                converged=bool(record["converged"]),
+                n_starts=int(record["n_starts"]),
+                n_failures=int(record["n_failures"]),
+                message=str(record["message"]),
+                details=details,
+            )
+
+    if starts is None:
+        kwargs = {} if seed is None else {"seed": seed}
+        start_vectors: list[tuple[float, ...]] = generate_starts(
+            family, curve, n_random=n_random_starts, **kwargs
+        )
+    else:
+        start_vectors = [tuple(float(v) for v in s) for s in starts]
+        if not start_vectors:
+            raise FitError("explicit starts list is empty")
+
+    if extra_starts:
+        injected: list[tuple[float, ...]] = []
+        for vector in extra_starts:
+            clipped = tuple(
+                float(np.clip(float(v), lo, hi))
+                for v, lo, hi in zip(vector, lower, upper)
+            )
+            if len(clipped) != family.n_params:
+                raise FitError(
+                    f"extra start has {len(clipped)} entries; family "
+                    f"{family.name!r} expects {family.n_params}"
+                )
+            if clipped not in injected:
+                injected.append(clipped)
+        start_vectors = injected + [
+            s for s in start_vectors if s not in injected
+        ]
 
     work_units = [
-        _StartWork(family, curve, start, lower, upper, max_nfev, sqrt_weights)
+        _StartWork(
+            family, curve, start, lower, upper, max_nfev, sqrt_weights, jac_mode
+        )
         for start in start_vectors
     ]
     outcomes = get_executor(executor, max_workers=n_workers).map(
@@ -204,8 +392,12 @@ def fit_least_squares(
     best_converged = False
     failures = 0
     per_start_sse: list[float] = []
+    per_start_nfev: list[int] = []
+    per_start_njev: list[int] = []
     for outcome in outcomes:
         per_start_sse.append(outcome.sse)
+        per_start_nfev.append(outcome.nfev)
+        per_start_njev.append(outcome.njev)
         if outcome.vector is None:
             failures += 1
             continue
@@ -221,11 +413,59 @@ def fit_least_squares(
             f"{family.name!r} to {curve.name or '<curve>'}"
         )
 
+    # Forward differences cannot localize the optimum below their own
+    # noise floor (~√eps relative in the parameters), so a pure 2-point
+    # run would disagree with the analytic engine in the last rendered
+    # digit. Polishing the winner with the closed form — when the family
+    # has one — makes the final optimum independent of the exploration
+    # mode; the polish cost is counted in nfev/njev like everything else.
+    polish_nfev = 0
+    polish_njev = 0
+    if jac_mode == "2-point" and family.has_analytic_jacobian:
+        polish = _solve_start(
+            _StartWork(
+                family, curve, best_vector, lower, upper, max_nfev,
+                sqrt_weights, "analytic",
+            )
+        )
+        polish_nfev, polish_njev = polish.nfev, polish.njev
+        if polish.vector is not None and polish.sse <= best_sse:
+            best_sse = polish.sse
+            best_vector = polish.vector
+            best_message = polish.message
+            best_converged = polish.converged
+
     if sqrt_weights is not None:
         # Selection used the weighted objective; report the unweighted
         # Eq. (9) SSE so results stay comparable across weightings.
         best_sse = family.sse(curve, best_vector)
 
+    details: dict[str, Any] = {
+        "per_start_sse": per_start_sse,
+        "per_start_nfev": per_start_nfev,
+        "per_start_njev": per_start_njev,
+        "nfev": int(sum(per_start_nfev)) + polish_nfev,
+        "njev": int(sum(per_start_njev)) + polish_njev,
+        "polish_nfev": polish_nfev,
+        "polish_njev": polish_njev,
+        "jac_mode": jac_mode,
+    }
+
+    if fit_cache is not None and cache_key is not None:
+        fit_cache.put(
+            cache_key,
+            {
+                "params": [float(v) for v in best_vector],
+                "sse": float(best_sse),
+                "converged": bool(best_converged),
+                "n_starts": len(start_vectors),
+                "n_failures": failures,
+                "message": best_message,
+                "details": dict(details),
+            },
+        )
+
+    details["cache_hit"] = False
     return FitResult(
         model=family.bind(best_vector),
         curve=curve,
@@ -234,7 +474,7 @@ def fit_least_squares(
         n_starts=len(start_vectors),
         n_failures=failures,
         message=best_message,
-        details={"per_start_sse": per_start_sse},
+        details=details,
     )
 
 

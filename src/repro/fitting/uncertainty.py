@@ -5,7 +5,10 @@ band. This module adds the standard nonlinear-regression machinery on
 top of a :class:`~repro.fitting.result.FitResult`:
 
 * **parameter covariance** via the Gauss-Newton approximation
-  ``σ²·(JᵀJ)⁻¹`` with a numerically differentiated Jacobian,
+  ``σ²·(JᵀJ)⁻¹``, using the model family's
+  :meth:`~repro.models.base.ResilienceModel.prediction_jacobian` at the
+  optimum (closed form where available, validated finite differences
+  otherwise),
 * **delta-method prediction bands** that widen with parameter
   uncertainty instead of staying constant-width like Eq. (13), and
 * **Monte-Carlo intervals for derived quantities** (recovery time,
@@ -32,24 +35,11 @@ __all__ = [
     "derived_quantity_interval",
 ]
 
-#: Relative step for forward differences on the Jacobian.
-_REL_STEP = 1e-6
-
-
 def _jacobian(fit: FitResult) -> FloatArray:
-    """Numeric Jacobian of the model prediction w.r.t. parameters,
-    evaluated at the optimum over the training times."""
-    model = fit.model
-    params = np.asarray(model.params, dtype=np.float64)
-    times = fit.curve.times
-    base = model.evaluate(times, params)
-    jacobian = np.empty((times.size, params.size))
-    for j in range(params.size):
-        step = _REL_STEP * max(abs(params[j]), 1e-8)
-        bumped = params.copy()
-        bumped[j] += step
-        jacobian[:, j] = (model.evaluate(times, bumped) - base) / step
-    return jacobian
+    """Jacobian of the model prediction w.r.t. parameters at the
+    optimum over the training times — the same analytic-or-FD dispatch
+    the fit engine used, so intervals are consistent with the solve."""
+    return fit.model.prediction_jacobian(fit.curve.times)
 
 
 @dataclass(frozen=True)
@@ -144,12 +134,7 @@ def delta_method_band(
     params = np.asarray(model.params, dtype=np.float64)
     t = np.asarray(times, dtype=np.float64)
     base = model.evaluate(t, params)
-    gradients = np.empty((t.size, params.size))
-    for j in range(params.size):
-        step = _REL_STEP * max(abs(params[j]), 1e-8)
-        bumped = params.copy()
-        bumped[j] += step
-        gradients[:, j] = (model.evaluate(t, bumped) - base) / step
+    gradients = model.prediction_jacobian(t)
     variance = np.einsum("ij,jk,ik->i", gradients, uncertainty.covariance, gradients)
     if include_noise:
         variance = variance + uncertainty.sigma2

@@ -49,6 +49,21 @@ class CompetingRisksResilienceModel(ResilienceModel):
         alpha, beta, gamma = params
         return alpha / (1.0 + beta * t) + 2.0 * gamma * t
 
+    @property
+    def has_analytic_jacobian(self) -> bool:
+        return True
+
+    def prediction_jacobian(
+        self, times: ArrayLike, params: Sequence[float] | None = None
+    ) -> FloatArray:
+        """``∂P/∂(α, β, γ) = (1/(1+βt), −αt/(1+βt)², 2t)``."""
+        t = self._as_times(times)
+        alpha, beta, _ = self.params if params is None else tuple(params)
+        denom = 1.0 + beta * t
+        return np.stack(
+            [1.0 / denom, -alpha * t / (denom * denom), 2.0 * t], axis=1
+        )
+
     def initial_guesses(self, curve: ResilienceCurve) -> list[tuple[float, ...]]:
         """Seeds spanning slow and fast deterioration time-scales.
 

@@ -144,6 +144,42 @@ class MixtureResilienceModel(ResilienceModel):
         recovery = self._trend_class.value(t, beta) * f2.cdf(t)
         return survival + recovery
 
+    @property
+    def has_analytic_jacobian(self) -> bool:
+        """Closed form whenever both component CDFs expose analytic
+        parameter gradients (Exp and Weibull do — the paper's four
+        pairings all qualify, under every trend)."""
+        return (
+            self._f1_class.has_cdf_gradient() and self._f2_class.has_cdf_gradient()
+        )
+
+    def prediction_jacobian(
+        self, times: ArrayLike, params: Sequence[float] | None = None
+    ) -> FloatArray:
+        """Eq. (7) parameter derivatives, column-blocked by component:
+
+        ``∂P/∂p₁ = −∂F₁/∂p₁``, ``∂P/∂p₂ = a₂(t)·∂F₂/∂p₂``, and
+        ``∂P/∂β = (∂a₂/∂β)·F₂(t)``.
+        """
+        if not self.has_analytic_jacobian:
+            return super().prediction_jacobian(times, params)
+        t = self._as_times(times)
+        vector = self.params if params is None else params
+        p1, p2, beta = self._split(vector)
+        f1 = self._f1_class.from_vector(p1)
+        f2 = self._f2_class.from_vector(p2)
+        trend = self._trend_class.value(t, beta)
+        return np.concatenate(
+            [
+                -f1.cdf_gradient(t),
+                trend[:, np.newaxis] * f2.cdf_gradient(t),
+                (self._trend_class.beta_gradient(t, beta) * f2.cdf(t))[
+                    :, np.newaxis
+                ],
+            ],
+            axis=1,
+        )
+
     def components(
         self, times: ArrayLike
     ) -> tuple[FloatArray, FloatArray]:

@@ -19,8 +19,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro._typing import ArrayLike, FloatArray
 from repro.core.curve import ResilienceCurve
+from repro.models.base import ResilienceModel
 from repro.models.mixture import MixtureResilienceModel
 
 __all__ = ["PartialDegradationMixtureModel"]
@@ -69,6 +72,32 @@ class PartialDegradationMixtureModel(MixtureResilienceModel):
         degradation = 1.0 - w * f1.cdf(t)
         recovery = self.trend_class.value(t, beta) * f2.cdf(t)
         return degradation + recovery
+
+    def prediction_jacobian(
+        self, times: ArrayLike, params: Sequence[float] | None = None
+    ) -> FloatArray:
+        """The mixture's closed form with the ``F₁`` block scaled by
+        ``w`` and a trailing ``∂P/∂w = −F₁(t)`` column."""
+        if not self.has_analytic_jacobian:
+            return ResilienceModel.prediction_jacobian(self, times, params)
+        t = self._as_times(times)
+        vector = self.params if params is None else tuple(float(v) for v in params)
+        mixture_params, w = self._split_partial(vector)
+        p1, p2, beta = self._split(mixture_params)
+        f1 = self.degradation_class.from_vector(p1)
+        f2 = self.recovery_class.from_vector(p2)
+        trend = self.trend_class.value(t, beta)
+        return np.concatenate(
+            [
+                -w * f1.cdf_gradient(t),
+                trend[:, np.newaxis] * f2.cdf_gradient(t),
+                (self.trend_class.beta_gradient(t, beta) * f2.cdf(t))[
+                    :, np.newaxis
+                ],
+                -f1.cdf(t)[:, np.newaxis],
+            ],
+            axis=1,
+        )
 
     def components(self, times: ArrayLike) -> tuple[FloatArray, FloatArray]:
         """Degradation (``1 − w·F₁``) and recovery (``a₂·F₂``) terms."""

@@ -48,6 +48,17 @@ class QuadraticResilienceModel(ResilienceModel):
         alpha, beta, gamma = params
         return alpha + beta * t + gamma * t * t
 
+    @property
+    def has_analytic_jacobian(self) -> bool:
+        return True
+
+    def prediction_jacobian(
+        self, times: ArrayLike, params: Sequence[float] | None = None
+    ) -> FloatArray:
+        """``∂P/∂(α, β, γ) = (1, t, t²)`` — the model is linear in θ."""
+        t = self._as_times(times)
+        return np.stack([np.ones_like(t), t, t * t], axis=1)
+
     def initial_guesses(self, curve: ResilienceCurve) -> list[tuple[float, ...]]:
         """Two deterministic seeds: a clipped polynomial fit and a
         vertex-matching heuristic.

@@ -51,6 +51,15 @@ class TransitionTrend(abc.ABC):
     def value(times: ArrayLike, beta: float) -> FloatArray:
         """Trend value ``a₂(t)`` at *times* for coefficient *beta*."""
 
+    @staticmethod
+    @abc.abstractmethod
+    def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
+        """Derivative ``∂a₂(t)/∂β`` at *times*.
+
+        Every trend is smooth in β, so this feeds the analytic mixture
+        Jacobian (``∂P/∂β = (∂a₂/∂β)·F₂``) used by the fit engine.
+        """
+
     @classmethod
     def default_beta(cls, final_performance: float, final_time: float) -> float:
         """Heuristic β so the trend roughly matches the observed end level.
@@ -78,6 +87,11 @@ class ConstantTrend(TransitionTrend):
         t = as_float_array(times, "times")
         return np.full_like(t, beta)
 
+    @staticmethod
+    def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
+        t = as_float_array(times, "times")
+        return np.ones_like(t)
+
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
         return target
@@ -92,6 +106,10 @@ class LinearTrend(TransitionTrend):
     def value(times: ArrayLike, beta: float) -> FloatArray:
         t = as_float_array(times, "times")
         return beta * t
+
+    @staticmethod
+    def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
+        return as_float_array(times, "times").copy()
 
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
@@ -110,6 +128,11 @@ class ExponentialTrend(TransitionTrend):
     def value(times: ArrayLike, beta: float) -> FloatArray:
         t = as_float_array(times, "times")
         return safe_exp(beta * t)
+
+    @staticmethod
+    def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
+        t = as_float_array(times, "times")
+        return t * safe_exp(beta * t)
 
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
@@ -132,6 +155,11 @@ class LogTrend(TransitionTrend):
     def value(times: ArrayLike, beta: float) -> FloatArray:
         t = as_float_array(times, "times")
         return beta * np.log(np.maximum(t, _LOG_TIME_FLOOR))
+
+    @staticmethod
+    def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
+        t = as_float_array(times, "times")
+        return np.log(np.maximum(t, _LOG_TIME_FLOOR))
 
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:

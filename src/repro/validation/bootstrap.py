@@ -130,6 +130,9 @@ def residual_bootstrap(
     """
     if n_replications < 10:
         raise FitError(f"n_replications must be >= 10, got {n_replications}")
+    # Synthetic resampled curves are unique per (seed, replication), so
+    # cache lookups can never hit; skip the hashing overhead entirely.
+    fit_kwargs.setdefault("cache", False)
     curve = fit.curve
     predictions = fit.predict(curve.times)
     residuals = curve.performance - predictions

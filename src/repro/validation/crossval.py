@@ -104,6 +104,8 @@ def rolling_origin(
     *,
     min_train: int = 12,
     step: int = 6,
+    warm_start: bool = True,
+    warm_n_random_starts: int = 2,
     **fit_kwargs: object,
 ) -> list[tuple[int, float]]:
     """PMSE as the training origin rolls forward.
@@ -111,6 +113,13 @@ def rolling_origin(
     Fits on the first ``k`` observations for ``k = min_train,
     min_train + step, …`` and reports ``(k, PMSE on the remainder)``
     pairs. Origins whose fit fails to converge are skipped.
+
+    With *warm_start* (the default), each origin after the first injects
+    the previous origin's optimum as an extra start and shrinks the
+    random-start budget to *warm_n_random_starts*: consecutive origins
+    differ by a few observations, so the previous optimum is already in
+    the right basin and the full multi-start sweep is wasted effort.
+    Pass ``warm_start=False`` to make every origin independent.
     """
     if min_train <= family.n_params:
         raise MetricError(
@@ -120,12 +129,18 @@ def rolling_origin(
     if step < 1:
         raise MetricError(f"step must be >= 1, got {step}")
     results: list[tuple[int, float]] = []
+    previous_optimum: tuple[float, ...] | None = None
     for k in range(min_train, len(curve) - 1, step):
         train = curve.head(k)
+        kwargs = dict(fit_kwargs)
+        if warm_start and previous_optimum is not None:
+            kwargs.setdefault("extra_starts", (previous_optimum,))
+            kwargs.setdefault("n_random_starts", warm_n_random_starts)
         try:
-            fit = fit_least_squares(family, train, **fit_kwargs)  # type: ignore[arg-type]
+            fit = fit_least_squares(family, train, **kwargs)  # type: ignore[arg-type]
         except Exception:
             continue
+        previous_optimum = fit.model.params
         heldout_times = curve.times[k:]
         heldout_perf = curve.performance[k:]
         results.append((k, pmse(heldout_perf, fit.predict(heldout_times))))

@@ -7,6 +7,7 @@ from repro.core.curve import ResilienceCurve
 from repro.datasets.synthetic import curve_from_model
 from repro.exceptions import ConvergenceError, FitError
 from repro.fitting.least_squares import fit_least_squares, fit_many
+from repro.models.base import ResilienceModel
 from repro.models.competing_risks import CompetingRisksResilienceModel
 from repro.models.mixture import MixtureResilienceModel
 from repro.models.quadratic import QuadraticResilienceModel
@@ -89,3 +90,132 @@ class TestFitMany:
         assert set(results) == {"quadratic", "competing_risks"}
         for result in results.values():
             assert result.sse < 0.01
+
+
+class _PocketModel(ResilienceModel):
+    """Linear model whose evaluation is NaN for a > 5 — a non-finite
+    pocket the optimizer must escape from."""
+
+    name = "pocket"
+
+    @property
+    def param_names(self):
+        return ("a",)
+
+    @property
+    def lower_bounds(self):
+        return (0.0,)
+
+    @property
+    def upper_bounds(self):
+        return (10.0,)
+
+    def evaluate(self, times, params):
+        t = self._as_times(times)
+        (a,) = params
+        if a > 5.0:
+            return np.full_like(t, np.nan)
+        return a * t
+
+    def initial_guesses(self, curve):
+        return [(8.0,)]
+
+
+class TestNonFinitePenalty:
+    def test_optimizer_escapes_nan_pocket(self):
+        """The smooth ‖θ‖-dependent penalty restores a slope inside the
+        pocket; a flat 1e6 clamp would leave the solver stranded at the
+        start with zero gradient."""
+        curve = ResilienceCurve(np.arange(1.0, 11.0), 2.0 * np.arange(1.0, 11.0))
+        result = fit_least_squares(
+            _PocketModel(), curve, starts=[(8.0,)], cache=False
+        )
+        assert result.params == pytest.approx((2.0,), rel=1e-6)
+        assert result.sse < 1e-12
+
+
+class TestJacobianModes:
+    def test_modes_reach_the_same_optimum(self, recession_1990):
+        family = MixtureResilienceModel("wei", "exp")
+        analytic = fit_least_squares(
+            family, recession_1990, jac="analytic", cache=False
+        )
+        numeric = fit_least_squares(
+            family, recession_1990, jac="2-point", cache=False
+        )
+        assert analytic.sse == pytest.approx(numeric.sse, rel=1e-6)
+        assert analytic.details["jac_mode"] == "analytic"
+        assert numeric.details["jac_mode"] == "2-point"
+
+    def test_auto_resolves_by_family(self, recession_1990):
+        mixture = fit_least_squares(
+            MixtureResilienceModel("wei", "exp"), recession_1990, cache=False
+        )
+        assert mixture.details["jac_mode"] == "analytic"
+
+    def test_analytic_counts_jacobian_evals(self, recession_1990):
+        result = fit_least_squares(
+            QuadraticResilienceModel(), recession_1990, jac="analytic", cache=False
+        )
+        assert result.details["njev"] > 0
+        assert result.details["nfev"] == sum(result.details["per_start_nfev"])
+
+    def test_analytic_spends_fewer_residual_evals(self, recession_1990):
+        family = MixtureResilienceModel("wei", "exp")
+        analytic = fit_least_squares(
+            family, recession_1990, jac="analytic", cache=False
+        )
+        numeric = fit_least_squares(
+            family, recession_1990, jac="2-point", cache=False
+        )
+        assert analytic.details["nfev"] < numeric.details["nfev"]
+
+    def test_analytic_on_fallback_family_raises(self, recession_1990):
+        from repro.models.segmented import SegmentedBathtubModel
+
+        family = SegmentedBathtubModel()
+        if family.has_analytic_jacobian:  # pragma: no cover - future-proof
+            pytest.skip("segmented model grew a closed form")
+        with pytest.raises(FitError, match="no analytic Jacobian"):
+            fit_least_squares(family, recession_1990, jac="analytic")
+
+    def test_unknown_mode_raises(self, recession_1990):
+        with pytest.raises(FitError, match="jac must be one of"):
+            fit_least_squares(
+                QuadraticResilienceModel(), recession_1990, jac="3-point"
+            )
+
+
+class TestExtraStarts:
+    def test_extra_start_prepended_and_deduped(self, recession_1990):
+        family = QuadraticResilienceModel()
+        base = fit_least_squares(family, recession_1990, cache=False)
+        warm = fit_least_squares(
+            family,
+            recession_1990,
+            extra_starts=[base.model.params, base.model.params],
+            n_random_starts=0,
+            cache=False,
+        )
+        cold = fit_least_squares(
+            family, recession_1990, n_random_starts=0, cache=False
+        )
+        assert warm.n_starts == cold.n_starts + 1  # one extra after dedup
+        assert warm.sse <= cold.sse + 1e-12
+
+    def test_extra_start_clipped_to_bounds(self, recession_1990):
+        result = fit_least_squares(
+            QuadraticResilienceModel(),
+            recession_1990,
+            extra_starts=[(100.0, 5.0, -3.0)],
+            cache=False,
+        )
+        assert np.isfinite(result.sse)
+
+    def test_wrong_length_raises(self, recession_1990):
+        with pytest.raises(FitError, match="extra start"):
+            fit_least_squares(
+                QuadraticResilienceModel(),
+                recession_1990,
+                extra_starts=[(1.0,)],
+            )

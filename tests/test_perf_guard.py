@@ -30,6 +30,11 @@ KERNEL_BOUND_SECONDS = 2.0
 #: per integral (measured ~90×); below 5× it has effectively regressed
 #: to scalar evaluation.
 AUC_MIN_SPEEDUP = 5.0
+#: Residual-evaluation budget for the guarded fit: ~2000 measured with
+#: the analytic-Jacobian engine (the 2-point engine needs ~4× more), so
+#: 5× headroom only trips if the engine falls back to differencing or
+#: the solver starts thrashing.
+FIT_NFEV_BOUND = 10_000
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +51,19 @@ class TestPerfGuard:
         assert elapsed < FIT_BOUND_SECONDS, (
             f"multi-start wei-exp fit took {elapsed:.1f}s "
             f"(bound {FIT_BOUND_SECONDS}s) — catastrophic fit-path slowdown"
+        )
+
+    def test_fit_residual_evaluation_budget(self, mixture_fit):
+        """nfev-regression guard: the analytic-Jacobian engine should
+        answer this 10-start mixture fit in ~2k residual evaluations;
+        blowing through 5× that means the closed form stopped being
+        used (or stopped helping)."""
+        fit, _ = mixture_fit
+        assert fit.details["jac_mode"] == "analytic"
+        assert fit.details["njev"] > 0, "analytic Jacobian was never called"
+        assert fit.details["nfev"] < FIT_NFEV_BOUND, (
+            f"wei-exp fit spent {fit.details['nfev']} residual evaluations "
+            f"(bound {FIT_NFEV_BOUND}) — Jacobian path regression"
         )
 
     def test_derived_quantity_wall_time(self, mixture_fit):
