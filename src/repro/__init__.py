@@ -28,6 +28,7 @@ from repro.datasets.recessions import (
 from repro.datasets.synthetic import curve_from_model, make_shape_curve
 from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
 from repro.fitting.result import FitResult
+from repro.observability import Tracer, enable_tracing
 from repro.parallel import FitExecutor, get_executor
 from repro.metrics.predictive import predictive_metric_report, relative_error
 from repro.models.competing_risks import CompetingRisksResilienceModel
@@ -57,6 +58,8 @@ __all__ = [
     "FitResult",
     "FitExecutor",
     "get_executor",
+    "Tracer",
+    "enable_tracing",
     "QuadraticResilienceModel",
     "CompetingRisksResilienceModel",
     "MixtureResilienceModel",

@@ -18,6 +18,7 @@ from repro.datasets.synthetic import make_shape_curve
 from repro.exceptions import DataError
 from repro.metrics.predictive import PredictiveMetricReport, predictive_metric_report
 from repro.models.registry import make_model
+from repro.observability.tracer import activate, resolve_tracer
 from repro.parallel import ExecutorLike, get_executor
 from repro.utils.ascii_plot import ascii_plot
 from repro.utils.tables import format_table
@@ -182,8 +183,11 @@ def _validation_sweep(
 
     The cells are independent fitting problems, so the grid runs on the
     chosen executor backend; results are assembled in grid order,
-    making the table identical on every backend.
+    making the table identical on every backend. A ``trace=`` kwarg
+    (forwarded to every cell's fit) additionally wraps the whole grid
+    in one ``"table.grid"`` span.
     """
+    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     recessions = load_all_recessions()
     cells = [
         _SweepCell(
@@ -193,9 +197,12 @@ def _validation_sweep(
         for dataset_name, curve in recessions.items()
         for model_name in model_names
     ]
-    evaluations = get_executor(executor, max_workers=n_workers).map(
-        _evaluate_cell, cells
-    )
+    with tracer.span(
+        "table.grid", title=title, n_cells=len(cells)
+    ), activate(tracer):
+        evaluations = get_executor(executor, max_workers=n_workers).map(
+            _evaluate_cell, cells
+        )
     result = TableOneResult(model_names=model_names, title=title)
     for cell, evaluation in zip(cells, evaluations):
         result.cells.setdefault(cell.dataset, {})[cell.model] = evaluation
@@ -276,14 +283,18 @@ def _metric_table(
     n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableMetricsResult:
+    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     curve = load_recession(dataset)
     cells = [
         _MetricCell(dataset, curve, model_name, train_fraction, alpha, dict(fit_kwargs))
         for model_name in model_names
     ]
-    reports = get_executor(executor, max_workers=n_workers).map(
-        _evaluate_metric_cell, cells
-    )
+    with tracer.span(
+        "table.metrics", title=title, n_cells=len(cells)
+    ), activate(tracer):
+        reports = get_executor(executor, max_workers=n_workers).map(
+            _evaluate_metric_cell, cells
+        )
     result = TableMetricsResult(dataset=dataset, title=title)
     for cell, report in zip(cells, reports):
         result.reports[cell.model] = report
@@ -460,6 +471,7 @@ def truncation_grid(
         recessions = load_all_recessions()
     else:
         recessions = {name: load_recession(name) for name in datasets}
+    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     chains = [
         _TruncationChain(
             dataset_name, curve, model_name, ordered_fractions, confidence,
@@ -468,9 +480,15 @@ def truncation_grid(
         for dataset_name, curve in recessions.items()
         for model_name in model_names
     ]
-    triples = get_executor(executor, max_workers=n_workers).map(
-        _evaluate_chain, chains
-    )
+    with tracer.span(
+        "truncation.grid",
+        n_chains=len(chains),
+        n_fractions=len(ordered_fractions),
+        warm_start=warm_start,
+    ), activate(tracer):
+        triples = get_executor(executor, max_workers=n_workers).map(
+            _evaluate_chain, chains
+        )
     result = TruncationGridResult(
         model_names=tuple(model_names),
         fractions=ordered_fractions,

@@ -24,6 +24,7 @@ from repro.fitting.least_squares import fit_least_squares
 from repro.fitting.result import FitResult
 from repro.metrics.point import rapidity, time_to_recovery
 from repro.models.registry import make_model
+from repro.observability.tracer import activate, resolve_tracer
 from repro.parallel import ExecutorLike, get_executor
 from repro.utils.tables import format_table
 
@@ -200,8 +201,11 @@ def episode_scorecard(
         ``nominal·(1 − tolerance)``.
     executor, n_workers:
         Backend the independent per-episode fits run on; scores are
-        assembled in episode order on every backend.
+        assembled in episode order on every backend. A ``trace=`` entry
+        in *fit_kwargs* traces each episode's fit and wraps the whole
+        scorecard in one ``"episodes.scorecard"`` span.
     """
+    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     episodes = split_episodes(
         history, tolerance=tolerance, min_depth=min_depth, min_samples=min_samples
     )
@@ -214,9 +218,15 @@ def episode_scorecard(
         _EpisodeWork(episode, model, tolerance, level, dict(fit_kwargs))
         for episode in episodes
     ]
-    scores = get_executor(executor, max_workers=n_workers).map(
-        _score_episode, work_units
-    )
+    with tracer.span(
+        "episodes.scorecard",
+        history=history.name or "<history>",
+        n_episodes=len(work_units),
+        model=model,
+    ), activate(tracer):
+        scores = get_executor(executor, max_workers=n_workers).map(
+            _score_episode, work_units
+        )
     return EpisodeScorecard(
         history=history, scores=list(scores), band_tolerance=tolerance
     )

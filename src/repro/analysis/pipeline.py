@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observability.tracer import resolve_tracer
 from repro.parallel import ExecutorLike
 
 from repro.analysis.experiments import (
@@ -65,30 +66,34 @@ def run_full_reproduction(
     Parameters mirror the paper's protocol: 90% fitting prefix, 95%
     confidence band, α = 0.5 for the Eq. (21) weighted metric.
     *executor*/*n_workers* select the backend each table's fit grid
-    runs on (tables are identical on every backend).
+    runs on (tables are identical on every backend). A ``trace=``
+    kwarg wraps the whole reproduction in one ``"pipeline.run"`` span,
+    with each table grid and fit nested under it.
     """
-    results = ReproductionResults(
-        table_one=table1(
-            train_fraction=train_fraction, confidence=confidence,
-            executor=executor, n_workers=n_workers, **fit_kwargs
-        ),
-        table_two=table2(
-            train_fraction=train_fraction, alpha=alpha,
-            executor=executor, n_workers=n_workers, **fit_kwargs
-        ),
-        table_three=table3(
-            train_fraction=train_fraction, confidence=confidence,
-            executor=executor, n_workers=n_workers, **fit_kwargs
-        ),
-        table_four=table4(
-            train_fraction=train_fraction, alpha=alpha,
-            executor=executor, n_workers=n_workers, **fit_kwargs
-        ),
-    )
-    results.figures["1"] = figure1()
-    results.figures["2"] = figure2()
-    for figure_id, builder in (("3", figure3), ("4", figure4), ("5", figure5), ("6", figure6)):
-        results.figures[figure_id] = builder(
-            train_fraction=train_fraction, confidence=confidence, **fit_kwargs
+    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
+    with tracer.span("pipeline.run", train_fraction=train_fraction):
+        results = ReproductionResults(
+            table_one=table1(
+                train_fraction=train_fraction, confidence=confidence,
+                executor=executor, n_workers=n_workers, **fit_kwargs
+            ),
+            table_two=table2(
+                train_fraction=train_fraction, alpha=alpha,
+                executor=executor, n_workers=n_workers, **fit_kwargs
+            ),
+            table_three=table3(
+                train_fraction=train_fraction, confidence=confidence,
+                executor=executor, n_workers=n_workers, **fit_kwargs
+            ),
+            table_four=table4(
+                train_fraction=train_fraction, alpha=alpha,
+                executor=executor, n_workers=n_workers, **fit_kwargs
+            ),
         )
-    return results
+        results.figures["1"] = figure1()
+        results.figures["2"] = figure2()
+        for figure_id, builder in (("3", figure3), ("4", figure4), ("5", figure5), ("6", figure6)):
+            results.figures[figure_id] = builder(
+                train_fraction=train_fraction, confidence=confidence, **fit_kwargs
+            )
+        return results

@@ -73,6 +73,24 @@ def _add_executor_arguments(command: argparse.ArgumentParser) -> None:
             "everything"
         ),
     )
+    command.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace every fit (spans with nfev/cache attribution) and "
+            "print an end-of-run summary table to stderr (default: "
+            "governed by $REPRO_TRACE)"
+        ),
+    )
+    command.add_argument(
+        "--trace-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also stream each span as one JSON line to PATH (implies "
+            "--trace; default: $REPRO_TRACE_FILE)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,6 +196,21 @@ def _load_curve(dataset: str):
     return curve_from_csv(dataset)
 
 
+def _build_tracer(args: argparse.Namespace):
+    """Resolve ``--trace``/``--trace-file`` to a tracer (or ``None``).
+
+    ``None`` keeps the environment-variable defaults in charge
+    downstream, so ``REPRO_TRACE=1 repro table 3`` still traces even
+    without the flag.
+    """
+    from repro.observability.tracer import Tracer
+
+    trace_file = getattr(args, "trace_file", None)
+    if getattr(args, "trace", False) or trace_file:
+        return Tracer(path=trace_file)
+    return None
+
+
 def _cmd_datasets() -> int:
     rows = []
     for name in RECESSION_NAMES:
@@ -213,6 +246,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         executor=args.executor,
         n_workers=args.workers,
         cache=args.cache,
+        trace=args.tracer,
     )
     measures = evaluation.measures
     print(f"Fitted {family.name} to {curve.name} (n={len(curve)}):")
@@ -273,7 +307,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         "4": experiments.table4,
     }
     result = builders[key](
-        executor=args.executor, n_workers=args.workers, cache=args.cache
+        executor=args.executor, n_workers=args.workers, cache=args.cache,
+        trace=args.tracer,
     )
     print(result.to_table())
     if args.csv:
@@ -296,7 +331,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(
         render_report(
             run_full_reproduction(
-                executor=args.executor, n_workers=args.workers, cache=args.cache
+                executor=args.executor, n_workers=args.workers, cache=args.cache,
+                trace=args.tracer,
             )
         )
     )
@@ -307,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.tracer = _build_tracer(args)
     try:
         if args.command == "datasets":
             return _cmd_datasets()
@@ -329,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
                 executor=args.executor,
                 n_workers=args.workers,
                 cache=args.cache,
+                trace=args.tracer,
             )
             print(scorecard.to_table())
             return 0
@@ -341,6 +379,20 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        tracer = args.tracer
+        if tracer is None and hasattr(args, "trace"):
+            # No flag, but the subcommand supports tracing — surface the
+            # REPRO_TRACE / REPRO_TRACE_FILE process tracer if enabled.
+            from repro.observability.tracer import default_tracer
+
+            tracer = default_tracer()
+        if tracer is not None and tracer.enabled:
+            summary = tracer.summary()
+            if summary:
+                print(summary, file=sys.stderr)
+        if args.tracer is not None:
+            args.tracer.close()
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -151,6 +151,7 @@ class FitCache:
         self._loaded = self.path is None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Core mapping operations
@@ -176,6 +177,7 @@ class FitCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             if self.path is not None:
                 self._write_disk()
 
@@ -186,6 +188,7 @@ class FitCache:
             self._loaded = self.path is None
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
             if self.path is not None and self.path.exists():
                 try:
                     self.path.unlink()
@@ -204,11 +207,15 @@ class FitCache:
             return key in self._entries
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/size counters (for benchmarks and debugging)."""
+        """Hit/miss/eviction/size counters (for benchmarks, traces, and
+        debugging). Taken under the cache lock, so ``hits + misses``
+        equals the total number of :meth:`get` calls even while other
+        threads are mid-lookup."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries),
             }
 

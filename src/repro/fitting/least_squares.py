@@ -25,6 +25,7 @@ Two layers keep the engine cheap:
 from __future__ import annotations
 
 import logging
+import time
 from typing import Any, Iterable, Mapping, NamedTuple, Sequence
 
 import numpy as np
@@ -41,6 +42,14 @@ from repro.fitting.cache import (
 from repro.fitting.multistart import generate_starts
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
+from repro.observability.tracer import (
+    NULL_TRACER,
+    Tracer,
+    TracerLike,
+    activate,
+    deactivate,
+    resolve_tracer,
+)
 from repro.parallel import ExecutorLike, get_executor
 
 __all__ = ["fit_least_squares", "fit_many", "FitManyResult"]
@@ -75,7 +84,9 @@ def _penalty_gradient(vector: np.ndarray) -> np.ndarray:
 
 class _StartOutcome(NamedTuple):
     """Per-start optimizer outcome; ``vector`` is None when the start
-    raised or produced a non-finite objective."""
+    raised or produced a non-finite objective. ``seconds`` is the
+    start's wall time, measured inside the work unit so it survives the
+    trip through any executor backend and can be traced by the parent."""
 
     sse: float
     vector: tuple[float, ...] | None
@@ -83,6 +94,7 @@ class _StartOutcome(NamedTuple):
     converged: bool
     nfev: int
     njev: int
+    seconds: float
 
 
 class _StartWork(NamedTuple):
@@ -108,6 +120,7 @@ def _solve_start(work: _StartWork) -> _StartOutcome:
     finite-difference mode. Counting inside the closures makes the
     analytic-vs-FD comparison honest.
     """
+    t0 = time.perf_counter()
     family = work.family
     curve = work.curve
     lower = np.asarray(work.lower, dtype=np.float64)
@@ -162,12 +175,14 @@ def _solve_start(work: _StartWork) -> _StartOutcome:
         )
     except (ValueError, FloatingPointError):
         return _StartOutcome(
-            float("nan"), None, "", False, counters["nfev"], counters["njev"]
+            float("nan"), None, "", False, counters["nfev"], counters["njev"],
+            time.perf_counter() - t0,
         )
     sse = float(2.0 * solution.cost)  # cost is 0.5 * sum(residual²)
     if not np.isfinite(sse):
         return _StartOutcome(
-            sse, None, "", False, counters["nfev"], counters["njev"]
+            sse, None, "", False, counters["nfev"], counters["njev"],
+            time.perf_counter() - t0,
         )
     return _StartOutcome(
         sse,
@@ -176,6 +191,7 @@ def _solve_start(work: _StartWork) -> _StartOutcome:
         bool(solution.success),
         counters["nfev"],
         counters["njev"],
+        time.perf_counter() - t0,
     )
 
 
@@ -205,6 +221,7 @@ def fit_least_squares(
     weights: Sequence[float] | None = None,
     jac: str = "auto",
     cache: bool | FitCache | None = None,
+    trace: TracerLike = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
 ) -> FitResult:
@@ -255,6 +272,15 @@ def fit_least_squares(
         :class:`~repro.fitting.cache.FitCache` uses that instance.
         Hits return a result bit-identical to the original solve with
         ``details["cache_hit"] = True``.
+    trace:
+        Observability: ``None`` uses the environment default
+        (``REPRO_TRACE`` / ``REPRO_TRACE_FILE`` — disabled when unset),
+        ``False`` disables tracing, ``True`` uses the process-global
+        tracer, and an explicit
+        :class:`~repro.observability.Tracer` records into that
+        instance. When enabled, the fit emits one ``"fit"`` span (with
+        nfev/njev/jac-mode/cache-hit attribution) plus one
+        ``"fit.start"`` span per multi-start solve.
     executor:
         Backend the independent multi-start solves run on: ``"serial"``
         (default), ``"thread"``, ``"process"``, or a
@@ -280,6 +306,75 @@ def fit_least_squares(
     ConvergenceError
         If every start fails to produce a finite optimum.
     """
+    tracer = resolve_tracer(trace)
+    if not tracer.enabled:
+        if trace is False:
+            # Explicit opt-out also masks any ambient tracer so nothing
+            # below this fit (e.g. the executor) emits spans for it.
+            with deactivate():
+                return _fit_least_squares(
+                    family, curve, n_random_starts=n_random_starts, seed=seed,
+                    max_nfev=max_nfev, starts=starts, extra_starts=extra_starts,
+                    weights=weights, jac=jac, cache=cache, executor=executor,
+                    n_workers=n_workers, tracer=NULL_TRACER,
+                )
+        # No-op fast path: skip span construction entirely so the
+        # disabled overhead stays within noise on the table workloads.
+        return _fit_least_squares(
+            family, curve, n_random_starts=n_random_starts, seed=seed,
+            max_nfev=max_nfev, starts=starts, extra_starts=extra_starts,
+            weights=weights, jac=jac, cache=cache, executor=executor,
+            n_workers=n_workers, tracer=NULL_TRACER,
+        )
+    start_time = time.perf_counter()
+    with tracer.span(
+        "fit",
+        family=family.name,
+        curve=curve.name or "<curve>",
+        n_points=len(curve),
+    ) as span:
+        result = _fit_least_squares(
+            family, curve, n_random_starts=n_random_starts, seed=seed,
+            max_nfev=max_nfev, starts=starts, extra_starts=extra_starts,
+            weights=weights, jac=jac, cache=cache, executor=executor,
+            n_workers=n_workers, tracer=tracer,
+        )
+        details = result.details
+        span.set(
+            sse=result.sse,
+            converged=result.converged,
+            n_starts=result.n_starts,
+            n_failures=result.n_failures,
+            nfev=details.get("nfev"),
+            njev=details.get("njev"),
+            jac_mode=details.get("jac_mode"),
+            cache_hit=bool(details.get("cache_hit", False)),
+        )
+        tracer.metrics.inc("fit.count")
+        tracer.metrics.inc("fit.nfev", int(details.get("nfev", 0)))
+        tracer.metrics.inc("fit.njev", int(details.get("njev", 0)))
+        tracer.metrics.observe("fit.seconds", time.perf_counter() - start_time)
+        return result
+
+
+def _fit_least_squares(
+    family: ResilienceModel,
+    curve: ResilienceCurve,
+    *,
+    n_random_starts: int,
+    seed: int | None,
+    max_nfev: int,
+    starts: Sequence[Sequence[float]] | None,
+    extra_starts: Sequence[Sequence[float]] | None,
+    weights: Sequence[float] | None,
+    jac: str,
+    cache: bool | FitCache | None,
+    executor: ExecutorLike,
+    n_workers: int | None,
+    tracer: Any,
+) -> FitResult:
+    """The untraced fit body; *tracer* is already resolved (possibly
+    the null tracer) and only consulted behind ``enabled`` guards."""
     if len(curve) <= family.n_params:
         raise FitError(
             f"cannot fit {family.n_params}-parameter model {family.name!r} "
@@ -332,6 +427,10 @@ def fit_least_squares(
             },
         )
         record = fit_cache.get(cache_key)
+        if tracer.enabled:
+            tracer.metrics.inc(
+                "cache.hits" if record is not None else "cache.misses"
+            )
         if record is not None:
             details = dict(record.get("details", {}))
             details["cache_hit"] = True
@@ -380,9 +479,24 @@ def fit_least_squares(
         )
         for start in start_vectors
     ]
-    outcomes = get_executor(executor, max_workers=n_workers).map(
-        _solve_start, work_units
-    )
+    with activate(tracer):
+        outcomes = get_executor(executor, max_workers=n_workers).map(
+            _solve_start, work_units
+        )
+
+    if tracer.enabled:
+        for index, outcome in enumerate(outcomes):
+            tracer.record(
+                "fit.start",
+                outcome.seconds,
+                index=index,
+                sse=outcome.sse,
+                nfev=outcome.nfev,
+                njev=outcome.njev,
+                converged=outcome.converged,
+                failed=outcome.vector is None,
+            )
+            tracer.metrics.observe("fit.start_seconds", outcome.seconds)
 
     # Reduce in start order — bit-identical to the historical serial loop
     # regardless of which backend produced the outcomes.
@@ -394,10 +508,12 @@ def fit_least_squares(
     per_start_sse: list[float] = []
     per_start_nfev: list[int] = []
     per_start_njev: list[int] = []
+    per_start_seconds: list[float] = []
     for outcome in outcomes:
         per_start_sse.append(outcome.sse)
         per_start_nfev.append(outcome.nfev)
         per_start_njev.append(outcome.njev)
+        per_start_seconds.append(outcome.seconds)
         if outcome.vector is None:
             failures += 1
             continue
@@ -429,6 +545,14 @@ def fit_least_squares(
             )
         )
         polish_nfev, polish_njev = polish.nfev, polish.njev
+        if tracer.enabled:
+            tracer.record(
+                "fit.polish",
+                polish.seconds,
+                nfev=polish.nfev,
+                njev=polish.njev,
+                converged=polish.converged,
+            )
         if polish.vector is not None and polish.sse <= best_sse:
             best_sse = polish.sse
             best_vector = polish.vector
@@ -444,6 +568,7 @@ def fit_least_squares(
         "per_start_sse": per_start_sse,
         "per_start_nfev": per_start_nfev,
         "per_start_njev": per_start_njev,
+        "per_start_seconds": per_start_seconds,
         "nfev": int(sum(per_start_nfev)) + polish_nfev,
         "njev": int(sum(per_start_njev)) + polish_njev,
         "polish_nfev": polish_nfev,
@@ -548,12 +673,18 @@ def fit_many(
         problem). The per-family fits themselves run serially when the
         family loop is parallelized.
     kwargs:
-        Passed through to :func:`fit_least_squares`.
+        Passed through to :func:`fit_least_squares`. A ``trace=``
+        kwarg both traces each per-family fit and wraps the whole call
+        in one ``"fit.many"`` span.
     """
+    tracer = resolve_tracer(kwargs.get("trace"))  # type: ignore[arg-type]
     work_units = [_FamilyWork(family, curve, dict(kwargs)) for family in families]
-    triples = get_executor(executor, max_workers=n_workers).map(
-        _fit_family, work_units
-    )
+    with tracer.span(
+        "fit.many", n_families=len(work_units), curve=curve.name or "<curve>"
+    ), activate(tracer):
+        triples = get_executor(executor, max_workers=n_workers).map(
+            _fit_family, work_units
+        )
     result = FitManyResult()
     for name, fit, error in triples:
         if fit is None:

@@ -1,0 +1,40 @@
+"""Observability for the fit engine: span tracing + metrics.
+
+See :mod:`repro.observability.tracer` for the span model and the
+``REPRO_TRACE`` / ``REPRO_TRACE_FILE`` environment switches, and
+``docs/observability.md`` for the user guide.
+"""
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import (
+    NULL_TRACER,
+    TRACE_ENV_VAR,
+    TRACE_FILE_ENV_VAR,
+    Span,
+    Tracer,
+    TracerLike,
+    activate,
+    current_tracer,
+    deactivate,
+    default_tracer,
+    disable_tracing,
+    enable_tracing,
+    resolve_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "TRACE_ENV_VAR",
+    "TRACE_FILE_ENV_VAR",
+    "Span",
+    "Tracer",
+    "TracerLike",
+    "activate",
+    "current_tracer",
+    "deactivate",
+    "default_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "resolve_tracer",
+]

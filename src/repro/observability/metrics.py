@@ -1,0 +1,157 @@
+"""Thread-safe metrics registry: counters, timers, histograms.
+
+The registry is deliberately tiny — a dict of integer counters plus a
+dict of histograms (count/total/min/max and fixed log-spaced duration
+buckets). It answers the questions the fit engine's instrumentation
+asks of itself ("how many residual evaluations", "how many cache hits",
+"how is solve time distributed") without pulling in a metrics
+dependency the container does not have.
+
+Timers are histograms observed in seconds::
+
+    registry = MetricsRegistry()
+    with registry.timer("fit.seconds"):
+        ...                          # observed on exit
+    registry.inc("fit.count")
+    print(registry.to_table())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.utils.tables import format_table
+
+__all__ = ["MetricsRegistry", "TIMER_BUCKETS"]
+
+#: Upper edges (seconds) of the histogram buckets; the final implicit
+#: bucket is +inf. Log-spaced so both a 0.5 ms cache hit and a 30 s
+#: grid land in an informative bin.
+TIMER_BUCKETS: tuple[float, ...] = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+
+@dataclass
+class _Histogram:
+    """Running summary of one observed series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    buckets: list[int] = field(
+        default_factory=lambda: [0] * (len(TIMER_BUCKETS) + 1)
+    )
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        for index, edge in enumerate(TIMER_BUCKETS):
+            if value <= edge:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms behind one lock.
+
+    All operations are thread-safe; the registry is shared by every
+    span a :class:`~repro.observability.tracer.Tracer` records, and the
+    thread executor may drive instrumented code from several threads at
+    once.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    # -- counters -------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add *n* to the counter *name* (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- histograms / timers --------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram *name*."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram()
+            histogram.observe(float(value))
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager observing its elapsed seconds into *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict copy of every counter and histogram."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._histograms)
+
+    def to_table(self) -> str:
+        """Aligned text rendering of the registry (summary output)."""
+        snap = self.snapshot()
+        blocks: list[str] = []
+        if snap["counters"]:
+            rows = [[name, value] for name, value in sorted(snap["counters"].items())]
+            blocks.append(format_table(["Counter", "Value"], rows))
+        if snap["histograms"]:
+            rows = [
+                [
+                    name,
+                    stats["count"],
+                    stats["total"],
+                    stats["mean"],
+                    stats["min"],
+                    stats["max"],
+                ]
+                for name, stats in sorted(snap["histograms"].items())
+            ]
+            blocks.append(
+                format_table(
+                    ["Histogram", "Count", "Total", "Mean", "Min", "Max"],
+                    rows,
+                    float_digits=6,
+                )
+            )
+        return "\n\n".join(blocks)

@@ -24,10 +24,12 @@ import abc
 import logging
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar, Union
 
 from repro.exceptions import FitError
+from repro.observability.tracer import Span, current_tracer
 
 __all__ = [
     "DEFAULT_EXECUTOR_ENV",
@@ -106,13 +108,43 @@ class FitExecutor(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+def _instrumented_map(
+    pool: Executor,
+    func: Callable[[_T], _R],
+    items: Sequence[_T],
+    span: Span,
+) -> list[_R]:
+    """Pool map with dispatch/queue/drain attribution on *span*.
+
+    Semantically identical to ``list(pool.map(func, items))`` — results
+    come back in input order and the first worker exception propagates —
+    but submitted future-by-future so the span can separate *dispatch*
+    (submitting work, which for the process backend includes pickling
+    every work unit) from *drain* (waiting for stragglers).
+    """
+    start = time.perf_counter()
+    futures = [pool.submit(func, item) for item in items]
+    dispatch_s = time.perf_counter() - start
+    results = [future.result() for future in futures]
+    span.set(
+        dispatch_s=dispatch_s,
+        drain_s=time.perf_counter() - start - dispatch_s,
+    )
+    return results
+
+
 class SerialExecutor(FitExecutor):
     """In-order, in-thread execution — the reference backend."""
 
     name = "serial"
 
     def map(self, func: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
-        return [func(item) for item in items]
+        items = list(items)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return [func(item) for item in items]
+        with tracer.span("executor.map", backend=self.name, n_items=len(items)):
+            return [func(item) for item in items]
 
 
 class ThreadExecutor(FitExecutor):
@@ -134,8 +166,18 @@ class ThreadExecutor(FitExecutor):
         items = list(items)
         if len(items) <= 1 or self.max_workers == 1:
             return [func(item) for item in items]
-        with ThreadPoolExecutor(max_workers=min(self.max_workers, len(items))) as pool:
-            return list(pool.map(func, items))
+        tracer = current_tracer()
+        workers = min(self.max_workers, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            if not tracer.enabled:
+                return list(pool.map(func, items))
+            with tracer.span(
+                "executor.map",
+                backend=self.name,
+                n_items=len(items),
+                workers=workers,
+            ) as span:
+                return _instrumented_map(pool, func, items, span)
 
 
 class ProcessExecutor(FitExecutor):
@@ -167,11 +209,20 @@ class ProcessExecutor(FitExecutor):
                 getattr(func, "__name__", func),
             )
             return [func(item) for item in items]
+        tracer = current_tracer()
         try:
             with ProcessPoolExecutor(
                 max_workers=min(self.max_workers, len(items))
             ) as pool:
-                return list(pool.map(func, items))
+                if not tracer.enabled:
+                    return list(pool.map(func, items))
+                with tracer.span(
+                    "executor.map",
+                    backend=self.name,
+                    n_items=len(items),
+                    workers=min(self.max_workers, len(items)),
+                ) as span:
+                    return _instrumented_map(pool, func, items, span)
         except (OSError, RuntimeError, pickle.PicklingError) as exc:
             # BrokenProcessPool is a RuntimeError subclass; restricted
             # sandboxes commonly fail with OSError on semaphore setup.

@@ -11,6 +11,22 @@ from repro.models.competing_risks import CompetingRisksResilienceModel
 from repro.models.quadratic import QuadraticResilienceModel
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden table fixtures under tests/golden/ "
+        "instead of diffing against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should rewrite golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def recession_1990() -> ResilienceCurve:
     """The 1990-93 U-shaped recession curve (the paper's workhorse)."""

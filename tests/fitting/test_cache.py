@@ -85,7 +85,54 @@ class TestFitCacheLru:
         cache.put("k", {})
         cache.get("k")
         cache.get("nope")
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+        }
+
+    def test_stats_track_evictions(self):
+        cache = FitCache(max_entries=2)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, {"v": key})
+        assert cache.stats()["evictions"] == 2
+        cache.clear()
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+        }
+
+
+class TestConcurrency:
+    def test_stats_consistent_under_thread_hammering(self):
+        """hits + misses must equal the total number of get() calls even
+        when many threads hammer one cache — the single internal lock
+        makes each lookup's count-and-answer atomic."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = FitCache(max_entries=64)
+        n_threads, lookups_per_thread = 8, 500
+
+        def hammer(worker: int) -> int:
+            performed = 0
+            for i in range(lookups_per_thread):
+                key = f"k{(worker * 7 + i) % 100}"
+                if cache.get(key) is None:
+                    cache.put(key, {"worker": worker, "i": i})
+                performed += 1
+            return performed
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            totals = list(pool.map(hammer, range(n_threads)))
+
+        stats = cache.stats()
+        assert sum(totals) == n_threads * lookups_per_thread
+        assert stats["hits"] + stats["misses"] == sum(totals)
+        assert stats["entries"] <= 64
+        assert stats["evictions"] >= 100 - 64  # 100 distinct keys, 64 slots
 
 
 class TestDiskStore:

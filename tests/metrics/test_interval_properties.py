@@ -1,0 +1,133 @@
+"""Property-based tests for the eight interval metrics (Eqs. 14-21).
+
+Hypothesis generates random degradation curves (normalized so the
+hazard-time performance is the nominal 1.0 and no sample goes negative)
+and checks the algebraic invariants the paper's definitions imply:
+
+* the normalized variants (Eqs. 15 and 17) are bounded in [0, 1];
+* preserved + lost complement each other exactly (Eq. 14 + Eq. 16 =
+  the nominal rectangle, so Eq. 15 + Eq. 17 = 1);
+* Zobel's Eq. (18) is monotone nondecreasing in the recovery time when
+  the trough is the curve's global minimum;
+* the time-averages (Eqs. 19-21) stay within the curve's value range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.curve import ResilienceCurve
+from repro.metrics.interval import (
+    MetricContext,
+    average_performance_lost,
+    average_performance_preserved,
+    normalized_performance_lost,
+    normalized_performance_preserved,
+    performance_from_minimum,
+    performance_lost,
+    performance_preserved,
+    weighted_average_preserved,
+)
+
+# Each generated curve: strictly increasing times from positive steps,
+# performance in (0, 1] with the first sample pinned at the nominal 1.0
+# (the Eq. 15/17 bounds only hold when the curve stays inside the
+# nominal rectangle).
+_steps = st.lists(
+    st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False),
+    min_size=4,
+    max_size=32,
+)
+_levels = st.lists(
+    st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False),
+    min_size=3,
+    max_size=31,
+)
+
+
+@st.composite
+def curves(draw: st.DrawFn) -> ResilienceCurve:
+    steps = draw(_steps)
+    levels = draw(_levels)
+    n = min(len(steps), len(levels) + 1)
+    times = np.cumsum(np.asarray(steps[:n]))
+    performance = np.array([1.0] + levels[: n - 1])
+    return ResilienceCurve(times, performance, nominal=1.0, name="hyp")
+
+
+@given(curve=curves())
+@settings(deadline=None, max_examples=100)
+def test_normalized_metrics_bounded(curve: ResilienceCurve) -> None:
+    ctx = MetricContext.from_curve(curve)
+    preserved = normalized_performance_preserved(ctx)
+    lost = normalized_performance_lost(ctx)
+    assert -1e-9 <= preserved <= 1.0 + 1e-9
+    assert -1e-9 <= lost <= 1.0 + 1e-9
+
+
+@given(curve=curves())
+@settings(deadline=None, max_examples=100)
+def test_preserved_and_lost_are_complementary(curve: ResilienceCurve) -> None:
+    ctx = MetricContext.from_curve(curve)
+    rectangle = ctx.nominal * (ctx.recovery_time - ctx.hazard_time)
+    total = performance_preserved(ctx) + performance_lost(ctx)
+    assert total == pytest.approx(rectangle, rel=1e-12, abs=1e-12)
+    # ... and therefore the normalized pair sums to exactly one.
+    assert normalized_performance_preserved(ctx) + normalized_performance_lost(
+        ctx
+    ) == pytest.approx(1.0, abs=1e-9)
+
+
+@given(curve=curves(), data=st.data())
+@settings(deadline=None, max_examples=100)
+def test_zobel_monotone_in_recovery_time(
+    curve: ResilienceCurve, data: st.DataObject
+) -> None:
+    """Eq. (18) integrates P(t) - P(t_d) from the trough; with t_d the
+    global minimum the integrand is nonnegative, so extending the
+    recovery time can only add area."""
+    trough_index = int(np.argmin(curve.performance))
+    assume(trough_index < len(curve) - 2)  # need two later recovery times
+    t_d = float(curve.times[trough_index])
+    later = [float(t) for t in curve.times[trough_index + 1 :]]
+    i = data.draw(st.integers(0, len(later) - 2), label="earlier recovery")
+    j = data.draw(st.integers(i + 1, len(later) - 1), label="later recovery")
+
+    def zobel(t_r: float) -> float:
+        return performance_from_minimum(
+            MetricContext.from_curve(curve, recovery_time=t_r, trough_time=t_d)
+        )
+
+    assert zobel(later[j]) >= zobel(later[i]) - 1e-9
+
+
+@given(curve=curves())
+@settings(deadline=None, max_examples=100)
+def test_averages_within_value_range(curve: ResilienceCurve) -> None:
+    lo = float(np.min(curve.performance))
+    hi = float(np.max(curve.performance))
+    ctx = MetricContext.from_curve(curve)
+    avg = average_performance_preserved(ctx)
+    assert lo - 1e-9 <= avg <= hi + 1e-9
+    # Eq. 20 is the rectangle complement of Eq. 19.
+    assert average_performance_lost(ctx) == pytest.approx(
+        ctx.nominal - avg, abs=1e-9
+    )
+
+
+@given(curve=curves(), alpha=st.floats(0.05, 0.95))
+@settings(deadline=None, max_examples=100)
+def test_weighted_average_within_value_range(
+    curve: ResilienceCurve, alpha: float
+) -> None:
+    trough_index = int(np.argmin(curve.performance))
+    assume(0 < trough_index < len(curve) - 1)
+    ctx = MetricContext.from_curve(
+        curve, trough_time=float(curve.times[trough_index])
+    )
+    value = weighted_average_preserved(ctx, alpha=alpha)
+    lo = float(np.min(curve.performance))
+    hi = float(np.max(curve.performance))
+    assert lo - 1e-9 <= value <= hi + 1e-9

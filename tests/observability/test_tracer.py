@@ -1,0 +1,208 @@
+"""Tracer: spans, nesting, JSONL output, env defaults, resolution."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_TRACER,
+    TRACE_ENV_VAR,
+    TRACE_FILE_ENV_VAR,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    default_tracer,
+    disable_tracing,
+    enable_tracing,
+    resolve_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_trace_env(monkeypatch):
+    """Isolate every test from ambient trace configuration."""
+    monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+    monkeypatch.delenv(TRACE_FILE_ENV_VAR, raising=False)
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestSpans:
+    def test_span_records_name_duration_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="test") as span:
+            span.set(items=3)
+        (record,) = tracer.spans
+        assert record["name"] == "work"
+        assert record["dur_s"] >= 0.0
+        assert record["attrs"] == {"kind": "test", "items": 3}
+        assert record["parent"] is None
+
+    def test_nesting_links_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # inner exits (and is emitted) first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_record_parents_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            tracer.record("fit.start", 0.25, index=0)
+        start, fit = tracer.spans
+        assert start["dur_s"] == 0.25
+        assert start["parent"] == fit["id"]
+
+    def test_exception_sets_error_attr_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (record,) = tracer.spans
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_max_spans_drops_but_counts(self):
+        tracer = Tracer(max_spans=2)
+        for index in range(5):
+            with tracer.span("s", index=index):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans == 3
+        assert "dropped" in tracer.summary()
+
+    def test_numpy_attrs_are_json_safe(self):
+        import numpy as np
+
+        tracer = Tracer()
+        with tracer.span("np", n=np.int64(3), x=np.float64(0.5), a=np.arange(2)):
+            pass
+        (record,) = tracer.spans
+        assert json.dumps(record)  # round-trips through json
+        assert record["attrs"] == {"n": 3, "x": 0.5, "a": [0, 1]}
+
+
+class TestJsonl:
+    def test_spans_stream_as_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path=path)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert all(r["type"] == "span" for r in records)
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = Tracer(path=tmp_path / "t.jsonl")
+        with tracer.span("a"):
+            pass
+        tracer.close()
+        tracer.close()
+
+
+class TestSummary:
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("fit"):
+                pass
+        tracer.metrics.inc("cache.hits", 2)
+        summary = tracer.summary()
+        assert "fit" in summary
+        assert "cache.hits" in summary
+
+    def test_empty_tracer_summary_is_empty(self):
+        assert Tracer().summary() == ""
+
+
+class TestPickling:
+    def test_tracer_unpickles_as_null(self):
+        tracer = Tracer()
+        assert pickle.loads(pickle.dumps(tracer)) is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            span.set(a=1)
+        NULL_TRACER.record("y", 1.0)
+        NULL_TRACER.metrics.inc("z")
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.summary() == ""
+
+
+class TestResolution:
+    def test_none_defaults_to_null_without_env(self):
+        assert resolve_tracer(None) is NULL_TRACER
+
+    def test_false_forces_null_even_with_env(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "1")
+        assert resolve_tracer(False) is NULL_TRACER
+
+    def test_env_var_enables_default(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "1")
+        tracer = resolve_tracer(None)
+        assert isinstance(tracer, Tracer)
+        assert tracer is resolve_tracer(None)  # cached per signature
+
+    def test_off_words_keep_default_disabled(self, monkeypatch):
+        for word in ("", "0", "off", "no", "false"):
+            monkeypatch.setenv(TRACE_ENV_VAR, word)
+            assert default_tracer() is None
+
+    def test_trace_file_env_implies_tracing(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_FILE_ENV_VAR, str(tmp_path / "t.jsonl"))
+        tracer = default_tracer()
+        assert tracer is not None
+        assert tracer.path == str(tmp_path / "t.jsonl")
+
+    def test_true_forces_process_tracer(self):
+        tracer = resolve_tracer(True)
+        assert isinstance(tracer, Tracer)
+        assert resolve_tracer(True) is tracer
+        disable_tracing()
+        assert resolve_tracer(None) is NULL_TRACER
+
+    def test_instance_passthrough(self):
+        tracer = Tracer()
+        assert resolve_tracer(tracer) is tracer
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_tracer("yes")  # type: ignore[arg-type]
+
+
+class TestAmbient:
+    def test_activate_scopes_current_tracer(self):
+        tracer = Tracer()
+        assert current_tracer() is NULL_TRACER
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_activating_null_does_not_mask_outer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with activate(NULL_TRACER):
+                assert current_tracer() is tracer
+
+    def test_deactivate_masks_outer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with deactivate():
+                assert current_tracer() is NULL_TRACER
+            assert current_tracer() is tracer
+
+    def test_enable_tracing_becomes_ambient_default(self):
+        forced = enable_tracing()
+        assert current_tracer() is forced
+        disable_tracing()
+        assert current_tracer() is NULL_TRACER

@@ -115,3 +115,42 @@ class TestFigureCommands:
     def test_more_figures(self, capsys, number):
         assert main(["figure", number]) == 0
         assert f"Figure {number}" in capsys.readouterr().out
+
+
+class TestTraceOptions:
+    def test_fit_trace_prints_summary_to_stderr(self, capsys):
+        assert main(["fit", "quadratic", "1990-93", "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "SSE" in captured.out
+        assert "Trace summary" in captured.err
+        assert "fit" in captured.err
+
+    def test_trace_file_streams_json_lines(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        # --no-cache forces real solves so per-start spans are emitted
+        # even when an earlier test already warmed the default cache.
+        assert (
+            main(
+                ["fit", "quadratic", "1990-93", "--no-cache",
+                 "--trace-file", str(path)]
+            )
+            == 0
+        )
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records, "trace file should contain at least one span"
+        names = {record["name"] for record in records}
+        assert "fit" in names
+        assert "fit.start" in names
+        fit_record = next(r for r in records if r["name"] == "fit")
+        assert "nfev" in fit_record["attrs"]
+        assert "cache_hit" in fit_record["attrs"]
+
+    def test_untraced_run_prints_no_summary(self, capsys, monkeypatch):
+        from repro.observability.tracer import TRACE_ENV_VAR, TRACE_FILE_ENV_VAR
+
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        monkeypatch.delenv(TRACE_FILE_ENV_VAR, raising=False)
+        assert main(["fit", "quadratic", "1990-93"]) == 0
+        assert "Trace summary" not in capsys.readouterr().err
