@@ -25,8 +25,10 @@ from repro.datasets.recessions import (
     load_all_recessions,
     load_recession,
 )
+from repro.datasets.stream import StreamEvent, iter_curve, replay_recessions
 from repro.datasets.synthetic import curve_from_model, make_shape_curve
 from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
+from repro.fitting.options import EngineOptions
 from repro.fitting.result import FitResult
 from repro.observability import Tracer, enable_tracing
 from repro.parallel import FitExecutor, get_executor
@@ -35,39 +37,49 @@ from repro.models.competing_risks import CompetingRisksResilienceModel
 from repro.models.mixture import MixtureResilienceModel
 from repro.models.quadratic import QuadraticResilienceModel
 from repro.models.registry import available_models, make_model
+from repro.serving import ForecastSession, OnlineForecaster, RefitPolicy
 from repro.validation.comparison import compare_models
 from repro.validation.crossval import evaluate_predictive
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The public batch + serving surface, alphabetized;
+#: tests/test_public_api.py asserts it matches what is importable.
 __all__ = [
-    "ResilienceCurve",
-    "DisruptionEvent",
-    "ResiliencePhases",
-    "detect_phases",
+    "CompetingRisksResilienceModel",
     "CurveShape",
-    "classify_shape",
-    "RECESSION_NAMES",
-    "load_recession",
-    "load_all_recessions",
-    "make_shape_curve",
-    "curve_from_model",
-    "fit_least_squares",
-    "fit_many",
+    "DisruptionEvent",
+    "EngineOptions",
+    "FitExecutor",
     "FitManyResult",
     "FitResult",
-    "FitExecutor",
-    "get_executor",
-    "Tracer",
-    "enable_tracing",
-    "QuadraticResilienceModel",
-    "CompetingRisksResilienceModel",
+    "ForecastSession",
     "MixtureResilienceModel",
-    "make_model",
+    "OnlineForecaster",
+    "QuadraticResilienceModel",
+    "RECESSION_NAMES",
+    "RefitPolicy",
+    "ResilienceCurve",
+    "ResiliencePhases",
+    "StreamEvent",
+    "Tracer",
+    "__version__",
     "available_models",
-    "evaluate_predictive",
+    "classify_shape",
     "compare_models",
+    "curve_from_model",
+    "detect_phases",
+    "enable_tracing",
+    "evaluate_predictive",
+    "fit_least_squares",
+    "fit_many",
+    "get_executor",
+    "iter_curve",
+    "load_all_recessions",
+    "load_recession",
+    "make_model",
+    "make_shape_curve",
     "predictive_metric_report",
     "relative_error",
-    "__version__",
+    "replay_recessions",
 ]

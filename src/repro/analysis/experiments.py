@@ -16,6 +16,7 @@ from repro.core.curve import ResilienceCurve
 from repro.datasets.recessions import RECESSION_NAMES, load_all_recessions, load_recession
 from repro.datasets.synthetic import make_shape_curve
 from repro.exceptions import DataError
+from repro.fitting.options import EngineOptions, grid_engine_kwargs
 from repro.metrics.predictive import PredictiveMetricReport, predictive_metric_report
 from repro.models.registry import make_model
 from repro.observability.tracer import activate, resolve_tracer
@@ -175,6 +176,7 @@ def _validation_sweep(
     train_fraction: float,
     confidence: float,
     title: str,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -185,8 +187,13 @@ def _validation_sweep(
     chosen executor backend; results are assembled in grid order,
     making the table identical on every backend. A ``trace=`` kwarg
     (forwarded to every cell's fit) additionally wraps the whole grid
-    in one ``"table.grid"`` span.
+    in one ``"table.grid"`` span. An ``options=``
+    :class:`~repro.fitting.options.EngineOptions` bundle fills in any
+    of executor/n_workers/fit_kwargs not given explicitly.
     """
+    executor, n_workers, fit_kwargs = grid_engine_kwargs(
+        options, executor, n_workers, fit_kwargs
+    )
     tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     recessions = load_all_recessions()
     cells = [
@@ -213,6 +220,7 @@ def table1(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     confidence: float = 0.95,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -223,6 +231,7 @@ def table1(
         train_fraction=train_fraction,
         confidence=confidence,
         title="Table I — Validation of prediction using two bathtub functions",
+        options=options,
         executor=executor,
         n_workers=n_workers,
         **fit_kwargs,
@@ -233,6 +242,7 @@ def table3(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     confidence: float = 0.95,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -243,6 +253,7 @@ def table3(
         train_fraction=train_fraction,
         confidence=confidence,
         title="Table III — Validation of prediction using mixture distributions",
+        options=options,
         executor=executor,
         n_workers=n_workers,
         **fit_kwargs,
@@ -279,10 +290,14 @@ def _metric_table(
     train_fraction: float,
     alpha: float,
     title: str,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableMetricsResult:
+    executor, n_workers, fit_kwargs = grid_engine_kwargs(
+        options, executor, n_workers, fit_kwargs
+    )
     tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     curve = load_recession(dataset)
     cells = [
@@ -306,6 +321,7 @@ def table2(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     alpha: float = 0.5,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -317,6 +333,7 @@ def table2(
         train_fraction=train_fraction,
         alpha=alpha,
         title="Table II — Interval-based resilience metrics (bathtub models)",
+        options=options,
         executor=executor,
         n_workers=n_workers,
         **fit_kwargs,
@@ -328,6 +345,7 @@ def table4(
     *,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     alpha: float = 0.5,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -339,6 +357,7 @@ def table4(
         train_fraction=train_fraction,
         alpha=alpha,
         title="Table IV — Interval-based resilience metrics (mixture models)",
+        options=options,
         executor=executor,
         n_workers=n_workers,
         **fit_kwargs,
@@ -436,6 +455,7 @@ def truncation_grid(
     confidence: float = 0.95,
     warm_start: bool = True,
     warm_n_random_starts: int = 2,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -461,9 +481,17 @@ def truncation_grid(
         prefix's optimum as an extra start and shrink the random-start
         budget for every fraction after the first. ``warm_start=False``
         makes every cell an independent full multi-start fit.
+    options:
+        :class:`~repro.fitting.options.EngineOptions` bundle; explicit
+        ``executor=``/``n_workers=``/``fit_kwargs`` win over its fields.
+        Note an explicit ``n_random_starts`` (from either source)
+        disables the warm-chain budget shrink, exactly as before.
     fit_kwargs:
         Passed through to :func:`~repro.fitting.fit_least_squares`.
     """
+    executor, n_workers, fit_kwargs = grid_engine_kwargs(
+        options, executor, n_workers, fit_kwargs
+    )
     if not fractions:
         raise DataError("truncation_grid needs at least one training fraction")
     ordered_fractions = tuple(sorted(float(f) for f in fractions))

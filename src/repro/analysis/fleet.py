@@ -21,6 +21,7 @@ from repro.core.episodes import Episode, split_episodes
 from repro.core.phases import detect_phases
 from repro.exceptions import ReproError
 from repro.fitting.least_squares import fit_least_squares
+from repro.fitting.options import EngineOptions, grid_engine_kwargs
 from repro.fitting.result import FitResult
 from repro.metrics.point import rapidity, time_to_recovery
 from repro.models.registry import make_model
@@ -180,6 +181,7 @@ def episode_scorecard(
     min_depth: float = 0.0,
     min_samples: int = 4,
     recovery_level: float | None = None,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -204,7 +206,13 @@ def episode_scorecard(
         assembled in episode order on every backend. A ``trace=`` entry
         in *fit_kwargs* traces each episode's fit and wraps the whole
         scorecard in one ``"episodes.scorecard"`` span.
+    options:
+        :class:`~repro.fitting.options.EngineOptions` bundle; explicit
+        ``executor=``/``n_workers=``/``fit_kwargs`` win over its fields.
     """
+    executor, n_workers, fit_kwargs = grid_engine_kwargs(
+        options, executor, n_workers, fit_kwargs
+    )
     tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     episodes = split_episodes(
         history, tolerance=tolerance, min_depth=min_depth, min_samples=min_samples

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fitting.options import EngineOptions, grid_engine_kwargs
 from repro.observability.tracer import resolve_tracer
 from repro.parallel import ExecutorLike
 
@@ -57,6 +58,7 @@ def run_full_reproduction(
     train_fraction: float = 0.9,
     confidence: float = 0.95,
     alpha: float = 0.5,
+    options: EngineOptions | None = None,
     executor: "ExecutorLike" = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
@@ -66,10 +68,15 @@ def run_full_reproduction(
     Parameters mirror the paper's protocol: 90% fitting prefix, 95%
     confidence band, α = 0.5 for the Eq. (21) weighted metric.
     *executor*/*n_workers* select the backend each table's fit grid
-    runs on (tables are identical on every backend). A ``trace=``
-    kwarg wraps the whole reproduction in one ``"pipeline.run"`` span,
-    with each table grid and fit nested under it.
+    runs on (tables are identical on every backend); an ``options=``
+    :class:`~repro.fitting.options.EngineOptions` bundle fills in any
+    engine knob not given explicitly. A ``trace=`` kwarg wraps the
+    whole reproduction in one ``"pipeline.run"`` span, with each table
+    grid and fit nested under it.
     """
+    executor, n_workers, fit_kwargs = grid_engine_kwargs(
+        options, executor, n_workers, fit_kwargs
+    )
     tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
     with tracer.span("pipeline.run", train_fraction=train_fraction):
         results = ReproductionResults(

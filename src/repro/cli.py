@@ -16,6 +16,9 @@ Commands
     Regenerate one of the paper's figures (1-6) as an ASCII chart.
 ``report``
     Regenerate everything.
+``serve-replay``
+    Replay datasets as a live stream through the online forecast
+    service, emitting one JSON line per forecast update.
 """
 
 from __future__ import annotations
@@ -172,6 +175,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_arguments(episodes)
 
+    serve = sub.add_parser(
+        "serve-replay",
+        help="replay datasets as a stream and emit JSONL forecast updates",
+    )
+    serve.add_argument(
+        "datasets",
+        nargs="*",
+        metavar="DATASET",
+        help=(
+            "recession names and/or time,performance CSV paths to replay "
+            "(default: all seven recessions)"
+        ),
+    )
+    serve.add_argument(
+        "--model",
+        default="competing_risks",
+        help="incumbent model family (default competing_risks)",
+    )
+    serve.add_argument(
+        "--horizon",
+        type=float,
+        default=12.0,
+        help="forecast horizon in stream time units (default 12)",
+    )
+    serve.add_argument(
+        "--every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="emit an update every K observations per stream (default 1)",
+    )
+    serve.add_argument(
+        "--points",
+        type=int,
+        default=10,
+        metavar="N",
+        help="grid points per emitted forecast trajectory (default 10)",
+    )
+    serve.add_argument(
+        "--refit-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="refit once K unfitted observations accumulate (default 1)",
+    )
+    serve.add_argument(
+        "--sse-drift",
+        type=float,
+        default=None,
+        metavar="D",
+        help=(
+            "also refit when the incumbent's per-point SSE drifts by more "
+            "than this relative amount (default: off)"
+        ),
+    )
+    serve.add_argument(
+        "--no-interleave",
+        action="store_true",
+        help="play streams back to back instead of merged in time order",
+    )
+    serve.add_argument(
+        "--no-finalize",
+        action="store_true",
+        help="skip the end-of-stream cold fit (the bit-identity check)",
+    )
+    serve.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSONL to PATH instead of stdout",
+    )
+    _add_executor_arguments(serve)
+
     table = sub.add_parser("table", help="regenerate a table from the paper")
     table.add_argument("number", choices=["1", "2", "3", "4", "I", "II", "III", "IV"])
     table.add_argument(
@@ -322,6 +398,60 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets.stream import interleave_streams, iter_curve
+    from repro.fitting.options import EngineOptions
+    from repro.serving import RefitPolicy, replay_forecasts
+
+    names = list(args.datasets) or list(RECESSION_NAMES)
+    streams = {}
+    for name in names:
+        curve = _load_curve(name)
+        key = curve.name or name
+        streams[key] = iter_curve(curve, key=key)
+    if args.no_interleave:
+        def _sequential():
+            for stream in streams.values():
+                yield from stream
+
+        events = _sequential()
+    else:
+        events = interleave_streams(streams)
+
+    # The serving layer takes engine configuration only as EngineOptions;
+    # fold the shared CLI flags into one bundle.
+    options = EngineOptions(
+        cache=args.cache,
+        trace=args.tracer,
+        executor=args.executor,
+        n_workers=args.workers,
+    )
+    policy = RefitPolicy(every_k=args.refit_every, sse_drift=args.sse_drift)
+    records = replay_forecasts(
+        events,  # type: ignore[arg-type]
+        horizon=args.horizon,
+        every=args.every,
+        n_points=args.points,
+        family=args.model,
+        options=options,
+        policy=policy,
+        finalize=not args.no_finalize,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            count = 0
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+                count += 1
+        print(f"wrote {count} records to {args.output}", file=sys.stderr)
+    else:
+        for record in records:
+            print(json.dumps(record))
+    return 0
+
+
 def _cmd_figure(number: int) -> int:
     print(experiments.figure_by_id(number).to_ascii())
     return 0
@@ -370,6 +500,8 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(scorecard.to_table())
             return 0
+        if args.command == "serve-replay":
+            return _cmd_serve_replay(args)
         if args.command == "table":
             return _cmd_table(args)
         if args.command == "figure":

@@ -22,6 +22,12 @@ from repro.datasets.synthetic import (
 )
 from repro.datasets.loader import curve_from_csv, curve_to_csv
 from repro.datasets.bls import curve_from_levels, read_bls_wide_csv
+from repro.datasets.stream import (
+    StreamEvent,
+    interleave_streams,
+    iter_curve,
+    replay_recessions,
+)
 
 __all__ = [
     "read_bls_wide_csv",
@@ -34,4 +40,8 @@ __all__ = [
     "curve_from_model",
     "curve_from_csv",
     "curve_to_csv",
+    "StreamEvent",
+    "iter_curve",
+    "interleave_streams",
+    "replay_recessions",
 ]

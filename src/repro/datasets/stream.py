@@ -1,0 +1,121 @@
+"""Replay iterators: datasets as streams of timestamped observations.
+
+The serving layer (:mod:`repro.serving`) consumes observations one at
+a time, the way resilience telemetry actually arrives. These helpers
+turn the batch datasets into that shape: :func:`iter_curve` replays one
+:class:`~repro.core.curve.ResilienceCurve` point by point,
+:func:`interleave_streams` merges several replays into a single
+time-ordered feed (the "fleet of disrupted systems" workload), and
+:func:`replay_recessions` does both for the bundled recession curves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Mapping, NamedTuple, Sequence
+
+from repro.core.curve import ResilienceCurve
+from repro.datasets.recessions import RECESSION_NAMES, load_recession
+from repro.exceptions import DataError
+
+__all__ = [
+    "StreamEvent",
+    "interleave_streams",
+    "iter_curve",
+    "replay_recessions",
+]
+
+
+class StreamEvent(NamedTuple):
+    """One timestamped observation from one stream.
+
+    ``index`` is the observation's position within its own stream
+    (0-based), so consumers can tell "first point of curve B" apart
+    from "hundredth point of curve A" in an interleaved feed.
+    """
+
+    key: str
+    time: float
+    performance: float
+    index: int
+
+
+def iter_curve(
+    curve: ResilienceCurve, *, key: str | None = None
+) -> Iterator[StreamEvent]:
+    """Replay *curve* as a stream of :class:`StreamEvent`, in time order.
+
+    The stream key defaults to the curve's name (``"<curve>"`` when
+    anonymous).
+    """
+    stream_key = key if key is not None else (curve.name or "<curve>")
+    for index in range(len(curve)):
+        yield StreamEvent(
+            key=stream_key,
+            time=float(curve.times[index]),
+            performance=float(curve.performance[index]),
+            index=index,
+        )
+
+
+def interleave_streams(
+    streams: Mapping[str, Iterable[StreamEvent]],
+) -> Iterator[StreamEvent]:
+    """Merge several event streams into one globally time-ordered feed.
+
+    Each input stream must already be time-ordered (as :func:`iter_curve`
+    guarantees); the merge is a k-way heap merge, so ties between
+    streams break deterministically by stream key. This simulates a
+    fleet of systems disrupted at overlapping times reporting into one
+    service.
+    """
+    heap: list[tuple[float, str, int, StreamEvent, Iterator[StreamEvent]]] = []
+    for stream_key, stream in streams.items():
+        iterator = iter(stream)
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(
+                heap, (first.time, stream_key, first.index, first, iterator)
+            )
+    while heap:
+        _, stream_key, _, event, iterator = heapq.heappop(heap)
+        yield event
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(
+                heap,
+                (following.time, stream_key, following.index, following, iterator),
+            )
+
+
+def replay_recessions(
+    names: Sequence[str] | None = None,
+    *,
+    interleave: bool = True,
+) -> Iterator[StreamEvent]:
+    """Replay the bundled recession curves as one observation feed.
+
+    Parameters
+    ----------
+    names:
+        Recession names to include; ``None`` replays all seven.
+    interleave:
+        Merge the curves into one time-ordered feed (each recession's
+        months count from its own peak, so the replays overlap — the
+        fleet workload). ``False`` plays the curves back to back in
+        the order given.
+    """
+    selected = tuple(RECESSION_NAMES if names is None else names)
+    unknown = [name for name in selected if name not in RECESSION_NAMES]
+    if unknown:
+        raise DataError(
+            f"unknown recession(s) {unknown!r}; choose from {RECESSION_NAMES}"
+        )
+    curves = {name: load_recession(name) for name in selected}
+    if interleave:
+        yield from interleave_streams(
+            {name: iter_curve(curve, key=name) for name, curve in curves.items()}
+        )
+    else:
+        for name, curve in curves.items():
+            yield from iter_curve(curve, key=name)

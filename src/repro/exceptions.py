@@ -16,6 +16,7 @@ __all__ = [
     "ConvergenceError",
     "DataError",
     "MetricError",
+    "ServingError",
     "ShapeError",
 ]
 
@@ -63,3 +64,12 @@ class MetricError(ReproError, ValueError):
 
 class ShapeError(ReproError, ValueError):
     """A curve-shape classification or generation request is invalid."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """The online forecasting service was used incorrectly.
+
+    Examples: observing a time stamp at or before the last one, asking
+    for a forecast before any observations arrived, or registering two
+    streams under the same key in a session.
+    """

@@ -10,6 +10,11 @@ from repro.fitting.cache import FitCache, default_fit_cache, fit_cache_key
 from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
 from repro.fitting.mle import MleResult, fit_mle, profile_likelihood_interval
 from repro.fitting.multistart import generate_starts
+from repro.fitting.options import (
+    DEFAULT_ENGINE_OPTIONS,
+    EngineOptions,
+    ResolvedEngine,
+)
 from repro.fitting.result import FitResult
 from repro.fitting.uncertainty import (
     ParameterUncertainty,
@@ -22,6 +27,9 @@ __all__ = [
     "fit_least_squares",
     "fit_many",
     "FitManyResult",
+    "EngineOptions",
+    "ResolvedEngine",
+    "DEFAULT_ENGINE_OPTIONS",
     "FitCache",
     "default_fit_cache",
     "fit_cache_key",

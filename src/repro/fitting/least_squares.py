@@ -40,6 +40,11 @@ from repro.fitting.cache import (
     sequence_of_vectors,
 )
 from repro.fitting.multistart import generate_starts
+from repro.fitting.options import (
+    DEFAULT_ENGINE_OPTIONS as DEFAULT_OPTIONS,
+    EngineOptions,
+    grid_engine_kwargs,
+)
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
 from repro.observability.tracer import (
@@ -213,13 +218,14 @@ def fit_least_squares(
     family: ResilienceModel,
     curve: ResilienceCurve,
     *,
-    n_random_starts: int = 8,
+    options: EngineOptions | None = None,
+    n_random_starts: int | None = None,
     seed: int | None = None,
-    max_nfev: int = 2000,
+    max_nfev: int | None = None,
     starts: Sequence[Sequence[float]] | None = None,
     extra_starts: Sequence[Sequence[float]] | None = None,
     weights: Sequence[float] | None = None,
-    jac: str = "auto",
+    jac: str | None = None,
     cache: bool | FitCache | None = None,
     trace: TracerLike = None,
     executor: ExecutorLike = None,
@@ -234,6 +240,12 @@ def fit_least_squares(
     curve:
         Empirical curve; typically the training prefix from
         :meth:`~repro.core.curve.ResilienceCurve.train_test_split`.
+    options:
+        An :class:`~repro.fitting.options.EngineOptions` bundle holding
+        the engine knobs in one value. Any individual kwarg below that
+        is passed explicitly overrides the corresponding options field;
+        fields left at their defaults behave exactly like omitting the
+        kwarg.
     n_random_starts:
         Perturbed variants per heuristic seed (see
         :func:`~repro.fitting.multistart.generate_starts`). 0 uses only
@@ -306,6 +318,26 @@ def fit_least_squares(
     ConvergenceError
         If every start fails to produce a finite optimum.
     """
+    opts = (options or DEFAULT_OPTIONS).override(
+        n_random_starts=n_random_starts,
+        seed=seed,
+        max_nfev=max_nfev,
+        jac=jac,
+        cache=cache,
+        trace=trace,
+        executor=executor,
+        n_workers=n_workers,
+    )
+    n_random_starts = opts.n_random_starts
+    seed = opts.seed
+    max_nfev = opts.max_nfev
+    jac = opts.jac
+    # ``False`` is a meaningful override for cache/trace, so take the
+    # merged fields verbatim rather than re-filtering through ``None``.
+    cache = opts.cache
+    trace = opts.trace
+    executor = opts.executor
+    n_workers = opts.n_workers
     tracer = resolve_tracer(trace)
     if not tracer.enabled:
         if trace is False:
@@ -632,6 +664,35 @@ class FitManyResult(dict):
         """Names whose fit failed to converge, in request order."""
         return tuple(self.failures)
 
+    def best(self) -> FitResult:
+        """The lowest-SSE successful fit across all families.
+
+        Ties break toward the earlier family in request order (``min``
+        is stable). Raises :class:`~repro.exceptions.ConvergenceError`
+        when no family converged, listing the per-family errors.
+        """
+        if not self:
+            raise ConvergenceError(
+                "no family converged"
+                + (
+                    f" (failures: {dict(self.failures)!r})"
+                    if self.failures
+                    else ""
+                )
+            )
+        return min(self.values(), key=lambda fit: fit.sse)
+
+    def copy(self) -> "FitManyResult":
+        """A shallow copy that keeps :attr:`failures` (``dict.copy``
+        would silently drop it and downgrade to a plain dict)."""
+        return FitManyResult(self, self.failures)
+
+    def __reduce__(self):
+        # dict subclass pickling reconstructs through the class with no
+        # args, losing instance state on some protocols; rebuild through
+        # __init__ so .failures round-trips everywhere.
+        return (FitManyResult, (dict(self), self.failures))
+
 
 class _FamilyWork(NamedTuple):
     """Picklable work unit: one family fit against the shared curve."""
@@ -655,6 +716,7 @@ def fit_many(
     families: Iterable[ResilienceModel],
     curve: ResilienceCurve,
     *,
+    options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **kwargs: object,
@@ -668,6 +730,12 @@ def fit_many(
 
     Parameters
     ----------
+    options:
+        :class:`~repro.fitting.options.EngineOptions` bundle. Its
+        executor fields drive the family loop below (unless overridden
+        by the explicit ``executor=``/``n_workers=``); the remaining
+        non-default fields are forwarded into each per-family fit,
+        under any explicit ``kwargs``.
     executor, n_workers:
         Backend for the per-family fits (each family is an independent
         problem). The per-family fits themselves run serially when the
@@ -677,6 +745,9 @@ def fit_many(
         kwarg both traces each per-family fit and wraps the whole call
         in one ``"fit.many"`` span.
     """
+    executor, n_workers, kwargs = grid_engine_kwargs(
+        options, executor, n_workers, kwargs
+    )
     tracer = resolve_tracer(kwargs.get("trace"))  # type: ignore[arg-type]
     work_units = [_FamilyWork(family, curve, dict(kwargs)) for family in families]
     with tracer.span(

@@ -1,0 +1,178 @@
+"""The :class:`EngineOptions` bundle — one object for every fit-engine knob.
+
+Every entry point that drives the fit engine historically grew the same
+tail of keyword arguments (``jac=``, ``cache=``, ``trace=``,
+``executor=``, ``n_workers=``, ``seed=``, ``n_random_starts=``,
+``max_nfev=``). :class:`EngineOptions` freezes that tail into a single
+immutable value that can be built once and handed to
+:func:`~repro.fitting.fit_least_squares`, :func:`~repro.fitting.fit_many`,
+the table grids, :func:`~repro.analysis.experiments.truncation_grid`,
+:func:`~repro.validation.crossval.rolling_origin`,
+:func:`~repro.analysis.fleet.episode_scorecard`,
+:func:`~repro.analysis.pipeline.run_full_reproduction`, and the whole
+:mod:`repro.serving` subsystem (which accepts *only* options).
+
+Merge semantics (uniform across every entry point):
+
+* an explicit individual kwarg always overrides the same field of
+  ``options=``;
+* an options field left at its default defers to the entry point's own
+  default, so ``EngineOptions()`` is a no-op everywhere;
+* environment defaults (``REPRO_FIT_EXECUTOR``, ``REPRO_FIT_WORKERS``,
+  ``REPRO_FIT_CACHE``, ``REPRO_TRACE``/``REPRO_TRACE_FILE``) are applied
+  in exactly one place — :meth:`EngineOptions.resolve` — which maps the
+  ``None`` placeholders onto concrete cache/tracer/executor instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping, NamedTuple
+
+from repro.fitting.cache import FitCache, resolve_cache
+from repro.observability.tracer import TracerLike, resolve_tracer
+from repro.parallel import ExecutorLike, FitExecutor, get_executor
+
+__all__ = [
+    "DEFAULT_ENGINE_OPTIONS",
+    "EngineOptions",
+    "ResolvedEngine",
+    "grid_engine_kwargs",
+]
+
+
+class ResolvedEngine(NamedTuple):
+    """Concrete engine plumbing produced by :meth:`EngineOptions.resolve`.
+
+    ``cache`` is a live :class:`~repro.fitting.cache.FitCache` or None
+    (caching disabled), ``tracer`` is an enabled
+    :class:`~repro.observability.Tracer` or the null tracer, and
+    ``executor`` is a ready :class:`~repro.parallel.FitExecutor`.
+    """
+
+    cache: FitCache | None
+    tracer: Any
+    executor: FitExecutor
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Immutable bundle of fit-engine configuration.
+
+    Attributes
+    ----------
+    jac:
+        Jacobian strategy (``"auto"``, ``"analytic"``, ``"2-point"``).
+    cache:
+        Fit memoization: ``None`` (environment default), ``False``
+        (off), ``True`` (environment default cache), or a
+        :class:`~repro.fitting.cache.FitCache` instance.
+    trace:
+        Observability: ``None`` (environment default), ``False`` (off),
+        ``True`` (process-global tracer), or a
+        :class:`~repro.observability.Tracer` instance.
+    executor:
+        Backend name/instance for parallel work, ``None`` for the
+        ``REPRO_FIT_EXECUTOR`` default.
+    n_workers:
+        Worker count for pooled backends (``None`` →
+        ``REPRO_FIT_WORKERS`` or the CPU count).
+    seed:
+        Random-stream seed for multi-start generation (``None`` → the
+        library default; fits are deterministic either way).
+    n_random_starts:
+        Random multi-start budget per fit.
+    max_nfev:
+        Residual-evaluation budget per start.
+    """
+
+    jac: str = "auto"
+    cache: "bool | FitCache | None" = None
+    trace: TracerLike = None
+    executor: ExecutorLike = None
+    n_workers: int | None = None
+    seed: int | None = None
+    n_random_starts: int = 8
+    max_nfev: int = 2000
+
+    def replace(self, **changes: Any) -> "EngineOptions":
+        """A copy with *changes* applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def override(self, **explicit: Any) -> "EngineOptions":
+        """A copy where every non-``None`` entry of *explicit* wins.
+
+        This is the "explicit kwarg overrides ``options=``" rule:
+        entry points funnel their individual keyword arguments through
+        here, and ``None`` (the universal "not given" default) leaves
+        the options field untouched.
+        """
+        changes = {k: v for k, v in explicit.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+    def to_kwargs(self) -> dict[str, Any]:
+        """Fields that differ from the defaults, as a kwargs dict.
+
+        Default-valued fields are omitted so each entry point's own
+        defaults (and internal heuristics such as warm-start budget
+        shrinking) still apply when the caller did not opt in.
+        """
+        kwargs: dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value is not DEFAULT_ENGINE_OPTIONS and value != getattr(
+                DEFAULT_ENGINE_OPTIONS, field.name
+            ):
+                kwargs[field.name] = value
+        return kwargs
+
+    def resolve(self) -> ResolvedEngine:
+        """Concrete cache/tracer/executor with environment defaults applied.
+
+        The single funnel for ``REPRO_FIT_CACHE``, ``REPRO_TRACE`` /
+        ``REPRO_TRACE_FILE``, and ``REPRO_FIT_EXECUTOR`` /
+        ``REPRO_FIT_WORKERS``: explicit fields win, ``None`` fields fall
+        back to the environment. Long-lived components (the serving
+        layer) call this once and share the resolved instances.
+        """
+        return ResolvedEngine(
+            cache=resolve_cache(self.cache),
+            tracer=resolve_tracer(self.trace),
+            executor=get_executor(self.executor, max_workers=self.n_workers),
+        )
+
+
+#: The all-defaults instance every merge compares against.
+DEFAULT_ENGINE_OPTIONS = EngineOptions()
+
+
+def grid_engine_kwargs(
+    options: EngineOptions | None,
+    executor: ExecutorLike,
+    n_workers: int | None,
+    fit_kwargs: Mapping[str, Any],
+) -> tuple[ExecutorLike, int | None, dict[str, Any]]:
+    """Merge *options* into a grid-style entry point's arguments.
+
+    Grid entry points (the table sweeps, :func:`truncation_grid`,
+    :func:`episode_scorecard`, :func:`fit_many`) consume ``executor`` /
+    ``n_workers`` themselves — they parallelize the grid cells, and the
+    per-cell fits run serially — while forwarding the remaining engine
+    knobs into each cell's fit. This helper applies the same split to an
+    options bundle: its executor fields fill the grid-level arguments
+    (when those were not given explicitly) and its remaining non-default
+    fields are folded *under* the explicit per-fit kwargs.
+    """
+    merged = dict(fit_kwargs)
+    if options is None:
+        return executor, n_workers, merged
+    base = options.to_kwargs()
+    base.pop("executor", None)
+    base.pop("n_workers", None)
+    base.update(merged)
+    if executor is None:
+        executor = options.executor
+    if n_workers is None:
+        n_workers = options.n_workers
+    return executor, n_workers, base

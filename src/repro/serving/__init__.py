@@ -1,0 +1,31 @@
+"""Online forecast serving: incremental fits over live curves.
+
+The subsystem the ROADMAP's production north star asks for:
+:class:`~repro.serving.online.OnlineForecaster` keeps one growing
+curve's forecast fresh with warm-started incremental refits;
+:class:`~repro.serving.session.ForecastSession` multiplexes a fleet of
+such streams over one shared cache/tracer/executor; and
+:func:`~repro.serving.replay.replay_forecasts` replays recorded
+datasets through the service (the ``repro serve-replay`` CLI).
+
+Unlike the batch entry points, everything here takes engine
+configuration only as an :class:`~repro.fitting.EngineOptions` bundle.
+"""
+
+from repro.serving.online import (
+    Forecast,
+    ForecastReport,
+    OnlineForecaster,
+    RefitPolicy,
+)
+from repro.serving.replay import replay_forecasts
+from repro.serving.session import ForecastSession
+
+__all__ = [
+    "Forecast",
+    "ForecastReport",
+    "ForecastSession",
+    "OnlineForecaster",
+    "RefitPolicy",
+    "replay_forecasts",
+]

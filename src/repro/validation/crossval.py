@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.core.curve import ResilienceCurve
 from repro.exceptions import MetricError
 from repro.fitting.least_squares import fit_least_squares
+from repro.fitting.options import EngineOptions
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
 from repro.validation.gof import GoodnessOfFit, adjusted_r_squared, pmse
@@ -106,6 +107,7 @@ def rolling_origin(
     step: int = 6,
     warm_start: bool = True,
     warm_n_random_starts: int = 2,
+    options: EngineOptions | None = None,
     **fit_kwargs: object,
 ) -> list[tuple[int, float]]:
     """PMSE as the training origin rolls forward.
@@ -120,7 +122,18 @@ def rolling_origin(
     differ by a few observations, so the previous optimum is already in
     the right basin and the full multi-start sweep is wasted effort.
     Pass ``warm_start=False`` to make every origin independent.
+
+    An ``options=`` :class:`~repro.fitting.options.EngineOptions`
+    bundle fills in fit kwargs not given explicitly; like an explicit
+    ``n_random_starts=`` kwarg, a non-default ``options.n_random_starts``
+    disables the warm budget shrink (the caller asked for that budget).
     """
+    if options is not None:
+        # The origin loop is inherently sequential (each fit warm-starts
+        # the next), so every options field — including executor, which
+        # here parallelizes the multi-starts *within* each fit — merges
+        # straight into the per-fit kwargs.
+        fit_kwargs = {**options.to_kwargs(), **fit_kwargs}
     if min_train <= family.n_params:
         raise MetricError(
             f"min_train={min_train} must exceed the parameter count "

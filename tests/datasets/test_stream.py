@@ -1,0 +1,107 @@
+"""Replay iterators: curves as time-ordered observation streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.curve import ResilienceCurve
+from repro.datasets.recessions import RECESSION_NAMES, load_recession
+from repro.datasets.stream import (
+    StreamEvent,
+    interleave_streams,
+    iter_curve,
+    replay_recessions,
+)
+from repro.exceptions import DataError
+
+
+def make_curve(times, name=""):
+    performance = np.linspace(1.0, 0.5, len(times))
+    return ResilienceCurve(times, performance, name=name)
+
+
+class TestIterCurve:
+    def test_replays_every_point_in_order(self, recession_1990):
+        events = list(iter_curve(recession_1990))
+        assert len(events) == len(recession_1990)
+        assert [e.index for e in events] == list(range(len(recession_1990)))
+        assert [e.time for e in events] == [
+            float(t) for t in recession_1990.times
+        ]
+        assert [e.performance for e in events] == [
+            float(p) for p in recession_1990.performance
+        ]
+
+    def test_key_defaults_to_curve_name(self, recession_1990):
+        events = list(iter_curve(recession_1990))
+        assert all(e.key == recession_1990.name for e in events)
+
+    def test_key_override(self, recession_1990):
+        events = list(iter_curve(recession_1990, key="stream-7"))
+        assert all(e.key == "stream-7" for e in events)
+
+    def test_anonymous_curve_gets_placeholder_key(self):
+        events = list(iter_curve(make_curve([0.0, 1.0])))
+        assert all(e.key == "<curve>" for e in events)
+
+
+class TestInterleave:
+    def test_merges_in_global_time_order(self):
+        streams = {
+            "a": iter_curve(make_curve([0.0, 2.0, 4.0]), key="a"),
+            "b": iter_curve(make_curve([1.0, 3.0, 5.0]), key="b"),
+        }
+        events = list(interleave_streams(streams))
+        assert [e.time for e in events] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert [e.key for e in events] == ["a", "b", "a", "b", "a", "b"]
+
+    def test_ties_break_by_stream_key(self):
+        times = [0.0, 1.0, 2.0]
+        streams = {
+            "b": iter_curve(make_curve(times), key="b"),
+            "a": iter_curve(make_curve(times), key="a"),
+        }
+        events = list(interleave_streams(streams))
+        assert [e.key for e in events] == ["a", "b"] * 3
+
+    def test_per_stream_index_is_preserved(self):
+        streams = {
+            "a": iter_curve(make_curve([0.0, 2.0]), key="a"),
+            "b": iter_curve(make_curve([1.0, 3.0]), key="b"),
+        }
+        for event in interleave_streams(streams):
+            assert event.index in (0, 1)
+
+    def test_empty_streams_are_skipped(self):
+        streams = {"a": iter_curve(make_curve([0.0, 1.0]), key="a"), "b": iter([])}
+        assert len(list(interleave_streams(streams))) == 2
+
+
+class TestReplayRecessions:
+    def test_unknown_name_raises(self):
+        with pytest.raises(DataError, match="unknown recession"):
+            list(replay_recessions(["2020"]))
+
+    def test_single_dataset(self):
+        events = list(replay_recessions(["1980"]))
+        assert {e.key for e in events} == {"1980"}
+        assert len(events) == len(load_recession("1980"))
+
+    def test_all_datasets_interleaved(self):
+        events = list(replay_recessions())
+        assert {e.key for e in events} == set(RECESSION_NAMES)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_sequential_playback(self):
+        events = list(replay_recessions(["1980", "1974-76"], interleave=False))
+        keys = [e.key for e in events]
+        split = len(list(iter_curve(load_recession("1980"))))
+        assert set(keys[:split]) == {"1980"}
+        assert set(keys[split:]) == {"1974-76"}
+
+    def test_events_are_namedtuples(self):
+        event = next(iter(replay_recessions(["1980"])))
+        assert isinstance(event, StreamEvent)
+        assert event.index == 0

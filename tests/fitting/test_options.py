@@ -1,0 +1,196 @@
+"""EngineOptions: merge semantics, env precedence, and fit equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.observability.tracer as tracer_module
+from repro.fitting.cache import FitCache
+from repro.fitting.least_squares import fit_least_squares, fit_many
+from repro.fitting.options import (
+    DEFAULT_ENGINE_OPTIONS,
+    EngineOptions,
+    grid_engine_kwargs,
+)
+from repro.models.registry import make_model
+from repro.observability import Tracer
+
+#: Cheap, hermetic engine configuration shared by the equivalence tests.
+CHEAP = dict(n_random_starts=2, cache=False, trace=False)
+
+
+class TestMergeSemantics:
+    def test_defaults(self):
+        options = EngineOptions()
+        assert options.jac == "auto"
+        assert options.cache is None
+        assert options.trace is None
+        assert options.executor is None
+        assert options.n_workers is None
+        assert options.seed is None
+        assert options.n_random_starts == 8
+        assert options.max_nfev == 2000
+        assert options == DEFAULT_ENGINE_OPTIONS
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EngineOptions().n_random_starts = 3  # type: ignore[misc]
+
+    def test_replace(self):
+        options = EngineOptions(seed=7).replace(n_random_starts=3)
+        assert options.seed == 7
+        assert options.n_random_starts == 3
+
+    def test_override_non_none_wins(self):
+        options = EngineOptions(seed=7, n_random_starts=4)
+        merged = options.override(seed=11, n_random_starts=None, max_nfev=None)
+        assert merged.seed == 11
+        assert merged.n_random_starts == 4
+        assert merged.max_nfev == 2000
+
+    def test_override_no_changes_returns_self(self):
+        options = EngineOptions(seed=7)
+        assert options.override(seed=None, jac=None) is options
+
+    def test_to_kwargs_defaults_are_empty(self):
+        # EngineOptions() must be a no-op everywhere: nothing to forward.
+        assert EngineOptions().to_kwargs() == {}
+
+    def test_to_kwargs_only_non_default_fields(self):
+        options = EngineOptions(seed=3, n_random_starts=5, cache=False)
+        assert options.to_kwargs() == {
+            "seed": 3,
+            "n_random_starts": 5,
+            "cache": False,
+        }
+
+
+class TestGridEngineKwargs:
+    def test_none_options_passthrough(self):
+        executor, n_workers, kwargs = grid_engine_kwargs(
+            None, "thread", 2, {"seed": 1}
+        )
+        assert (executor, n_workers) == ("thread", 2)
+        assert kwargs == {"seed": 1}
+
+    def test_executor_fields_split_off(self):
+        options = EngineOptions(executor="thread", n_workers=2, seed=9)
+        executor, n_workers, kwargs = grid_engine_kwargs(options, None, None, {})
+        assert (executor, n_workers) == ("thread", 2)
+        assert kwargs == {"seed": 9}
+
+    def test_explicit_arguments_win(self):
+        options = EngineOptions(executor="thread", n_workers=2, seed=9)
+        executor, n_workers, kwargs = grid_engine_kwargs(
+            options, "serial", 1, {"seed": 4}
+        )
+        assert (executor, n_workers) == ("serial", 1)
+        assert kwargs == {"seed": 4}
+
+
+class TestResolveEnvPrecedence:
+    """resolve() is the single funnel for the REPRO_* environment knobs."""
+
+    def test_env_executor_applies_when_field_is_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_EXECUTOR", "thread")
+        assert EngineOptions().resolve().executor.name == "thread"
+
+    def test_explicit_executor_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_EXECUTOR", "thread")
+        engine = EngineOptions(executor="serial").resolve()
+        assert engine.executor.name == "serial"
+
+    def test_env_workers_applies_when_field_is_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_EXECUTOR", "thread")
+        monkeypatch.setenv("REPRO_FIT_WORKERS", "3")
+        engine = EngineOptions().resolve()
+        assert engine.executor.max_workers == 3
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_WORKERS", "3")
+        engine = EngineOptions(executor="thread", n_workers=2).resolve()
+        assert engine.executor.max_workers == 2
+
+    def test_env_cache_off_applies_when_field_is_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_CACHE", "off")
+        assert EngineOptions().resolve().cache is None
+
+    def test_env_cache_default_applies_when_field_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIT_CACHE", raising=False)
+        assert isinstance(EngineOptions().resolve().cache, FitCache)
+
+    def test_explicit_cache_beats_env_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_CACHE", "off")
+        cache = FitCache()
+        assert EngineOptions(cache=cache).resolve().cache is cache
+
+    def test_explicit_cache_false_beats_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIT_CACHE", raising=False)
+        assert EngineOptions(cache=False).resolve().cache is None
+
+    def test_env_trace_applies_when_field_is_none(self, monkeypatch):
+        monkeypatch.setattr(tracer_module, "_forced_tracer", None)
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+        assert EngineOptions().resolve().tracer.enabled
+
+    def test_env_trace_off_applies_when_field_is_none(self, monkeypatch):
+        monkeypatch.setattr(tracer_module, "_forced_tracer", None)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+        assert not EngineOptions().resolve().tracer.enabled
+
+    def test_explicit_tracer_beats_env_off(self, monkeypatch):
+        monkeypatch.setattr(tracer_module, "_forced_tracer", None)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        tracer = Tracer()
+        assert EngineOptions(trace=tracer).resolve().tracer is tracer
+
+    def test_explicit_trace_false_beats_env_on(self, monkeypatch):
+        monkeypatch.setattr(tracer_module, "_forced_tracer", None)
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert not EngineOptions(trace=False).resolve().tracer.enabled
+
+
+class TestFitEquivalence:
+    """options= and the historical individual kwargs are interchangeable."""
+
+    def test_options_bundle_matches_kwargs(self, simple_curve):
+        family = make_model("quadratic")
+        via_kwargs = fit_least_squares(family, simple_curve, seed=5, **CHEAP)
+        via_options = fit_least_squares(
+            family, simple_curve, options=EngineOptions(seed=5, **CHEAP)
+        )
+        assert via_options.model.params == via_kwargs.model.params
+        assert via_options.sse == via_kwargs.sse
+
+    def test_default_options_is_noop(self, simple_curve):
+        family = make_model("quadratic")
+        bare = fit_least_squares(family, simple_curve, **CHEAP)
+        with_options = fit_least_squares(
+            family, simple_curve, options=EngineOptions(), **CHEAP
+        )
+        assert with_options.model.params == bare.model.params
+        assert with_options.sse == bare.sse
+
+    def test_explicit_kwarg_overrides_options_field(self, simple_curve):
+        family = make_model("quadratic")
+        reference = fit_least_squares(family, simple_curve, seed=5, **CHEAP)
+        overridden = fit_least_squares(
+            family,
+            simple_curve,
+            options=EngineOptions(seed=99, **CHEAP),
+            seed=5,
+        )
+        assert overridden.model.params == reference.model.params
+        assert overridden.sse == reference.sse
+
+    def test_fit_many_accepts_options(self, simple_curve):
+        families = [make_model("quadratic"), make_model("competing_risks")]
+        via_kwargs = fit_many(families, simple_curve, seed=5, **CHEAP)
+        via_options = fit_many(
+            families, simple_curve, options=EngineOptions(seed=5, **CHEAP)
+        )
+        assert sorted(via_options) == sorted(via_kwargs)
+        for name in via_kwargs:
+            assert via_options[name].model.params == via_kwargs[name].model.params

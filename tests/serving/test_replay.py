@@ -1,0 +1,101 @@
+"""replay_forecasts: recorded datasets as live traffic."""
+
+from __future__ import annotations
+
+import json
+
+from repro.datasets.stream import interleave_streams, iter_curve
+from repro.fitting import EngineOptions
+from repro.serving import ForecastSession, RefitPolicy, replay_forecasts
+
+OPTIONS = EngineOptions(n_random_starts=2, cache=False, trace=False)
+
+
+def replay(curve, **kwargs):
+    kwargs.setdefault("options", OPTIONS)
+    kwargs.setdefault("family", "quadratic")
+    kwargs.setdefault("n_points", 4)
+    return list(replay_forecasts(iter_curve(curve, key="r"), **kwargs))
+
+
+def test_record_stream_shape(recession_1990):
+    records = replay(recession_1990, horizon=6.0)
+    kinds = [record["type"] for record in records]
+    assert kinds[-1] == "summary"
+    assert kinds[-2] == "final"
+    updates = [r for r in records if r["type"] == "update"]
+    # One update per observation from readiness onward (min_points = 5).
+    assert len(updates) == len(recession_1990) - 4
+    assert all(r["key"] == "r" for r in updates)
+    assert all(len(r["center"]) == 4 for r in updates)
+
+
+def test_every_subsamples_updates(recession_1990):
+    records = replay(recession_1990, every=6)
+    updates = [r for r in records if r["type"] == "update"]
+    # Only every 6th observation (1-based index divisible by 6) emits.
+    assert 0 < len(updates) <= len(recession_1990) // 6 + 1
+
+
+def test_final_record_matches_finalize(recession_1990):
+    records = replay(recession_1990)
+    final = next(r for r in records if r["type"] == "final")
+    session = ForecastSession(options=OPTIONS, family="quadratic")
+    for event in iter_curve(recession_1990, key="r"):
+        session.push(event)
+    fit = session["r"].finalize()
+    assert final["params"] == [float(v) for v in fit.model.params]
+    assert final["sse"] == float(fit.sse)
+    assert final["n"] == len(recession_1990)
+
+
+def test_no_finalize_suppresses_final_records(recession_1990):
+    records = replay(recession_1990, finalize=False)
+    assert not [r for r in records if r["type"] == "final"]
+    assert records[-1]["type"] == "summary"
+
+
+def test_summary_counts_events(recession_1990):
+    records = replay(recession_1990)
+    summary = records[-1]
+    assert summary["events"] == len(recession_1990)
+    assert summary["streams"] == 1
+    assert summary["observations"] == len(recession_1990)
+
+
+def test_interleaved_multi_stream_replay(recession_1990, recession_2020):
+    streams = {
+        "a": iter_curve(recession_1990, key="a"),
+        "b": iter_curve(recession_2020, key="b"),
+    }
+    records = list(
+        replay_forecasts(
+            interleave_streams(streams),
+            options=OPTIONS,
+            family="quadratic",
+            policy=RefitPolicy(every_k=2),
+            every=4,
+            n_points=4,
+        )
+    )
+    finals = [r for r in records if r["type"] == "final"]
+    assert sorted(r["key"] for r in finals) == ["a", "b"]
+    summary = records[-1]
+    assert summary["streams"] == 2
+    assert summary["events"] == len(recession_1990) + len(recession_2020)
+
+
+def test_records_are_json_lines(recession_1990):
+    for record in replay(recession_1990, every=8):
+        assert json.loads(json.dumps(record)) == record
+
+
+def test_existing_session_is_reused(recession_1990):
+    session = ForecastSession(options=OPTIONS, family="quadratic")
+    records = list(
+        replay_forecasts(
+            iter_curve(recession_1990, key="r"), session=session, n_points=4
+        )
+    )
+    assert "r" in session
+    assert records[-1]["streams"] == 1

@@ -1,0 +1,141 @@
+"""ForecastSession: routing, batch refits, and shared-engine parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.stream import StreamEvent, iter_curve
+from repro.exceptions import ServingError
+from repro.fitting import EngineOptions, FitCache
+from repro.serving import ForecastSession, OnlineForecaster, RefitPolicy
+
+OPTIONS = EngineOptions(n_random_starts=2, cache=False, trace=False)
+
+V_POINTS = [
+    (0.0, 1.0),
+    (1.0, 0.9),
+    (2.0, 0.8),
+    (3.0, 0.7),
+    (4.0, 0.8),
+    (5.0, 0.9),
+    (6.0, 1.0),
+]
+
+
+def make_session(**kwargs):
+    kwargs.setdefault("options", OPTIONS)
+    kwargs.setdefault("family", "quadratic")
+    return ForecastSession(**kwargs)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        session = make_session()
+        forecaster = session.register("a")
+        assert session["a"] is forecaster
+        assert "a" in session
+        assert len(session) == 1
+        assert session.keys() == ("a",)
+        assert list(session) == ["a"]
+
+    def test_duplicate_registration_raises(self):
+        session = make_session()
+        session.register("a")
+        with pytest.raises(ServingError, match="already registered"):
+            session.register("a")
+
+    def test_unknown_stream_raises(self):
+        session = make_session()
+        with pytest.raises(ServingError, match="unknown stream"):
+            session["missing"]
+
+    def test_observe_auto_registers(self):
+        session = make_session()
+        session.observe("a", 0.0, 1.0)
+        assert "a" in session
+        assert session["a"].n_observations == 1
+
+    def test_push_routes_by_event_key(self):
+        session = make_session()
+        forecaster = session.push(StreamEvent("b", 0.0, 1.0, 0))
+        assert forecaster is session["b"]
+
+    def test_streams_share_resolved_engine(self):
+        cache = FitCache()
+        session = make_session(options=OPTIONS.replace(cache=cache))
+        a = session.register("a")
+        b = session.register("b")
+        assert a._engine.cache is cache
+        assert b._engine.cache is cache
+        assert a._engine.executor is b._engine.executor
+        assert a._engine.tracer is b._engine.tracer
+
+
+class TestBatchRefit:
+    def _fill(self, session):
+        for key in ("a", "b"):
+            for t, p in V_POINTS:
+                session.observe(key, t, p)
+
+    def test_refit_stale_fits_all_due_streams(self):
+        session = make_session()
+        self._fill(session)
+        results = session.refit_stale()
+        assert sorted(results) == ["a", "b"]
+        for key, fit in results.items():
+            assert session[key].fit is fit
+            assert session[key].stats["refits_cold"] == 1
+
+    def test_refit_stale_idempotent_when_nothing_pending(self):
+        session = make_session()
+        self._fill(session)
+        session.refit_stale()
+        assert session.refit_stale() == {}
+
+    def test_batch_refit_matches_inline_refit(self):
+        """The shared-executor batch path and the inline per-stream path
+        land on the same optimum (cache/executor never affect it)."""
+        session = make_session(policy=RefitPolicy(every_k=1))
+        self._fill(session)
+        batch = session.refit_stale()
+
+        inline = OnlineForecaster(
+            "quadratic", options=OPTIONS, policy=RefitPolicy(every_k=1)
+        )
+        inline.observe_many(V_POINTS)
+        reference = inline.refit()
+        for fit in batch.values():
+            assert fit.model.params == reference.model.params
+            assert fit.sse == reference.sse
+
+    def test_batch_refit_on_thread_executor(self):
+        session = make_session(
+            options=OPTIONS.replace(executor="thread", n_workers=2)
+        )
+        self._fill(session)
+        results = session.refit_stale()
+        assert sorted(results) == ["a", "b"]
+
+
+class TestSessionSurface:
+    def test_forecast_and_report_delegate(self):
+        session = make_session()
+        for t, p in V_POINTS:
+            session.observe("a", t, p)
+        forecast = session.forecast("a", 4.0, n_points=4)
+        assert forecast.key == "a"
+        report = session.report("a", horizon=4.0, n_points=4)
+        assert report.forecast.key == "a"
+        assert len(report.metrics.rows) == 8
+
+    def test_stats_aggregate_streams(self, recession_1990):
+        cache = FitCache()
+        session = make_session(options=OPTIONS.replace(cache=cache))
+        for event in iter_curve(recession_1990, key="a"):
+            session.push(event)
+        session.refit_stale()
+        stats = session.stats()
+        assert stats["streams"] == 1
+        assert stats["observations"] == len(recession_1990)
+        assert stats["refits_cold"] == 1
+        assert stats["cache"] == cache.stats()

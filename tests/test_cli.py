@@ -117,6 +117,89 @@ class TestFigureCommands:
         assert f"Figure {number}" in capsys.readouterr().out
 
 
+class TestServeReplayParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve-replay"])
+        assert args.command == "serve-replay"
+        assert args.datasets == []
+        assert args.model == "competing_risks"
+        assert args.horizon == 12.0
+        assert args.every == 1
+        assert args.points == 10
+        assert args.refit_every == 1
+        assert args.sse_drift is None
+        assert not args.no_interleave
+        assert not args.no_finalize
+        assert args.output is None
+
+    def test_tuning_flags(self):
+        args = build_parser().parse_args(
+            ["serve-replay", "1980", "1990-93", "--model", "quadratic",
+             "--horizon", "6", "--every", "3", "--points", "4",
+             "--refit-every", "2", "--sse-drift", "0.05",
+             "--no-interleave", "--no-finalize", "--executor", "serial"]
+        )
+        assert args.datasets == ["1980", "1990-93"]
+        assert args.model == "quadratic"
+        assert args.horizon == 6.0
+        assert args.every == 3
+        assert args.points == 4
+        assert args.refit_every == 2
+        assert args.sse_drift == 0.05
+        assert args.no_interleave
+        assert args.no_finalize
+        assert args.executor == "serial"
+
+
+class TestServeReplayCommand:
+    def test_emits_jsonl_to_stdout(self, capsys):
+        import json
+
+        assert (
+            main(
+                ["serve-replay", "1980", "--model", "quadratic",
+                 "--every", "2", "--points", "4", "--no-cache"]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        kinds = [record["type"] for record in records]
+        assert kinds[-1] == "summary"
+        assert "final" in kinds
+        assert "update" in kinds
+        updates = [r for r in records if r["type"] == "update"]
+        assert all(r["key"] == "1980" for r in updates)
+        assert all(len(r["center"]) == 4 for r in updates)
+
+    def test_writes_jsonl_to_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "replay.jsonl"
+        assert (
+            main(
+                ["serve-replay", "1980", "--model", "quadratic",
+                 "--every", "3", "--points", "4", "--no-cache",
+                 "--no-finalize", "--output", str(path)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "wrote" in captured.err
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[-1]["type"] == "summary"
+        assert not [r for r in records if r["type"] == "final"]
+
+    def test_unknown_dataset_errors(self, capsys):
+        assert main(["serve-replay", "2042"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestTraceOptions:
     def test_fit_trace_prints_summary_to_stderr(self, capsys):
         assert main(["fit", "quadratic", "1990-93", "--trace"]) == 0

@@ -1,0 +1,43 @@
+"""The top-level ``repro`` namespace stays in sync with ``__all__``."""
+
+from __future__ import annotations
+
+import types
+
+import repro
+
+
+def test_all_names_are_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ exports missing name {name!r}"
+
+
+def test_all_is_sorted():
+    assert list(repro.__all__) == sorted(repro.__all__)
+
+
+def test_all_has_no_duplicates():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_no_public_surface_drift():
+    """Every public (non-module) attribute is deliberately exported.
+
+    A new top-level import that is not added to ``__all__`` — or a
+    removed export left behind in ``__all__`` — fails here, keeping the
+    documented surface and the real one identical.
+    """
+    public = {
+        name
+        for name, obj in vars(repro).items()
+        if not name.startswith("_") and not isinstance(obj, types.ModuleType)
+    }
+    exported = set(repro.__all__) - {"__version__"}
+    assert public == exported, (
+        f"missing from __all__: {sorted(public - exported)}; "
+        f"stale in __all__: {sorted(exported - public)}"
+    )
+
+
+def test_version_matches_package_metadata():
+    assert repro.__version__ == "1.1.0"
