@@ -1,0 +1,51 @@
+"""The process-environment boundary for the whole package.
+
+Every environment variable the library responds to is registered here,
+and every read goes through :func:`read_env`. This is the **only**
+module in ``src/repro`` allowed to touch ``os.environ`` — the
+``repro.devtools.lint`` rule R1 (``env-boundary``) enforces it, with
+this file as the sole allowlist entry. Confining reads to one funnel
+keeps the env-resolution story auditable: :meth:`EngineOptions.resolve`
+and the handful of default-component factories (the default tracer,
+cache, and executor) call in here, and nothing else consults the
+environment at all.
+
+Reads are intentionally *not* cached: the default-component factories
+(`default_tracer`, `default_fit_cache`) compare successive raw values
+to decide when to rebuild their instances, and the test suite
+monkeypatches ``os.environ`` freely between calls.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["REGISTERED_ENV_VARS", "read_env"]
+
+#: Every environment variable the library reads, with the reason it
+#: exists. Reading an unregistered name is a programming error — add
+#: the variable here (and document it) before using it.
+REGISTERED_ENV_VARS: dict[str, str] = {
+    "REPRO_FIT_EXECUTOR": "default parallel backend name (serial/thread/process)",
+    "REPRO_FIT_WORKERS": "default worker count for the pooled backends",
+    "REPRO_FIT_CACHE": "default fit-cache mode: off words, a path, or empty",
+    "REPRO_TRACE": "enable the process-default tracer",
+    "REPRO_TRACE_FILE": "JSON-lines span file (implies tracing)",
+}
+
+
+def read_env(name: str, default: str | None = None) -> str | None:
+    """The registered environment variable *name*, or *default*.
+
+    Raises
+    ------
+    KeyError
+        If *name* was never registered in :data:`REGISTERED_ENV_VARS` —
+        new knobs must be declared before they can be read.
+    """
+    if name not in REGISTERED_ENV_VARS:
+        raise KeyError(
+            f"environment variable {name!r} is not registered in "
+            "repro._env.REGISTERED_ENV_VARS; declare it there first"
+        )
+    return os.environ.get(name, default)

@@ -43,6 +43,7 @@ __all__ = [
     "figure4",
     "figure5",
     "figure6",
+    "figure_by_id",
 ]
 
 #: The two bathtub families of Table I.

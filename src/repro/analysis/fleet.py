@@ -11,6 +11,7 @@ problems, so the per-episode work can run on any
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
@@ -30,6 +31,8 @@ from repro.parallel import ExecutorLike, get_executor
 from repro.utils.tables import format_table
 
 __all__ = ["EpisodeScore", "EpisodeScorecard", "episode_scorecard"]
+
+logger = logging.getLogger("repro.analysis")
 
 
 @dataclass(frozen=True)
@@ -150,8 +153,8 @@ def _score_episode(work: _EpisodeWork) -> EpisodeScore:
         phases = detect_phases(curve, tolerance=work.tolerance)
         episode_rapidity = rapidity(curve, phases)
         observed_recovery = time_to_recovery(curve, phases)
-    except ReproError:
-        pass
+    except ReproError as exc:
+        logger.debug("episode phase metrics unavailable: %s", exc)
 
     fit: FitResult | None = None
     predicted_recovery: float | None = None
@@ -160,8 +163,8 @@ def _score_episode(work: _EpisodeWork) -> EpisodeScore:
         predicted_recovery = fit.model.recovery_time(
             work.level, horizon=100.0 * max(curve.duration, 1.0)
         )
-    except (ReproError, ValueError):
-        pass
+    except (ReproError, ValueError) as exc:
+        logger.debug("episode fit/recovery unavailable: %s", exc)
 
     return EpisodeScore(
         episode=work.episode,

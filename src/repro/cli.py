@@ -19,12 +19,16 @@ Commands
 ``serve-replay``
     Replay datasets as a live stream through the online forecast
     service, emitting one JSON line per forecast update.
+``lint``
+    Run the project-invariant linter (``repro.devtools.lint``) over
+    the tree; see ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from repro.analysis import experiments
 from repro.analysis.pipeline import run_full_reproduction
@@ -42,6 +46,13 @@ from repro.models.registry import available_models, make_model
 from repro.parallel import available_backends
 from repro.utils.tables import format_table
 from repro.validation.crossval import evaluate_predictive
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from typing import Iterator
+
+    from repro.core.curve import ResilienceCurve
+    from repro.datasets.stream import StreamEvent
+    from repro.observability.tracer import Tracer
 
 __all__ = ["main", "build_parser"]
 
@@ -263,16 +274,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="regenerate every table and figure")
     _add_executor_arguments(report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant linter (repro.devtools.lint)",
+        add_help=False,
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.devtools.lint (try --help)",
+    )
     return parser
 
 
-def _load_curve(dataset: str):
+def _load_curve(dataset: str) -> "ResilienceCurve":
     if dataset in RECESSION_NAMES:
         return load_recession(dataset)
     return curve_from_csv(dataset)
 
 
-def _build_tracer(args: argparse.Namespace):
+def _build_tracer(args: argparse.Namespace) -> "Tracer | None":
     """Resolve ``--trace``/``--trace-file`` to a tracer (or ``None``).
 
     ``None`` keeps the environment-variable defaults in charge
@@ -412,7 +434,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         key = curve.name or name
         streams[key] = iter_curve(curve, key=key)
     if args.no_interleave:
-        def _sequential():
+        def _sequential() -> "Iterator[StreamEvent]":
             for stream in streams.values():
                 yield from stream
 
@@ -471,6 +493,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # Forwarded wholesale before parsing: the linter owns its own
+        # argparse surface (argparse.REMAINDER would swallow a leading
+        # option flag), and none of the tracing plumbing below applies.
+        from repro.devtools.lint import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     args.tracer = _build_tracer(args)

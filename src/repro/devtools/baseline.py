@@ -1,0 +1,104 @@
+"""The committed lint baseline — grandfathered findings.
+
+The baseline lets the linter gate *new* violations while tolerating a
+reviewed, committed set of old ones. It is a JSON file (by default
+``lint-baseline.json`` at the project root) whose entries identify
+findings by ``(rule, path, message)`` — no line numbers, so unrelated
+edits do not invalidate it — with a ``count`` for repeated identical
+findings in one file.
+
+Workflow:
+
+* ``repro lint`` — findings present in the baseline are reported as
+  *baselined* and do not fail the run; anything new does.
+* ``repro lint --update-baseline`` — regenerates the file from the
+  current findings. The rendering is canonical (sorted entries, sorted
+  keys, two-space indent, trailing newline), so regenerating with an
+  unchanged tree is byte-identical — CI can diff it.
+* Fixing a grandfathered violation leaves a *stale* baseline entry;
+  the linter reports how many entries went unused so they can be
+  cleaned up with another ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "apply_baseline",
+    "load_baseline",
+    "render_baseline",
+]
+
+#: Default baseline file name, looked up at the project root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+_Key = tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Counter[_Key]:
+    """Baseline entries as a multiset of ``(rule, path, message)`` keys.
+
+    A missing file is an empty baseline.
+    """
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    counter: Counter[_Key] = Counter()
+    for entry in entries:
+        key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        counter[key] += int(entry.get("count", 1))
+    return counter
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter[_Key]
+) -> tuple[list[Finding], list[Finding], int]:
+    """Split findings into (new, baselined) and count stale entries.
+
+    Each baseline entry absorbs at most ``count`` matching findings;
+    the third return value is the number of baseline entries that
+    matched nothing (candidates for cleanup).
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sum(count for count in remaining.values() if count > 0)
+    return new, grandfathered, stale
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """Canonical JSON text for the baseline file.
+
+    Deterministic byte-for-byte for a given finding multiset: entries
+    are aggregated by key, sorted, and serialized with sorted keys and
+    a trailing newline.
+    """
+    counts: Counter[_Key] = Counter(f.baseline_key for f in findings)
+    entries = [
+        {"rule": rule, "path": path, "message": message, "count": count}
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    payload = {
+        "version": 1,
+        "note": (
+            "Grandfathered repro-lint findings. Regenerate with "
+            "`repro lint --update-baseline`; do not edit by hand."
+        ),
+        "findings": entries,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,102 @@
+"""Lint findings and per-line suppression comments.
+
+A :class:`Finding` is one rule violation at one source location. Its
+:attr:`Finding.baseline_key` deliberately excludes the line number so a
+baselined (grandfathered) finding survives unrelated edits that shift
+the file — the identity is *what* is wrong and *where* (file + message),
+not the exact line it currently sits on.
+
+Suppression syntax, checked per physical line::
+
+    value = os.environ.get("X")  # repro-lint: disable=R1
+    anything_at_all()            # repro-lint: disable=all
+    rng = np.random.rand()       # repro-lint: disable=R2,R4
+
+The comment must sit on the same line the finding is reported on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Finding", "is_suppressed", "suppressions_for"]
+
+#: ``# repro-lint: disable=R1,R2`` (or ``disable=all``).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Project-relative POSIX path of the offending file.
+    line:
+        1-based line number.
+    rule:
+        Rule identifier (``"R1"`` … ``"R6"``).
+    message:
+        Human-readable statement of the violation. Stable across
+        unrelated edits (no line numbers inside) — it is part of the
+        baseline identity.
+    hint:
+        How to fix it (or suppress it legitimately).
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (reporters and the JSON format)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One-line text form: ``path:line: RULE message (hint)``."""
+        tail = f" ({self.hint})" if self.hint else ""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}{tail}"
+
+
+def suppressions_for(lines: Iterable[str]) -> dict[int, frozenset[str]]:
+    """Map of 1-based line number → rule ids suppressed on that line.
+
+    ``disable=all`` yields the sentinel entry ``{"all"}``.
+    """
+    table: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        if rules:
+            table[number] = rules
+    return table
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Mapping[int, frozenset[str]]
+) -> bool:
+    """Whether *finding* is silenced by a same-line suppression comment."""
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return "all" in rules or finding.rule in rules

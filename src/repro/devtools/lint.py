@@ -1,0 +1,283 @@
+"""Orchestrator and CLI for the project-invariant linter.
+
+Run it either way::
+
+    repro lint                         # via the main CLI
+    python -m repro.devtools.lint      # standalone
+
+Default behavior lints ``src/repro`` against the committed baseline
+(``lint-baseline.json`` at the project root) and exits non-zero on any
+non-baselined finding. ``--warn-only`` reports without failing (used
+for ``benchmarks/`` and ``examples/``); ``--update-baseline``
+regenerates the baseline file byte-identically from the current
+findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.baseline import (
+    BASELINE_FILENAME,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.devtools.findings import Finding, is_suppressed, suppressions_for
+from repro.devtools.reporting import render_json, render_text
+from repro.devtools.rules import ALL_RULES, LintConfig, ModuleSource, default_config
+
+__all__ = [
+    "LintResult",
+    "discover_project_root",
+    "iter_python_files",
+    "main",
+    "run_lint",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintResult:
+    """Everything one lint run produced.
+
+    ``new`` are the findings that gate the exit code; ``baselined``
+    matched the committed baseline; ``suppressed`` counts findings
+    silenced by same-line ``# repro-lint: disable=`` comments;
+    ``stale_baseline`` counts baseline entries that matched nothing.
+    """
+
+    new: tuple[Finding, ...]
+    baselined: tuple[Finding, ...]
+    suppressed: int
+    checked_files: int
+    stale_baseline: int = 0
+
+    @property
+    def all_findings(self) -> tuple[Finding, ...]:
+        """New + baselined findings, in report order."""
+        return tuple(sorted(self.new + self.baselined))
+
+
+def discover_project_root(start: Path | None = None) -> Path:
+    """Nearest ancestor of *start* (default: cwd) with a pyproject.toml."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return here
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Every ``.py`` file under *paths* (files kept as-is), sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for found in path.rglob("*.py"):
+                if "__pycache__" not in found.parts:
+                    files.add(found.resolve())
+        elif path.suffix == ".py":
+            files.add(path.resolve())
+    return sorted(files)
+
+
+def _load_module(path: Path, root: Path) -> ModuleSource | Finding:
+    """Parse one file; a syntax error is itself a finding (rule E1)."""
+    try:
+        relpath = path.relative_to(root).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            path=relpath,
+            line=exc.lineno or 1,
+            rule="E1",
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error",
+        )
+    return ModuleSource(
+        relpath=relpath, tree=tree, lines=tuple(text.splitlines())
+    )
+
+
+def run_lint(
+    paths: Sequence[Path],
+    config: LintConfig | None = None,
+    *,
+    root: Path | None = None,
+    rules: Sequence[type] | None = None,
+    baseline: Counter[tuple[str, str, str]] | None = None,
+) -> LintResult:
+    """Lint every Python file under *paths*.
+
+    *root* anchors the project-relative paths findings are reported
+    under (default: discovered from cwd); *rules* restricts the rule
+    set; *baseline* grandfathers matching findings.
+    """
+    config = config if config is not None else default_config()
+    root = root if root is not None else discover_project_root()
+    active = [rule() for rule in (rules if rules is not None else ALL_RULES)]
+    findings: list[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for path in files:
+        module = _load_module(path, root)
+        if isinstance(module, Finding):
+            findings.append(module)
+            continue
+        suppressions = suppressions_for(module.lines)
+        for rule in active:
+            for finding in rule.check(module, config):
+                if is_suppressed(finding, suppressions):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort()
+    new, grandfathered, stale = apply_baseline(
+        findings, baseline if baseline is not None else Counter()
+    )
+    return LintResult(
+        new=tuple(new),
+        baselined=tuple(grandfathered),
+        suppressed=suppressed,
+        checked_files=len(files),
+        stale_baseline=stale,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Project-invariant linter: env boundary (R1), determinism "
+            "(R2), options threading (R3), picklability (R4), structure "
+            "(R5), exception hygiene (R6). See docs/static-analysis.md."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro at the "
+        "project root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run, e.g. R1,R2 (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: {BASELINE_FILENAME} at the "
+        "project root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding gates the exit code",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate the baseline file from the current findings "
+        "(byte-identical for an unchanged tree) and exit 0",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report findings but always exit 0 (benchmarks/examples mode)",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also list grandfathered findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _selected_rules(selector: str | None) -> list[type]:
+    if selector is None:
+        return list(ALL_RULES)
+    wanted = {token.strip().upper() for token in selector.split(",") if token.strip()}
+    known = {rule.RULE_ID for rule in ALL_RULES}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in ALL_RULES if rule.RULE_ID in wanted]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.RULE_ID}  {rule.NAME:18s} {rule.DESCRIPTION}")
+        return 0
+    root = discover_project_root()
+    paths = (
+        [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
+    )
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / BASELINE_FILENAME
+    )
+    try:
+        rules = _selected_rules(args.select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        result = run_lint(paths, root=root, rules=rules)
+        baseline_path.write_text(
+            render_baseline(result.new), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(result.new)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = (
+        Counter() if args.no_baseline else load_baseline(baseline_path)
+    )
+    result = run_lint(paths, root=root, rules=rules, baseline=baseline)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose_baselined=args.show_baselined))
+    if args.warn_only:
+        return 0
+    return 1 if result.new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

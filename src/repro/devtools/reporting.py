@@ -1,0 +1,52 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import TYPE_CHECKING, Any
+
+__all__ = ["render_json", "render_text"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint import LintResult
+
+
+def render_text(result: "LintResult", *, verbose_baselined: bool = False) -> str:
+    """Human-readable report: one line per new finding plus a summary."""
+    lines = [finding.render() for finding in result.new]
+    if verbose_baselined:
+        lines.extend(
+            f"{finding.render()} [baselined]" for finding in result.baselined
+        )
+    by_rule = Counter(finding.rule for finding in result.new)
+    summary = (
+        f"{len(result.new)} finding(s)"
+        + (
+            " (" + ", ".join(f"{r}: {n}" for r, n in sorted(by_rule.items())) + ")"
+            if by_rule
+            else ""
+        )
+        + f" in {result.checked_files} file(s); "
+        + f"{len(result.baselined)} baselined, {result.suppressed} suppressed"
+    )
+    if result.stale_baseline:
+        summary += f", {result.stale_baseline} stale baseline entr(y/ies)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """Machine-readable report (stable key order)."""
+    payload: dict[str, Any] = {
+        "version": 1,
+        "checked_files": result.checked_files,
+        "counts": dict(
+            sorted(Counter(finding.rule for finding in result.new).items())
+        ),
+        "findings": [finding.to_dict() for finding in result.new],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed": result.suppressed,
+        "stale_baseline": result.stale_baseline,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

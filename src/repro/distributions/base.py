@@ -14,6 +14,7 @@ from typing import ClassVar, Sequence
 
 import numpy as np
 
+from repro._rng import resolve_rng
 from repro._typing import ArrayLike, FloatArray
 from repro.exceptions import ParameterError
 from repro.utils.numerics import as_float_array, clip_positive
@@ -204,10 +205,16 @@ class LifetimeDistribution(abc.ABC):
         return max(second_moment - mu * mu, 0.0)
 
     def rvs(self, size: int, rng: np.random.Generator | None = None) -> FloatArray:
-        """Draw *size* random variates by inverse-cdf sampling."""
+        """Draw *size* random variates by inverse-cdf sampling.
+
+        Without an explicit *rng* the draws come from the library's
+        seeded default generator (:data:`repro._rng.DEFAULT_SEED`), so
+        repeated bare calls return identical variates — pass your own
+        generator for independent streams.
+        """
         if size < 0:
             raise ValueError("size must be non-negative")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng)
         uniforms = generator.random(size)
         return self.quantile(uniforms)
 

@@ -15,7 +15,7 @@ failure times for the simulators.
 
 from __future__ import annotations
 
-from typing import ClassVar
+from typing import ClassVar, Sequence
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class HazardInducedDistribution(LifetimeDistribution):
         super().__init__()
 
     @classmethod
-    def from_vector(cls, vector):  # noqa: D102 - see raise message
+    def from_vector(cls, vector: Sequence[float]) -> "LifetimeDistribution":  # noqa: D102 - see raise message
         raise ParameterError(
             "HazardInducedDistribution cannot be built from a bare vector; "
             "construct the hazard first: "

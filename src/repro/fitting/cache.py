@@ -39,6 +39,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro._env import read_env
 from repro.core.curve import ResilienceCurve
 from repro.models.base import ResilienceModel
 
@@ -271,7 +272,7 @@ def default_fit_cache() -> FitCache | None:
     monkeypatch it).
     """
     global _default_cache, _default_signature
-    raw = os.environ.get(CACHE_ENV_VAR, "")
+    raw = read_env(CACHE_ENV_VAR, "") or ""
     with _default_lock:
         if raw == _default_signature and (
             _default_cache is not None or raw.strip().lower() in _OFF_WORDS
@@ -288,7 +289,9 @@ def default_fit_cache() -> FitCache | None:
         return _default_cache
 
 
-def resolve_cache(cache: "bool | FitCache | None") -> FitCache | None:
+def resolve_cache(  # repro-lint: disable=R3 — this *is* the cache resolver options= delegates to
+    cache: "bool | FitCache | None",
+) -> FitCache | None:
     """Map a ``cache=`` argument onto a concrete cache (or None).
 
     ``None``/``True`` → the environment-configured default; ``False`` →

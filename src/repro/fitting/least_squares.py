@@ -687,7 +687,9 @@ class FitManyResult(dict):
         would silently drop it and downgrade to a plain dict)."""
         return FitManyResult(self, self.failures)
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> "tuple[type[FitManyResult], tuple[dict[str, FitResult], dict[str, str]]]":
         # dict subclass pickling reconstructs through the class with no
         # args, losing instance state on some protocols; rebuild through
         # __init__ so .failures round-trips everywhere.

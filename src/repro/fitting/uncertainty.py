@@ -18,15 +18,20 @@ top of a :class:`~repro.fitting.result.FitResult`:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 from scipy import stats
 
 from repro._typing import ArrayLike, FloatArray
 from repro.exceptions import FitError
+from repro.fitting.options import EngineOptions
 from repro.fitting.result import FitResult
 from repro.parallel import ExecutorLike, get_executor
 from repro.validation.intervals import ConfidenceBand
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.models.base import ResilienceModel
 
 __all__ = [
     "ParameterUncertainty",
@@ -156,7 +161,12 @@ class _DrawWork:
 
     __slots__ = ("model", "func", "draw")
 
-    def __init__(self, model, func, draw: tuple[float, ...]) -> None:
+    def __init__(
+        self,
+        model: "ResilienceModel",
+        func: "Callable[[ResilienceModel], float]",
+        draw: tuple[float, ...],
+    ) -> None:
         self.model = model
         self.func = func
         self.draw = draw
@@ -174,11 +184,12 @@ def _evaluate_draw(work: _DrawWork) -> float | None:
 
 def derived_quantity_interval(
     fit: FitResult,
-    func,
+    func: "Callable[[ResilienceModel], float]",
     *,
     confidence: float = 0.95,
     n_samples: int = 400,
     seed: int = 0,
+    options: "EngineOptions | None" = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
 ) -> tuple[float, float, float]:
@@ -196,6 +207,10 @@ def derived_quantity_interval(
     the sample set is identical on every *executor* backend. *func*
     must be picklable (a module-level function) for the process
     backend; lambdas degrade gracefully to in-process execution.
+    An ``options=`` :class:`~repro.fitting.options.EngineOptions`
+    bundle supplies ``executor``/``n_workers`` defaults when those are
+    not given explicitly (the other engine knobs do not apply to the
+    draw sweep).
 
     Examples
     --------
@@ -204,6 +219,11 @@ def derived_quantity_interval(
     """
     if n_samples < 10:
         raise FitError(f"n_samples must be >= 10, got {n_samples}")
+    if options is not None:
+        if executor is None:
+            executor = options.executor
+        if n_workers is None:
+            n_workers = options.n_workers
     uncertainty = parameter_uncertainty(fit)
     model = fit.model
     params = np.asarray(model.params, dtype=np.float64)

@@ -29,6 +29,7 @@ __all__ = [
     "LogTrend",
     "available_trends",
     "get_trend_class",
+    "register_trend",
 ]
 
 #: Floor applied to times inside ``ln t`` so t = 0 stays finite; the

@@ -41,10 +41,12 @@ import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
+from types import TracebackType
 from typing import Any, Iterator, Union
 
 import numpy as np
 
+from repro._env import read_env
 from repro.observability.metrics import MetricsRegistry
 from repro.utils.tables import format_table
 
@@ -128,7 +130,12 @@ class Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         duration = time.perf_counter() - self._t0
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
@@ -150,7 +157,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -382,7 +394,7 @@ class Tracer:
                 self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
                 self._file.flush()
 
-    def __reduce__(self):
+    def __reduce__(self) -> "tuple[Any, tuple[()]]":
         return (_unpickle_as_null, ())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -416,8 +428,8 @@ def default_tracer() -> Tracer | None:
     if _forced_tracer is not None:
         return _forced_tracer
     signature = (
-        os.environ.get(TRACE_ENV_VAR, ""),
-        os.environ.get(TRACE_FILE_ENV_VAR, ""),
+        read_env(TRACE_ENV_VAR, "") or "",
+        read_env(TRACE_FILE_ENV_VAR, "") or "",
     )
     if signature == _default_signature:
         return _default_tracer

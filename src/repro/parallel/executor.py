@@ -28,6 +28,7 @@ import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar, Union
 
+from repro._env import read_env
 from repro.exceptions import FitError
 from repro.observability.tracer import Span, current_tracer
 
@@ -67,7 +68,7 @@ def default_worker_count() -> int:
     ``REPRO_FIT_WORKERS`` wins when set; otherwise the number of CPUs
     available to this process (respecting affinity masks on Linux).
     """
-    env = os.environ.get(DEFAULT_WORKERS_ENV)
+    env = read_env(DEFAULT_WORKERS_ENV)
     if env:
         try:
             workers = int(env)
@@ -268,7 +269,7 @@ def get_executor(
     if isinstance(spec, FitExecutor):
         return spec
     if spec is None:
-        spec = os.environ.get(DEFAULT_EXECUTOR_ENV) or "serial"
+        spec = read_env(DEFAULT_EXECUTOR_ENV) or "serial"
     key = str(spec).strip().lower()
     if key not in _BACKENDS:
         raise FitError(

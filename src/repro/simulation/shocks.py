@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._rng import resolve_rng
 from repro._typing import FloatArray
 from repro.core.events import DisruptionEvent
 from repro.distributions.base import LifetimeDistribution
@@ -52,7 +53,7 @@ class RenewalShockProcess:
         """Shock times on ``[0, horizon]``."""
         if horizon <= 0.0:
             raise ParameterError(f"horizon must be positive, got {horizon}")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng)
         times: list[float] = []
         clock = 0.0
         # Draw in batches sized by the expected count to bound Python looping.
@@ -77,7 +78,7 @@ class RenewalShockProcess:
         name_prefix: str = "shock",
     ) -> list[DisruptionEvent]:
         """Disruption events with uniform magnitudes on the horizon."""
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng)
         events = []
         low, high = self.magnitude_range
         for index, onset in enumerate(self.arrival_times(horizon, generator)):

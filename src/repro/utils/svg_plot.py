@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 from xml.sax.saxutils import escape
 
 import numpy as np
@@ -130,7 +131,9 @@ class SvgChart:
         pad = 0.04 * (y_max - y_min)
         return x_min, x_max, y_min - pad, y_max + pad
 
-    def _project(self, extent):
+    def _project(
+        self, extent: tuple[float, float, float, float]
+    ) -> "tuple[Callable[[np.ndarray], np.ndarray], Callable[[np.ndarray], np.ndarray]]":
         left, right, top, bottom = self._MARGINS
         x_min, x_max, y_min, y_max = extent
         plot_w = self.width - left - right

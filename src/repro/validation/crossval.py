@@ -9,6 +9,7 @@ training-set sizes (an extension used by the ablation benches).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.core.curve import ResilienceCurve
@@ -21,6 +22,8 @@ from repro.validation.gof import GoodnessOfFit, adjusted_r_squared, pmse
 from repro.validation.intervals import ConfidenceBand, confidence_band
 
 __all__ = ["PredictiveEvaluation", "evaluate_predictive", "rolling_origin"]
+
+logger = logging.getLogger("repro.validation")
 
 
 @dataclass(frozen=True)
@@ -151,7 +154,8 @@ def rolling_origin(
             kwargs.setdefault("n_random_starts", warm_n_random_starts)
         try:
             fit = fit_least_squares(family, train, **kwargs)  # type: ignore[arg-type]
-        except Exception:
+        except Exception as exc:
+            logger.debug("rolling origin k=%d skipped: %s", k, exc)
             continue
         previous_optimum = fit.model.params
         heldout_times = curve.times[k:]

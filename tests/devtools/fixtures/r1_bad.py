@@ -1,0 +1,13 @@
+"""R1 fixture: every flavor of direct environment access."""
+
+import os
+from os import environ, getenv
+
+WORKERS = os.environ.get("REPRO_FIT_WORKERS")
+BACKEND = os.getenv("REPRO_FIT_EXECUTOR")
+TRACE = environ.get("REPRO_TRACE")
+CACHE = getenv("REPRO_FIT_CACHE")
+
+
+def poke() -> None:
+    os.environ["REPRO_TRACE"] = "1"

@@ -1,0 +1,9 @@
+"""R1 fixture: environment access routed through the boundary."""
+
+__all__ = ["backend"]
+
+from repro._env import read_env
+
+
+def backend() -> str:
+    return read_env("REPRO_FIT_EXECUTOR") or "serial"

@@ -1,0 +1,11 @@
+"""R2 fixture: global-state and unseeded randomness."""
+
+import random
+
+import numpy as np
+
+SAMPLE = np.random.rand(4)
+np.random.seed(0)
+PICK = random.choice([1, 2, 3])
+UNSEEDED = np.random.default_rng()
+ANON = random.Random()

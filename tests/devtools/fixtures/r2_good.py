@@ -1,0 +1,15 @@
+"""R2 fixture: every draw flows from an explicit seed."""
+
+import random
+
+import numpy as np
+
+__all__ = ["draw"]
+
+RNG = np.random.default_rng(42)
+STREAM = random.Random(7)
+
+
+def draw(rng: np.random.Generator | None = None) -> float:
+    generator = rng if rng is not None else np.random.default_rng(0)
+    return float(generator.random())

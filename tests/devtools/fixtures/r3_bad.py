@@ -1,0 +1,18 @@
+"""R3 fixture: entry points that drop the options= contract."""
+
+__all__ = ["fit_widget", "serve_widget", "sweep_widget"]
+
+
+def fit_widget(curve, *, cache=None, trace=None, executor=None):
+    """Takes the engine knobs but no options bundle."""
+    return curve, cache, trace, executor
+
+
+def serve_widget(stream, *, options=None, executor=None):
+    """Serving-style entry point that leaks an engine knob."""
+    return stream, options, executor
+
+
+def sweep_widget(grid, *, options=None):
+    """Spec requires executor/n_workers here; they are missing."""
+    return grid, options

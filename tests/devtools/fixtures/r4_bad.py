@@ -1,0 +1,14 @@
+"""R4 fixture: unpicklable work units handed to executors."""
+
+__all__ = ["run"]
+
+
+def run(executor, items):
+    doubled = executor.map(lambda item: item * 2, items)
+
+    def local_work(item):
+        return item + 1
+
+    bumped = executor.map(local_work, items)
+    future = executor.submit(lambda: 42)
+    return doubled, bumped, future

@@ -1,0 +1,14 @@
+"""R4 fixture: module-level work units (picklable by construction)."""
+
+__all__ = ["run", "work"]
+
+
+def work(item):
+    return item * 2
+
+
+def run(executor, items):
+    results = executor.map(work, items)
+    # Not an executor receiver: plain iterables may map lambdas freely.
+    inline = list(map(lambda item: item + 1, items))
+    return results, inline

@@ -1,0 +1,18 @@
+"""R5 fixture: structural drift a reviewer would miss."""
+
+from dataclasses import dataclass
+
+__all__ = ["Config", "vanished"]
+
+
+@dataclass(frozen=True)
+class Config:
+    retries: int = 3
+
+    def bump(self) -> None:
+        self.retries = self.retries + 1
+
+
+def rebuild(config: Config) -> Config:
+    object.__setattr__(config, "retries", 0)
+    return config

@@ -1,0 +1,15 @@
+"""R5 fixture: exports match definitions; frozen stays frozen."""
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["Config", "rebuild"]
+
+
+@dataclass(frozen=True)
+class Config:
+    retries: int = 3
+
+
+def rebuild(config: Config) -> Config:
+    return dataclasses.replace(config, retries=0)

@@ -1,0 +1,169 @@
+"""Baseline workflow: canonical rendering, multiset consumption, stale
+entries, and CLI round-trips (`--update-baseline` is byte-stable)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.baseline import (
+    BASELINE_FILENAME,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.lint import discover_project_root, main, run_lint
+from repro.devtools.reporting import render_json, render_text
+
+ROOT = discover_project_root(Path(__file__))
+
+
+def finding(rule="R5", path="src/x.py", message="m", line=1) -> Finding:
+    return Finding(path=path, line=line, rule=rule, message=message)
+
+
+class TestApplyBaseline:
+    def test_grandfathers_matching_findings(self):
+        f = finding()
+        baseline = load_baseline_from(render_baseline([f]))
+        new, old, stale = apply_baseline([f], baseline)
+        assert new == [] and old == [f] and stale == 0
+
+    def test_identity_is_line_insensitive(self):
+        baseline = load_baseline_from(render_baseline([finding(line=10)]))
+        new, old, stale = apply_baseline([finding(line=99)], baseline)
+        assert new == [] and len(old) == 1 and stale == 0
+
+    def test_counts_are_a_multiset(self):
+        baseline = load_baseline_from(render_baseline([finding()]))
+        new, old, stale = apply_baseline([finding(line=1), finding(line=2)], baseline)
+        assert len(new) == 1 and len(old) == 1 and stale == 0
+
+    def test_stale_entries_counted(self):
+        baseline = load_baseline_from(render_baseline([finding(), finding(rule="R6")]))
+        new, old, stale = apply_baseline([finding()], baseline)
+        assert new == [] and len(old) == 1 and stale == 1
+
+    def test_empty_baseline_passes_through(self):
+        new, old, stale = apply_baseline([finding()], None)
+        assert len(new) == 1 and old == [] and stale == 0
+
+
+class TestRendering:
+    def test_render_is_canonical_and_newline_terminated(self):
+        out = render_baseline([finding(line=5), finding(rule="R1", line=2)])
+        assert out.endswith("\n")
+        payload = json.loads(out)
+        entries = payload["findings"]
+        assert [e["rule"] for e in entries] == ["R1", "R5"]
+        assert all(set(e) == {"rule", "path", "message", "count"} for e in entries)
+
+    def test_render_merges_duplicate_keys(self):
+        out = render_baseline([finding(line=1), finding(line=7)])
+        entries = json.loads(out)["findings"]
+        assert len(entries) == 1 and entries[0]["count"] == 2
+
+    def test_render_order_independent(self):
+        a, b = finding(rule="R1"), finding(rule="R6")
+        assert render_baseline([a, b]) == render_baseline([b, a])
+
+
+class TestRoundTrip:
+    def test_update_baseline_is_byte_stable(self, tmp_path, capsys):
+        target = tmp_path / "fixture.py"
+        target.write_text('import os\nX = os.getenv("HOME")\n')
+        baseline = tmp_path / BASELINE_FILENAME
+
+        argv = [str(target), "--baseline", str(baseline), "--update-baseline"]
+        assert main(argv) == 0
+        first = baseline.read_bytes()
+        assert main(argv) == 0
+        assert baseline.read_bytes() == first
+
+        # With the baseline applied, the same lint run is clean.
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_committed_baseline_matches_tree(self):
+        """Regenerating the repo baseline reproduces the committed bytes."""
+        committed = (ROOT / BASELINE_FILENAME).read_text()
+        result = run_lint([ROOT / "src" / "repro"], root=ROOT)
+        regenerated = render_baseline(result.all_findings)
+        assert regenerated == committed
+
+    def test_committed_baseline_only_grandfathers_r5(self):
+        baseline = load_baseline(ROOT / BASELINE_FILENAME)
+        assert baseline is not None
+        rules = {key[0] for key in baseline}
+        assert rules <= {"R5"}
+
+
+class TestCli:
+    def test_repo_is_clean_under_committed_baseline(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_no_baseline_exposes_grandfathered(self, capsys):
+        assert main(["--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "R5" in out
+
+    def test_warn_only_zero_exit(self, capsys):
+        assert main(["--no-baseline", "--warn-only"]) == 0
+        capsys.readouterr()
+
+    def test_json_format(self, capsys):
+        assert main(["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["checked_files"] > 0
+
+    def test_select_unknown_rule_errors(self, capsys):
+        assert main(["--select", "R99"]) == 2
+        capsys.readouterr()
+
+    def test_select_subset(self, capsys):
+        assert main(["--select", "R1,R2"]) == 0
+        capsys.readouterr()
+
+    def test_missing_path_exit_code(self, capsys):
+        assert main(["does/not/exist.py"]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out
+
+
+class TestReporters:
+    def test_text_reporter_shows_summary(self):
+        result = run_lint([ROOT / "src" / "repro"], root=ROOT)
+        text = render_text(result)
+        assert "finding(s)" in text
+
+    def test_json_reporter_is_sorted_and_versioned(self):
+        result = run_lint([ROOT / "src" / "repro"], root=ROOT)
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert set(payload) >= {
+            "version",
+            "checked_files",
+            "counts",
+            "findings",
+            "baselined",
+            "suppressed",
+            "stale_baseline",
+        }
+
+
+def load_baseline_from(rendered: str):
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        fh.write(rendered)
+        name = fh.name
+    return load_baseline(Path(name))

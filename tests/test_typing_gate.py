@@ -1,0 +1,76 @@
+"""The strict-typing gate.
+
+Two layers, because mypy is an optional tool (the ``typecheck`` extra,
+installed in the CI lint job but not required locally):
+
+* an AST-level check that every function in ``src/repro`` has complete
+  annotations — this always runs and backs ``disallow_untyped_defs``;
+* the real ``mypy --config-file pyproject.toml`` run, skipped when mypy
+  is not importable.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+
+def _missing_annotations(path: Path) -> list[str]:
+    problems: list[str] = []
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing: list[str] = []
+        if node.returns is None:
+            missing.append("return")
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                missing.append(arg.arg)
+        if args.vararg and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if missing:
+            problems.append(
+                f"{path.relative_to(ROOT)}:{node.lineno} {node.name}: "
+                + ", ".join(missing)
+            )
+    return problems
+
+
+def test_py_typed_marker_ships() -> None:
+    assert (SRC / "py.typed").exists()
+    pyproject = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert 'repro = ["py.typed"]' in pyproject
+
+
+def test_mypy_config_committed() -> None:
+    pyproject = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert "[tool.mypy]" in pyproject
+    assert "disallow_untyped_defs = true" in pyproject
+
+
+def test_all_defs_fully_annotated() -> None:
+    problems: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        problems.extend(_missing_annotations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_mypy_passes() -> None:
+    api = pytest.importorskip(
+        "mypy.api", reason="mypy not installed (pip install -e .[typecheck])"
+    )
+    stdout, stderr, status = api.run(
+        ["--config-file", str(ROOT / "pyproject.toml"), str(SRC)]
+    )
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"
