@@ -28,6 +28,7 @@ __all__ = ["REGISTERED_ENV_VARS", "read_env"]
 REGISTERED_ENV_VARS: dict[str, str] = {
     "REPRO_FIT_EXECUTOR": "default parallel backend name (serial/thread/process)",
     "REPRO_FIT_WORKERS": "default worker count for the pooled backends",
+    "REPRO_FIT_ENGINE": "default fit solver engine (scipy/batched)",
     "REPRO_FIT_CACHE": "default fit-cache mode: off words, a path, or empty",
     "REPRO_TRACE": "enable the process-default tracer",
     "REPRO_TRACE_FILE": "JSON-lines span file (implies tracing)",

@@ -41,6 +41,7 @@ from repro.datasets.recessions import (
     recession_shape_label,
 )
 from repro.exceptions import ReproError
+from repro.fitting.batched import ENGINE_NAMES
 from repro.metrics.predictive import predictive_metric_report
 from repro.models.registry import available_models, make_model
 from repro.parallel import available_backends
@@ -59,6 +60,16 @@ __all__ = ["main", "build_parser"]
 
 def _add_executor_arguments(command: argparse.ArgumentParser) -> None:
     """Attach the shared parallel-backend knobs to a subcommand."""
+    command.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help=(
+            "fit solver engine (default: $REPRO_FIT_ENGINE or scipy); "
+            "'batched' screens all multi-start candidates in one "
+            "vectorized solve and produces identical results"
+        ),
+    )
     command.add_argument(
         "--executor",
         choices=available_backends(),
@@ -341,6 +352,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         family,
         curve,
         train_fraction=args.train_fraction,
+        engine=args.engine,
         executor=args.executor,
         n_workers=args.workers,
         cache=args.cache,
@@ -405,8 +417,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         "4": experiments.table4,
     }
     result = builders[key](
-        executor=args.executor, n_workers=args.workers, cache=args.cache,
-        trace=args.tracer,
+        engine=args.engine, executor=args.executor, n_workers=args.workers,
+        cache=args.cache, trace=args.tracer,
     )
     print(result.to_table())
     if args.csv:
@@ -445,6 +457,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     # The serving layer takes engine configuration only as EngineOptions;
     # fold the shared CLI flags into one bundle.
     options = EngineOptions(
+        engine=args.engine,
         cache=args.cache,
         trace=args.tracer,
         executor=args.executor,
@@ -483,8 +496,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(
         render_report(
             run_full_reproduction(
-                executor=args.executor, n_workers=args.workers, cache=args.cache,
-                trace=args.tracer,
+                engine=args.engine, executor=args.executor,
+                n_workers=args.workers, cache=args.cache, trace=args.tracer,
             )
         )
     )
@@ -523,6 +536,7 @@ def main(argv: list[str] | None = None) -> int:
                 _load_curve(args.dataset),
                 model=args.model,
                 tolerance=args.tolerance,
+                engine=args.engine,
                 executor=args.executor,
                 n_workers=args.workers,
                 cache=args.cache,

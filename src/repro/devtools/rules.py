@@ -114,16 +114,16 @@ class LintConfig:
 
 def default_config() -> LintConfig:
     """The invariants of this repository."""
-    engine = frozenset({"options", "cache", "trace", "executor"})
+    fit_knobs = frozenset({"options", "engine", "cache", "trace", "executor"})
     grid = frozenset({"options", "executor", "n_workers"})
-    only_options = frozenset({"cache", "trace", "executor", "n_workers"})
+    only_options = frozenset({"engine", "cache", "trace", "executor", "n_workers"})
     return LintConfig(
         env_allowlist=frozenset({"src/repro/_env.py"}),
         entry_points=(
             EntryPointSpec(
                 "src/repro/fitting/least_squares.py",
                 "fit_least_squares",
-                required=engine | {"n_workers"},
+                required=fit_knobs | {"n_workers"},
             ),
             EntryPointSpec(
                 "src/repro/fitting/least_squares.py", "fit_many", required=grid
@@ -419,7 +419,7 @@ class OptionsThreadingRule:
         "engine configuration only as options"
     )
 
-    _ENGINE_KNOBS = frozenset({"cache", "trace", "executor"})
+    _ENGINE_KNOBS = frozenset({"engine", "cache", "trace", "executor"})
 
     def check(self, module: ModuleSource, config: LintConfig) -> list[Finding]:
         findings: list[Finding] = []

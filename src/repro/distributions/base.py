@@ -120,6 +120,29 @@ class LifetimeDistribution(abc.ABC):
         return callable(getattr(cls, "cdf_gradient", None))
 
     # ------------------------------------------------------------------
+    # Optional batched-evaluation protocol
+    # ------------------------------------------------------------------
+    # Subclasses that can evaluate a *stack* of parameterizations in one
+    # vectorized expression define the classmethods
+    #
+    #     def cdf_batch(cls, times, params) -> FloatArray          # (B, n)
+    #     def cdf_gradient_batch(cls, times, params) -> FloatArray # (B, n, k)
+    #
+    # where row ``b`` of ``times`` (shape ``(B, n)``) and ``params``
+    # (shape ``(B, n_params)``) describes one independent problem. The
+    # batched LM fit engine uses them to evaluate every multi-start
+    # problem in one numpy call; mixtures over distributions without the
+    # protocol fall back to a per-row loop. Test for support with
+    # :meth:`has_batch_cdf`.
+    @classmethod
+    def has_batch_cdf(cls) -> bool:
+        """Whether this family implements the vectorized ``cdf_batch`` /
+        ``cdf_gradient_batch`` pair."""
+        return callable(getattr(cls, "cdf_batch", None)) and callable(
+            getattr(cls, "cdf_gradient_batch", None)
+        )
+
+    # ------------------------------------------------------------------
     # Derived quantities (overridable with closed forms)
     # ------------------------------------------------------------------
     def sf(self, times: ArrayLike) -> FloatArray:

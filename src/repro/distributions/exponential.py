@@ -56,6 +56,25 @@ class Exponential(LifetimeDistribution):
         )
         return np.where(t < 0.0, 0.0, column)[:, np.newaxis]
 
+    @classmethod
+    def cdf_batch(cls, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Stacked CDF: row ``b`` is ``Exponential(params[b]).cdf(times[b])``.
+
+        *times* has shape ``(B, n)``, *params* shape ``(B, 1)``.
+        """
+        t = np.asarray(times, dtype=np.float64)
+        theta = np.asarray(params, dtype=np.float64)[:, :1]
+        return np.where(t < 0.0, 0.0, -np.expm1(-np.maximum(t, 0.0) / theta))
+
+    @classmethod
+    def cdf_gradient_batch(cls, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Stacked :meth:`cdf_gradient`, shape ``(B, n, 1)``."""
+        t = np.asarray(times, dtype=np.float64)
+        theta = np.asarray(params, dtype=np.float64)[:, :1]
+        clipped = np.maximum(t, 0.0)
+        column = -(clipped / (theta * theta)) * safe_exp(-clipped / theta)
+        return np.where(t < 0.0, 0.0, column)[:, :, np.newaxis]
+
     def hazard(self, times: ArrayLike) -> FloatArray:
         t = as_float_array(times, "times")
         return np.where(t < 0.0, 0.0, np.full_like(t, 1.0 / self.theta))

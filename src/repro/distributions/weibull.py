@@ -90,6 +90,37 @@ class Weibull(LifetimeDistribution):
         )
         return np.where((t > 0.0)[:, np.newaxis], gradient, 0.0)
 
+    @classmethod
+    def cdf_batch(cls, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Stacked CDF: row ``b`` is ``Weibull(*params[b]).cdf(times[b])``.
+
+        *times* has shape ``(B, n)``, *params* shape ``(B, 2)`` in the
+        canonical ``(theta, k)`` order.
+        """
+        t = np.asarray(times, dtype=np.float64)
+        p = np.asarray(params, dtype=np.float64)
+        theta = p[:, :1]
+        k = p[:, 1:2]
+        scaled = np.maximum(t, 0.0) / theta
+        with np.errstate(divide="ignore", over="ignore"):
+            z = np.power(scaled, k)
+        return np.where(t < 0.0, 0.0, -np.expm1(-z))
+
+    @classmethod
+    def cdf_gradient_batch(cls, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Stacked :meth:`cdf_gradient`, shape ``(B, n, 2)``."""
+        t = np.asarray(times, dtype=np.float64)
+        p = np.asarray(params, dtype=np.float64)
+        theta = p[:, :1]
+        k = p[:, 1:2]
+        scaled = np.maximum(t, 0.0) / theta
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            z = np.power(scaled, k)
+            decay = np.where(np.isfinite(z), z * safe_exp(-z), 0.0)
+            log_scaled = np.log(np.where(scaled > 0.0, scaled, 1.0))
+        gradient = np.stack([-(k / theta) * decay, log_scaled * decay], axis=2)
+        return np.where((t > 0.0)[:, :, np.newaxis], gradient, 0.0)
+
     def quantile(self, probabilities: ArrayLike) -> FloatArray:
         probs = as_float_array(probabilities, "probabilities")
         if np.any((probs < 0.0) | (probs >= 1.0)):

@@ -6,6 +6,13 @@ parametric model using bounded trust-region least squares with a
 deterministic multi-start strategy.
 """
 
+from repro.fitting.batched import (
+    ENGINE_NAMES,
+    BatchedOutcome,
+    BatchedProblem,
+    resolve_engine,
+    solve_batched,
+)
 from repro.fitting.cache import FitCache, default_fit_cache, fit_cache_key
 from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
 from repro.fitting.mle import MleResult, fit_mle, profile_likelihood_interval
@@ -30,6 +37,11 @@ __all__ = [
     "EngineOptions",
     "ResolvedEngine",
     "DEFAULT_ENGINE_OPTIONS",
+    "ENGINE_NAMES",
+    "resolve_engine",
+    "solve_batched",
+    "BatchedProblem",
+    "BatchedOutcome",
     "FitCache",
     "default_fit_cache",
     "fit_cache_key",

@@ -1,9 +1,9 @@
 """The :class:`EngineOptions` bundle — one object for every fit-engine knob.
 
 Every entry point that drives the fit engine historically grew the same
-tail of keyword arguments (``jac=``, ``cache=``, ``trace=``,
-``executor=``, ``n_workers=``, ``seed=``, ``n_random_starts=``,
-``max_nfev=``). :class:`EngineOptions` freezes that tail into a single
+tail of keyword arguments (``jac=``, ``engine=``, ``cache=``,
+``trace=``, ``executor=``, ``n_workers=``, ``seed=``,
+``n_random_starts=``, ``max_nfev=``). :class:`EngineOptions` freezes that tail into a single
 immutable value that can be built once and handed to
 :func:`~repro.fitting.fit_least_squares`, :func:`~repro.fitting.fit_many`,
 the table grids, :func:`~repro.analysis.experiments.truncation_grid`,
@@ -64,6 +64,11 @@ class EngineOptions:
     ----------
     jac:
         Jacobian strategy (``"auto"``, ``"analytic"``, ``"2-point"``).
+    engine:
+        Solver engine (``"scipy"`` or ``"batched"``); ``None`` defers
+        to the ``REPRO_FIT_ENGINE`` environment default (resolved in
+        :func:`repro.fitting.batched.resolve_engine`, the engine's
+        single env funnel).
     cache:
         Fit memoization: ``None`` (environment default), ``False``
         (off), ``True`` (environment default cache), or a
@@ -88,6 +93,7 @@ class EngineOptions:
     """
 
     jac: str = "auto"
+    engine: str | None = None
     cache: "bool | FitCache | None" = None
     trace: TracerLike = None
     executor: ExecutorLike = None

@@ -37,6 +37,10 @@ class FitResult:
         The optimizer's termination message for the winning run.
     details:
         Free-form extras (per-start SSEs, iteration counts, ...).
+    engine:
+        Which solver engine produced the result (``"scipy"`` or
+        ``"batched"``); recorded in traces and cache entries so mixed
+        workloads stay attributable.
     """
 
     model: ResilienceModel
@@ -47,6 +51,7 @@ class FitResult:
     n_failures: int
     message: str = ""
     details: dict[str, Any] = field(default_factory=dict)
+    engine: str = "scipy"
 
     @property
     def params(self) -> tuple[float, ...]:

@@ -360,6 +360,66 @@ class ResilienceModel(abc.ABC):
         return jac
 
     # ------------------------------------------------------------------
+    # Batched evaluation — the contract behind the batched LM engine.
+    # Both methods accept a *stack* of independent problems: row ``b``
+    # of *times* and *params* describes one problem, and row ``b`` of
+    # the result is exactly what the scalar method returns for it. The
+    # base implementations loop, so every family supports the protocol;
+    # families on the fitting hot path override with one vectorized
+    # numpy expression per batch (see quadratic/competing-risks/mixture).
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Performance for a stack of problems: ``out[b] =
+        evaluate(times[b], params[b])``.
+
+        Parameters
+        ----------
+        times:
+            Array of shape ``(B, n)`` — one time grid per problem.
+        params:
+            Array of shape ``(B, n_params)`` — one raw vector per
+            problem.
+
+        Returns
+        -------
+        FloatArray
+            Shape ``(B, n)``.
+        """
+        t = np.asarray(times, dtype=np.float64)
+        x = np.asarray(params, dtype=np.float64)
+        out = np.empty(t.shape, dtype=np.float64)
+        for row in range(x.shape[0]):
+            out[row] = np.asarray(self.evaluate(t[row], x[row]), dtype=np.float64)
+        return out
+
+    def prediction_jacobian_batch(
+        self, times: FloatArray, params: FloatArray
+    ) -> FloatArray:
+        """Stacked :meth:`prediction_jacobian`: ``out[b] =
+        prediction_jacobian(times[b], params[b])``.
+
+        Parameters
+        ----------
+        times:
+            Array of shape ``(B, n)``.
+        params:
+            Array of shape ``(B, n_params)``.
+
+        Returns
+        -------
+        FloatArray
+            Shape ``(B, n, n_params)``.
+        """
+        t = np.asarray(times, dtype=np.float64)
+        x = np.asarray(params, dtype=np.float64)
+        out = np.empty((t.shape[0], t.shape[1], x.shape[1]), dtype=np.float64)
+        for row in range(x.shape[0]):
+            out[row] = np.asarray(
+                self.prediction_jacobian(t[row], x[row]), dtype=np.float64
+            )
+        return out
+
+    # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
     def fingerprint(self) -> str:

@@ -64,6 +64,27 @@ class CompetingRisksResilienceModel(ResilienceModel):
             [1.0 / denom, -alpha * t / (denom * denom), 2.0 * t], axis=1
         )
 
+    def evaluate_batch(self, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Vectorized over problems: one expression for the whole stack."""
+        t = np.asarray(times, dtype=np.float64)
+        p = np.asarray(params, dtype=np.float64)
+        alpha = p[:, :1]
+        beta = p[:, 1:2]
+        gamma = p[:, 2:3]
+        return alpha / (1.0 + beta * t) + 2.0 * gamma * t
+
+    def prediction_jacobian_batch(
+        self, times: FloatArray, params: FloatArray
+    ) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        p = np.asarray(params, dtype=np.float64)
+        alpha = p[:, :1]
+        beta = p[:, 1:2]
+        denom = 1.0 + beta * t
+        return np.stack(
+            [1.0 / denom, -alpha * t / (denom * denom), 2.0 * t], axis=2
+        )
+
     def initial_guesses(self, curve: ResilienceCurve) -> list[tuple[float, ...]]:
         """Seeds spanning slow and fast deterioration time-scales.
 

@@ -180,6 +180,58 @@ class MixtureResilienceModel(ResilienceModel):
             axis=1,
         )
 
+    def _split_batch(
+        self, params: FloatArray
+    ) -> tuple[FloatArray, FloatArray, FloatArray]:
+        p = np.asarray(params, dtype=np.float64)
+        n1 = self._f1_class.n_params()
+        n2 = self._f2_class.n_params()
+        return p[:, :n1], p[:, n1 : n1 + n2], p[:, n1 + n2]
+
+    def evaluate_batch(self, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Eq. (7) over a stack of problems in one vectorized pass.
+
+        Requires both component distributions to implement the batched
+        CDF protocol (:meth:`~repro.distributions.base.LifetimeDistribution.has_batch_cdf`);
+        otherwise the base class's per-row loop applies.
+        """
+        if not (self._f1_class.has_batch_cdf() and self._f2_class.has_batch_cdf()):
+            return super().evaluate_batch(times, params)
+        t = np.asarray(times, dtype=np.float64)
+        p1, p2, beta = self._split_batch(params)
+        survival = 1.0 - self._f1_class.cdf_batch(t, p1)
+        recovery = self._trend_class.value_batch(t, beta) * self._f2_class.cdf_batch(
+            t, p2
+        )
+        return survival + recovery
+
+    def prediction_jacobian_batch(
+        self, times: FloatArray, params: FloatArray
+    ) -> FloatArray:
+        """Stacked Eq. (7) Jacobian, column-blocked as in
+        :meth:`prediction_jacobian`; falls back to the per-row loop when
+        a component lacks the batched analytic-gradient protocol."""
+        if not (
+            self.has_analytic_jacobian
+            and self._f1_class.has_batch_cdf()
+            and self._f2_class.has_batch_cdf()
+        ):
+            return super().prediction_jacobian_batch(times, params)
+        t = np.asarray(times, dtype=np.float64)
+        p1, p2, beta = self._split_batch(params)
+        trend = self._trend_class.value_batch(t, beta)
+        return np.concatenate(
+            [
+                -self._f1_class.cdf_gradient_batch(t, p1),
+                trend[:, :, np.newaxis] * self._f2_class.cdf_gradient_batch(t, p2),
+                (
+                    self._trend_class.beta_gradient_batch(t, beta)
+                    * self._f2_class.cdf_batch(t, p2)
+                )[:, :, np.newaxis],
+            ],
+            axis=2,
+        )
+
     def components(
         self, times: ArrayLike
     ) -> tuple[FloatArray, FloatArray]:

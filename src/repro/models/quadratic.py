@@ -59,6 +59,21 @@ class QuadraticResilienceModel(ResilienceModel):
         t = self._as_times(times)
         return np.stack([np.ones_like(t), t, t * t], axis=1)
 
+    def evaluate_batch(self, times: FloatArray, params: FloatArray) -> FloatArray:
+        """Vectorized over problems: one expression for the whole stack."""
+        t = np.asarray(times, dtype=np.float64)
+        p = np.asarray(params, dtype=np.float64)
+        alpha = p[:, :1]
+        beta = p[:, 1:2]
+        gamma = p[:, 2:3]
+        return alpha + beta * t + gamma * t * t
+
+    def prediction_jacobian_batch(
+        self, times: FloatArray, params: FloatArray
+    ) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        return np.stack([np.ones_like(t), t, t * t], axis=2)
+
     def initial_guesses(self, curve: ResilienceCurve) -> list[tuple[float, ...]]:
         """Two deterministic seeds: a clipped polynomial fit and a
         vertex-matching heuristic.

@@ -61,6 +61,36 @@ class TransitionTrend(abc.ABC):
         Jacobian (``∂P/∂β = (∂a₂/∂β)·F₂``) used by the fit engine.
         """
 
+    # ------------------------------------------------------------------
+    # Batched evaluation — row ``b`` of *times*/*betas* is one problem.
+    # The base implementations loop over rows so any registered trend
+    # works with the batched fit engine; the four built-in trends
+    # override with single vectorized expressions.
+    # ------------------------------------------------------------------
+    @classmethod
+    def value_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        """Stacked :meth:`value`: ``out[b] = value(times[b], betas[b])``.
+
+        *times* has shape ``(B, n)``, *betas* shape ``(B,)``; the result
+        is ``(B, n)``.
+        """
+        t = np.asarray(times, dtype=np.float64)
+        b = np.asarray(betas, dtype=np.float64)
+        out = np.empty(t.shape, dtype=np.float64)
+        for row in range(t.shape[0]):
+            out[row] = cls.value(t[row], float(b[row]))
+        return out
+
+    @classmethod
+    def beta_gradient_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        """Stacked :meth:`beta_gradient`, shapes as in :meth:`value_batch`."""
+        t = np.asarray(times, dtype=np.float64)
+        b = np.asarray(betas, dtype=np.float64)
+        out = np.empty(t.shape, dtype=np.float64)
+        for row in range(t.shape[0]):
+            out[row] = cls.beta_gradient(t[row], float(b[row]))
+        return out
+
     @classmethod
     def default_beta(cls, final_performance: float, final_time: float) -> float:
         """Heuristic β so the trend roughly matches the observed end level.
@@ -94,6 +124,17 @@ class ConstantTrend(TransitionTrend):
         return np.ones_like(t)
 
     @classmethod
+    def value_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        b = np.asarray(betas, dtype=np.float64)
+        return np.broadcast_to(b[:, np.newaxis], t.shape).copy()
+
+    @classmethod
+    def beta_gradient_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        return np.ones_like(t)
+
+    @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
         return target
 
@@ -111,6 +152,16 @@ class LinearTrend(TransitionTrend):
     @staticmethod
     def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
         return as_float_array(times, "times").copy()
+
+    @classmethod
+    def value_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        b = np.asarray(betas, dtype=np.float64)
+        return b[:, np.newaxis] * t
+
+    @classmethod
+    def beta_gradient_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        return np.asarray(times, dtype=np.float64).copy()
 
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
@@ -134,6 +185,18 @@ class ExponentialTrend(TransitionTrend):
     def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
         t = as_float_array(times, "times")
         return t * safe_exp(beta * t)
+
+    @classmethod
+    def value_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        b = np.asarray(betas, dtype=np.float64)
+        return safe_exp(b[:, np.newaxis] * t)
+
+    @classmethod
+    def beta_gradient_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        b = np.asarray(betas, dtype=np.float64)
+        return t * safe_exp(b[:, np.newaxis] * t)
 
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
@@ -160,6 +223,17 @@ class LogTrend(TransitionTrend):
     @staticmethod
     def beta_gradient(times: ArrayLike, beta: float) -> FloatArray:
         t = as_float_array(times, "times")
+        return np.log(np.maximum(t, _LOG_TIME_FLOOR))
+
+    @classmethod
+    def value_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
+        b = np.asarray(betas, dtype=np.float64)
+        return b[:, np.newaxis] * np.log(np.maximum(t, _LOG_TIME_FLOOR))
+
+    @classmethod
+    def beta_gradient_batch(cls, times: FloatArray, betas: FloatArray) -> FloatArray:
+        t = np.asarray(times, dtype=np.float64)
         return np.log(np.maximum(t, _LOG_TIME_FLOOR))
 
     @classmethod

@@ -35,6 +35,12 @@ AUC_MIN_SPEEDUP = 5.0
 #: 5× headroom only trips if the engine falls back to differencing or
 #: the solver starts thrashing.
 FIT_NFEV_BOUND = 10_000
+#: Batched-engine screening budget: the same 10-start wei-exp fit
+#: spends ~900 LM iterations across the whole batch and ~0.2 s of wall
+#: time; the bounds only trip if the damping schedule stops making
+#: progress (iterations explode) or the kernel loses its vectorization.
+BATCHED_FIT_BOUND_SECONDS = 5.0
+BATCHED_ITERATION_BOUND = 10_000
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +48,17 @@ def mixture_fit():
     curve = load_recession("1990-93")
     start = time.perf_counter()
     fit = fit_least_squares(make_model("wei-exp"), curve, n_random_starts=2)
+    return fit, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def batched_mixture_fit():
+    curve = load_recession("1990-93")
+    start = time.perf_counter()
+    fit = fit_least_squares(
+        make_model("wei-exp"), curve, n_random_starts=2, cache=False,
+        engine="batched",
+    )
     return fit, time.perf_counter() - start
 
 
@@ -65,6 +82,35 @@ class TestPerfGuard:
             f"wei-exp fit spent {fit.details['nfev']} residual evaluations "
             f"(bound {FIT_NFEV_BOUND}) — Jacobian path regression"
         )
+
+    def test_batched_engine_wall_time(self, batched_mixture_fit):
+        _, elapsed = batched_mixture_fit
+        assert elapsed < BATCHED_FIT_BOUND_SECONDS, (
+            f"batched multi-start wei-exp fit took {elapsed:.1f}s "
+            f"(bound {BATCHED_FIT_BOUND_SECONDS}s) — screening kernel slowdown"
+        )
+
+    def test_batched_engine_iteration_budget(self, batched_mixture_fit):
+        """Screening-budget guard: the batched LM kernel answers all ten
+        starts of this fit in ~900 iterations total; blowing through
+        10× that means the damping schedule stopped converging."""
+        fit, _ = batched_mixture_fit
+        iterations = sum(fit.details["per_start_iterations"])
+        assert iterations < BATCHED_ITERATION_BOUND, (
+            f"batched wei-exp screening spent {iterations} LM iterations "
+            f"(bound {BATCHED_ITERATION_BOUND}) — damping-schedule regression"
+        )
+
+    def test_batched_engine_matches_scipy(self, mixture_fit, batched_mixture_fit):
+        """Tier-1 parity guard: the batched winner is re-solved by scipy
+        from its own start, so the fitted parameters must be
+        bit-identical to the per-start scipy engine's."""
+        ref, _ = mixture_fit
+        alt, _ = batched_mixture_fit
+        assert alt.engine == "batched"
+        assert alt.params == ref.params
+        assert alt.sse == ref.sse
+        assert alt.details["confirm_nfev"] > 0
 
     def test_derived_quantity_wall_time(self, mixture_fit):
         fit, _ = mixture_fit
