@@ -38,6 +38,7 @@ import pytest
 from scipy import optimize
 
 from benchmarks.conftest import run_once
+from benchmarks.provenance import provenance_block
 from repro.analysis.experiments import table3, truncation_grid
 from repro.fitting.cache import FitCache
 from repro.models.base import ResilienceModel
@@ -187,6 +188,7 @@ def test_fit_engine(benchmark, artifact_dir):
     assert vector_rec == pytest.approx(scalar_rec, abs=1e-6)
 
     payload = {
+        "provenance": provenance_block(),
         "generated_by": "benchmarks/bench_perf_fit_engine.py",
         "workload": "table3(n_random_starts=4): 7 recessions x 4 mixtures",
         "cpu_count": os.cpu_count(),
@@ -351,6 +353,7 @@ def test_jacobian_engine(artifact_dir):
     )
 
     payload = {
+        "provenance": provenance_block(),
         "generated_by": "benchmarks/bench_perf_fit_engine.py",
         "workload": "table3(n_random_starts=4): 7 recessions x 4 mixtures",
         "cpu_count": os.cpu_count(),

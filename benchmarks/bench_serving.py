@@ -35,6 +35,7 @@ from repro.fitting import EngineOptions, FitCache, fit_least_squares
 from repro.models.registry import make_model
 from repro.observability import Tracer
 from repro.serving import OnlineForecaster, RefitPolicy
+from benchmarks.provenance import provenance_block
 
 #: The Table III workload this benchmark replays.
 DATASET = "1990-93"
@@ -114,6 +115,7 @@ def test_bench_serving(benchmark, artifact_dir):
     )
 
     payload = {
+        "provenance": provenance_block(),
         "dataset": DATASET,
         "model": MODEL,
         "n_observations": forecaster.n_observations,

@@ -29,6 +29,7 @@ import time
 from benchmarks.conftest import run_once
 from repro.analysis.experiments import table3
 from repro.cli import main
+from benchmarks.provenance import provenance_block
 from repro.observability.tracer import (
     NULL_TRACER,
     Tracer,
@@ -130,6 +131,7 @@ def test_trace_overhead(benchmark, artifact_dir, tmp_path, capsys):
     assert sum(1 for s in cli_spans if s["name"] == "fit.start") > N_CELLS
 
     payload = {
+        "provenance": provenance_block(),
         "generated_by": "benchmarks/bench_trace_overhead.py",
         "workload": "table3(n_random_starts=4, cache=False): "
         "7 recessions x 4 mixtures",

@@ -19,6 +19,12 @@ Commands
 ``serve-replay``
     Replay datasets as a live stream through the online forecast
     service, emitting one JSON line per forecast update.
+``make-fleet``
+    Generate a labeled synthetic outage fleet into a columnar episode
+    store (``repro.datasets.outage`` / ``repro.datasets.store``).
+``fit-fleet``
+    Fit the model grid to every episode of a store with the
+    cross-episode batched engine and print a JSON summary.
 ``lint``
     Run the project-invariant linter (``repro.devtools.lint``) over
     the tree; see ``docs/static-analysis.md``.
@@ -270,6 +276,104 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_arguments(serve)
 
+    make_fleet = sub.add_parser(
+        "make-fleet",
+        help="generate a synthetic outage fleet into a columnar store",
+    )
+    make_fleet.add_argument(
+        "root", help="directory the episode store is written to"
+    )
+    make_fleet.add_argument(
+        "--episodes",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="fleet size (default 2048)",
+    )
+    make_fleet.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="LABEL",
+        help="scenario templates to mix equally (default: V U W L K)",
+    )
+    make_fleet.add_argument(
+        "--seed", type=int, default=None, help="base seed (default: library seed)"
+    )
+    make_fleet.add_argument(
+        "--points",
+        type=int,
+        default=48,
+        metavar="N",
+        help="observation-grid size per episode (default 48)",
+    )
+    make_fleet.add_argument(
+        "--ragged",
+        default=None,
+        metavar="N1,N2,...",
+        help="comma-separated grid sizes each episode draws from "
+        "(overrides --points)",
+    )
+    make_fleet.add_argument(
+        "--noise",
+        type=float,
+        default=0.001,
+        metavar="STD",
+        help="Gaussian measurement noise (default 0.001)",
+    )
+    make_fleet.add_argument(
+        "--chunk-size",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="episodes generated per write chunk (default 2048)",
+    )
+    make_fleet.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing store at the target directory",
+    )
+
+    fit_fleet = sub.add_parser(
+        "fit-fleet",
+        help="fit the model grid to every episode of a store",
+    )
+    fit_fleet.add_argument("store", help="episode-store directory to fit")
+    fit_fleet.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="MODEL",
+        help="model grid (default: quadratic competing_risks)",
+    )
+    fit_fleet.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="episodes per batched solve; bounds peak memory (default 1024)",
+    )
+    fit_fleet.add_argument(
+        "--length-bucket",
+        type=int,
+        default=8,
+        metavar="N",
+        help="pad episode lengths up to a multiple of N per chunk (default 8)",
+    )
+    fit_fleet.add_argument(
+        "--no-confirm",
+        action="store_true",
+        help="skip the bit-identity confirmation re-solve and report the "
+        "screened optima (~1e-8 SSE agreement, faster)",
+    )
+    fit_fleet.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON summary to PATH instead of stdout",
+    )
+    _add_executor_arguments(fit_fleet)
+
     table = sub.add_parser("table", help="regenerate a table from the paper")
     table.add_argument("number", choices=["1", "2", "3", "4", "I", "II", "III", "IV"])
     table.add_argument(
@@ -487,6 +591,67 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_make_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets.outage import generate_fleet
+
+    choices = None
+    if args.ragged:
+        choices = tuple(int(part) for part in args.ragged.split(","))
+    store = generate_fleet(
+        args.episodes,
+        args.root,
+        scenarios=args.scenarios,
+        seed=args.seed,
+        n_points=args.points,
+        n_points_choices=choices,
+        noise_std=args.noise,
+        chunk_size=args.chunk_size,
+        overwrite=args.overwrite,
+    )
+    print(
+        json.dumps(
+            {
+                "root": str(args.root),
+                "n_episodes": len(store),
+                "n_samples": store.n_samples,
+                "label_names": list(store.label_names),
+            }
+        )
+    )
+    return 0
+
+
+def _cmd_fit_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets.store import EpisodeStore
+    from repro.fitting.fleet import DEFAULT_FLEET_FAMILIES, fit_fleet
+
+    store = EpisodeStore(args.store)
+    result = fit_fleet(
+        store,
+        tuple(args.families) if args.families else DEFAULT_FLEET_FAMILIES,
+        chunk_size=args.chunk_size,
+        length_bucket=args.length_bucket,
+        confirm=not args.no_confirm,
+        engine=args.engine,
+        executor=args.executor,
+        n_workers=args.workers,
+        cache=args.cache,
+        trace=args.tracer,
+    )
+    payload = json.dumps(result.summary(), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
 def _cmd_figure(number: int) -> int:
     print(experiments.figure_by_id(number).to_ascii())
     return 0
@@ -546,6 +711,10 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "serve-replay":
             return _cmd_serve_replay(args)
+        if args.command == "make-fleet":
+            return _cmd_make_fleet(args)
+        if args.command == "fit-fleet":
+            return _cmd_fit_fleet(args)
         if args.command == "table":
             return _cmd_table(args)
         if args.command == "figure":

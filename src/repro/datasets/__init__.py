@@ -22,6 +22,19 @@ from repro.datasets.synthetic import (
 )
 from repro.datasets.loader import curve_from_csv, curve_to_csv
 from repro.datasets.bls import curve_from_levels, read_bls_wide_csv
+from repro.datasets.outage import (
+    SCENARIOS,
+    OutageBurst,
+    OutageScenario,
+    episode_curve,
+    generate_fleet,
+)
+from repro.datasets.store import (
+    STORE_SCHEMA_VERSION,
+    EpisodeChunk,
+    EpisodeStore,
+    EpisodeStoreWriter,
+)
 from repro.datasets.stream import (
     StreamEvent,
     interleave_streams,
@@ -44,4 +57,13 @@ __all__ = [
     "iter_curve",
     "interleave_streams",
     "replay_recessions",
+    "EpisodeStore",
+    "EpisodeStoreWriter",
+    "EpisodeChunk",
+    "STORE_SCHEMA_VERSION",
+    "OutageBurst",
+    "OutageScenario",
+    "SCENARIOS",
+    "episode_curve",
+    "generate_fleet",
 ]

@@ -1,0 +1,393 @@
+"""Columnar on-disk episode store for fleet-scale fitting.
+
+A fleet of resilience episodes is stored as a directory of flat binary
+columns plus a JSON manifest:
+
+``lengths.bin``
+    ``int64`` per-episode sample count (offsets are its prefix sum).
+``labels.bin``
+    ``int64`` per-episode code into the manifest's ``label_names``.
+``nominal.bin``
+    ``float64`` per-episode nominal performance level.
+``times.bin`` / ``values.bin``
+    ``float64`` sample columns, all episodes concatenated.
+``manifest.json``
+    Schema version, episode/sample counts, label names, and the
+    generator's seed + config snapshot — written last, so its presence
+    marks a complete store.
+
+The layout is deliberately dumb: every column memory-maps read-only, an
+episode is two slices, and a :class:`EpisodeStore` chunk iterator hands
+:func:`repro.fitting.fleet.fit_fleet` fixed-size blocks of episodes so
+peak memory tracks the chunk size rather than the fleet size. The
+manifest carries no timestamps — two stores written from the same seed
+and config are byte-identical, which the reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from os import PathLike
+from pathlib import Path
+from typing import Any, Iterator, Mapping, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.core.curve import ResilienceCurve
+from repro.exceptions import DataError
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "EpisodeChunk",
+    "EpisodeStore",
+    "EpisodeStoreWriter",
+]
+
+#: Current on-disk layout version; readers refuse other versions.
+STORE_SCHEMA_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+
+#: Column file name → dtype. Per-episode columns first, sample columns
+#: (one entry per observation, episodes concatenated) after.
+_EPISODE_COLUMNS: dict[str, type] = {
+    "lengths": np.int64,
+    "labels": np.int64,
+    "nominal": np.float64,
+}
+_SAMPLE_COLUMNS: dict[str, type] = {
+    "times": np.float64,
+    "values": np.float64,
+}
+
+
+def _column_path(root: Path, name: str) -> Path:
+    """On-disk path of column *name* under *root*."""
+    return root / f"{name}.bin"
+
+
+class EpisodeChunk(NamedTuple):
+    """A contiguous block of episodes, materialized off the memmaps.
+
+    Sample columns are concatenated exactly as on disk; episode ``i``
+    of the chunk occupies ``times[offsets[i]:offsets[i] + lengths[i]]``
+    where ``offsets`` is the in-chunk prefix sum of ``lengths``.
+    """
+
+    start: int
+    lengths: np.ndarray
+    labels: np.ndarray
+    nominal: np.ndarray
+    times: np.ndarray
+    values: np.ndarray
+    label_names: tuple[str, ...]
+
+    @property
+    def n_episodes(self) -> int:
+        """Episodes in this chunk."""
+        return int(self.lengths.shape[0])
+
+    def offsets(self) -> np.ndarray:
+        """In-chunk episode start offsets (``n_episodes + 1`` entries)."""
+        return np.concatenate(([0], np.cumsum(self.lengths)))
+
+    def curves(self) -> Iterator[ResilienceCurve]:
+        """The chunk's episodes as :class:`ResilienceCurve` objects."""
+        offsets = self.offsets()
+        for i in range(self.n_episodes):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            label = (
+                self.label_names[int(self.labels[i])]
+                if 0 <= int(self.labels[i]) < len(self.label_names)
+                else ""
+            )
+            yield ResilienceCurve(
+                self.times[lo:hi],
+                self.values[lo:hi],
+                nominal=float(self.nominal[i]),
+                name=f"ep{self.start + i:07d}",
+                metadata={"label": label, "episode": self.start + i},
+            )
+
+
+class EpisodeStoreWriter:
+    """Append-only writer for a columnar episode store.
+
+    Episodes arrive in columnar batches (:meth:`append`) or one curve
+    at a time (:meth:`append_curve`); nothing is buffered beyond the
+    operating system's file buffers, so writing a million-episode fleet
+    needs only chunk-sized memory. :meth:`close` writes the manifest;
+    a store without one is treated as incomplete and unreadable.
+    """
+
+    def __init__(
+        self,
+        root: str | PathLike[str],
+        *,
+        label_names: Sequence[str] = (),
+        seed: int | None = None,
+        config: Mapping[str, Any] | None = None,
+        overwrite: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        if self.root.exists():
+            if not overwrite:
+                raise DataError(
+                    f"episode store {str(self.root)!r} already exists "
+                    "(pass overwrite=True to replace it)"
+                )
+            for name in (*_EPISODE_COLUMNS, *_SAMPLE_COLUMNS):
+                _column_path(self.root, name).unlink(missing_ok=True)
+            (self.root / _MANIFEST_NAME).unlink(missing_ok=True)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._label_codes: dict[str, int] = {
+            str(name): code for code, name in enumerate(label_names)
+        }
+        self._seed = None if seed is None else int(seed)
+        self._config = dict(config) if config else {}
+        self._n_episodes = 0
+        self._n_samples = 0
+        self._closed = False
+        self._handles = {
+            name: _column_path(self.root, name).open("wb")
+            for name in (*_EPISODE_COLUMNS, *_SAMPLE_COLUMNS)
+        }
+
+    def __enter__(self) -> "EpisodeStoreWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def n_episodes(self) -> int:
+        """Episodes written so far."""
+        return self._n_episodes
+
+    def label_code(self, label: str) -> int:
+        """The integer code for *label*, interning it on first use."""
+        code = self._label_codes.get(label)
+        if code is None:
+            code = len(self._label_codes)
+            self._label_codes[label] = code
+        return code
+
+    def append(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        labels: np.ndarray | None = None,
+        nominal: np.ndarray | None = None,
+    ) -> None:
+        """Append a columnar batch of episodes.
+
+        *times*/*values* hold all episodes concatenated; *lengths* has
+        one entry per episode and must sum to their length. *labels*
+        are integer codes (see :meth:`label_code`), *nominal* the
+        per-episode nominal level; both default sensibly.
+        """
+        if self._closed:
+            raise DataError("episode store writer is closed")
+        lengths_arr = np.ascontiguousarray(lengths, dtype=np.int64)
+        times_arr = np.ascontiguousarray(times, dtype=np.float64)
+        values_arr = np.ascontiguousarray(values, dtype=np.float64)
+        n = int(lengths_arr.shape[0])
+        total = int(lengths_arr.sum())
+        if times_arr.shape != (total,) or values_arr.shape != (total,):
+            raise DataError(
+                f"sample columns must hold sum(lengths)={total} entries, "
+                f"got times {times_arr.shape} and values {values_arr.shape}"
+            )
+        if n and int(lengths_arr.min()) < 2:
+            raise DataError("every episode needs at least 2 samples")
+        if not np.all(np.isfinite(times_arr)) or not np.all(
+            np.isfinite(values_arr)
+        ):
+            raise DataError("episode samples must be finite")
+        # Strictly-increasing times within each episode, checked in one
+        # vectorized pass: episode boundaries are the only places the
+        # concatenated diff may go non-positive.
+        if total:
+            diffs = np.diff(times_arr)
+            boundary = np.cumsum(lengths_arr)[:-1] - 1
+            interior = np.ones(diffs.shape[0], dtype=bool)
+            interior[boundary] = False
+            if not np.all(diffs[interior] > 0.0):
+                raise DataError(
+                    "episode times must be strictly increasing"
+                )
+        if labels is None:
+            labels_arr = np.zeros(n, dtype=np.int64)
+            if n:
+                self.label_code("")
+        else:
+            labels_arr = np.ascontiguousarray(labels, dtype=np.int64)
+            if labels_arr.shape != (n,):
+                raise DataError("labels must have one entry per episode")
+        if nominal is None:
+            nominal_arr = np.ones(n, dtype=np.float64)
+        else:
+            nominal_arr = np.ascontiguousarray(nominal, dtype=np.float64)
+            if nominal_arr.shape != (n,):
+                raise DataError("nominal must have one entry per episode")
+        self._handles["lengths"].write(lengths_arr.tobytes())
+        self._handles["labels"].write(labels_arr.tobytes())
+        self._handles["nominal"].write(nominal_arr.tobytes())
+        self._handles["times"].write(times_arr.tobytes())
+        self._handles["values"].write(values_arr.tobytes())
+        self._n_episodes += n
+        self._n_samples += total
+
+    def append_curve(self, curve: ResilienceCurve, label: str = "") -> None:
+        """Append one :class:`ResilienceCurve` episode."""
+        self.append(
+            curve.times,
+            curve.performance,
+            np.array([len(curve)], dtype=np.int64),
+            labels=np.array([self.label_code(label)], dtype=np.int64),
+            nominal=np.array([curve.nominal], dtype=np.float64),
+        )
+
+    def close(self) -> "EpisodeStore":
+        """Flush columns, write the manifest, and reopen for reading."""
+        if self._closed:
+            return EpisodeStore(self.root)
+        for handle in self._handles.values():
+            handle.close()
+        self._closed = True
+        names = [
+            name
+            for name, _ in sorted(self._label_codes.items(), key=lambda kv: kv[1])
+        ]
+        manifest = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "n_episodes": self._n_episodes,
+            "n_samples": self._n_samples,
+            "label_names": names,
+            "seed": self._seed,
+            "config": self._config,
+            "columns": {
+                name: np.dtype(dtype).name
+                for name, dtype in {**_EPISODE_COLUMNS, **_SAMPLE_COLUMNS}.items()
+            },
+        }
+        path = self.root / _MANIFEST_NAME
+        path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return EpisodeStore(self.root)
+
+
+class EpisodeStore:
+    """Read-only view over a columnar episode store directory.
+
+    All columns are memory-mapped; opening a million-episode store
+    costs one page per column plus the prefix-sum of ``lengths``
+    (8 bytes per episode). Random access via :meth:`episode`, bulk
+    access via :meth:`iter_chunks`.
+    """
+
+    def __init__(self, root: str | PathLike[str]) -> None:
+        self.root = Path(root)
+        manifest_path = self.root / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise DataError(
+                f"{str(self.root)!r} is not a complete episode store "
+                "(missing manifest.json)"
+            )
+        self.manifest: dict[str, Any] = json.loads(
+            manifest_path.read_text(encoding="utf-8")
+        )
+        version = self.manifest.get("schema_version")
+        if version != STORE_SCHEMA_VERSION:
+            raise DataError(
+                f"episode store schema {version!r} is not supported "
+                f"(expected {STORE_SCHEMA_VERSION})"
+            )
+        self.label_names: tuple[str, ...] = tuple(
+            str(name) for name in self.manifest.get("label_names", [])
+        )
+        n_episodes = int(self.manifest["n_episodes"])
+        n_samples = int(self.manifest["n_samples"])
+        self._columns: dict[str, np.ndarray] = {}
+        for name, dtype in {**_EPISODE_COLUMNS, **_SAMPLE_COLUMNS}.items():
+            count = n_episodes if name in _EPISODE_COLUMNS else n_samples
+            path = _column_path(self.root, name)
+            expected = count * np.dtype(dtype).itemsize
+            actual = path.stat().st_size if path.is_file() else -1
+            if actual != expected:
+                raise DataError(
+                    f"episode store column {name!r} holds {actual} bytes; "
+                    f"manifest expects {expected}"
+                )
+            if count == 0:
+                self._columns[name] = np.empty(0, dtype=dtype)
+            else:
+                self._columns[name] = np.memmap(
+                    path, dtype=dtype, mode="r", shape=(count,)
+                )
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(self._columns["lengths"], dtype=np.int64))
+        )
+
+    def __len__(self) -> int:
+        return int(self.manifest["n_episodes"])
+
+    @property
+    def n_samples(self) -> int:
+        """Total observations across all episodes."""
+        return int(self.manifest["n_samples"])
+
+    def label(self, index: int) -> str:
+        """Scenario label of episode *index*."""
+        code = int(self._columns["labels"][index])
+        return self.label_names[code] if 0 <= code < len(self.label_names) else ""
+
+    def episode(self, index: int) -> ResilienceCurve:
+        """Episode *index* as a :class:`ResilienceCurve`."""
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise DataError(
+                f"episode index {index} out of range for {len(self)} episodes"
+            )
+        lo = int(self._offsets[index])
+        hi = int(self._offsets[index + 1])
+        return ResilienceCurve(
+            np.array(self._columns["times"][lo:hi]),
+            np.array(self._columns["values"][lo:hi]),
+            nominal=float(self._columns["nominal"][index]),
+            name=f"ep{index:07d}",
+            metadata={"label": self.label(index), "episode": index},
+        )
+
+    def __iter__(self) -> Iterator[ResilienceCurve]:
+        for chunk in self.iter_chunks(1024):
+            yield from chunk.curves()
+
+    def iter_chunks(self, chunk_size: int) -> Iterator[EpisodeChunk]:
+        """Yield :class:`EpisodeChunk` blocks of ≤ *chunk_size* episodes.
+
+        Each chunk copies its slice out of the memmaps into ordinary
+        arrays, so downstream work never pins more than one chunk of
+        samples in memory.
+        """
+        if chunk_size < 1:
+            raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
+        n = len(self)
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            lo = int(self._offsets[start])
+            hi = int(self._offsets[stop])
+            yield EpisodeChunk(
+                start=start,
+                lengths=np.array(self._columns["lengths"][start:stop]),
+                labels=np.array(self._columns["labels"][start:stop]),
+                nominal=np.array(self._columns["nominal"][start:stop]),
+                times=np.array(self._columns["times"][lo:hi]),
+                values=np.array(self._columns["values"][lo:hi]),
+                label_names=self.label_names,
+            )

@@ -128,6 +128,21 @@ def default_config() -> LintConfig:
             EntryPointSpec(
                 "src/repro/fitting/least_squares.py", "fit_many", required=grid
             ),
+            EntryPointSpec(
+                "src/repro/fitting/fleet.py",
+                "fit_fleet",
+                required=fit_knobs | {"n_workers", "chunk_size"},
+            ),
+            EntryPointSpec(
+                "src/repro/datasets/outage.py",
+                "generate_fleet",
+                required=frozenset({"seed", "chunk_size"}),
+            ),
+            EntryPointSpec(
+                "src/repro/datasets/store.py",
+                "EpisodeStoreWriter.__init__",
+                required=frozenset({"seed", "config"}),
+            ),
             EntryPointSpec("src/repro/analysis/experiments.py", "table1", required=grid),
             EntryPointSpec("src/repro/analysis/experiments.py", "table2", required=grid),
             EntryPointSpec("src/repro/analysis/experiments.py", "table3", required=grid),

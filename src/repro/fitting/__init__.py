@@ -14,6 +14,7 @@ from repro.fitting.batched import (
     solve_batched,
 )
 from repro.fitting.cache import FitCache, default_fit_cache, fit_cache_key
+from repro.fitting.fleet import EpisodeFamilyFit, FleetFitResult, fit_fleet
 from repro.fitting.least_squares import FitManyResult, fit_least_squares, fit_many
 from repro.fitting.mle import MleResult, fit_mle, profile_likelihood_interval
 from repro.fitting.multistart import generate_starts
@@ -33,7 +34,10 @@ from repro.fitting.uncertainty import (
 __all__ = [
     "fit_least_squares",
     "fit_many",
+    "fit_fleet",
     "FitManyResult",
+    "FleetFitResult",
+    "EpisodeFamilyFit",
     "EngineOptions",
     "ResolvedEngine",
     "DEFAULT_ENGINE_OPTIONS",

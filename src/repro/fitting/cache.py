@@ -41,6 +41,7 @@ import numpy as np
 
 from repro._env import read_env
 from repro.core.curve import ResilienceCurve
+from repro.exceptions import FitError
 from repro.models.base import ResilienceModel
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "fit_cache_key",
     "curve_content_hash",
     "default_fit_cache",
+    "default_cache_maxsize",
     "resolve_cache",
 ]
 
@@ -61,10 +63,41 @@ CACHE_ENV_VAR = "REPRO_FIT_CACHE"
 #: Values of :data:`CACHE_ENV_VAR` that disable the default cache.
 _OFF_WORDS = frozenset({"0", "off", "no", "none", "false", "disabled"})
 
+#: Environment variable overriding the default cache's LRU capacity.
+MAXSIZE_ENV_VAR = "REPRO_FIT_CACHE_MAXSIZE"
+
 #: Default in-memory capacity. Every entry is a handful of floats, so
 #: this comfortably covers the full reproduction pipeline several times
 #: over while bounding long-lived processes.
 DEFAULT_MAX_ENTRIES = 4096
+
+
+def default_cache_maxsize() -> int:
+    """The default cache capacity per :data:`MAXSIZE_ENV_VAR`.
+
+    Unset or empty → :data:`DEFAULT_MAX_ENTRIES`. Anything else must
+    parse as a positive integer.
+
+    Raises
+    ------
+    FitError
+        If the variable is set but is not a positive integer.
+    """
+    raw = read_env(MAXSIZE_ENV_VAR, "") or ""
+    value = raw.strip()
+    if not value:
+        return DEFAULT_MAX_ENTRIES
+    try:
+        size = int(value)
+    except ValueError as exc:
+        raise FitError(
+            f"{MAXSIZE_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from exc
+    if size < 1:
+        raise FitError(
+            f"{MAXSIZE_ENV_VAR} must be a positive integer, got {raw!r}"
+        )
+    return size
 
 
 def curve_content_hash(curve: ResilienceCurve) -> str:
@@ -260,32 +293,37 @@ class FitCache:
 # Default-cache resolution
 # ----------------------------------------------------------------------
 _default_cache: FitCache | None = None
-_default_signature: str | None = None
+_default_signature: tuple[str, str] | None = None
 _default_lock = threading.Lock()
 
 
 def default_fit_cache() -> FitCache | None:
-    """The process-wide default cache per :data:`CACHE_ENV_VAR`.
+    """The process-wide default cache per :data:`CACHE_ENV_VAR` and
+    :data:`MAXSIZE_ENV_VAR`.
 
     Returns None when the environment disables caching. The instance is
-    rebuilt if the environment variable changes between calls (tests
-    monkeypatch it).
+    rebuilt if either environment variable changes between calls (tests
+    monkeypatch them).
     """
     global _default_cache, _default_signature
     raw = read_env(CACHE_ENV_VAR, "") or ""
+    raw_maxsize = read_env(MAXSIZE_ENV_VAR, "") or ""
     with _default_lock:
-        if raw == _default_signature and (
+        if (raw, raw_maxsize) == _default_signature and (
             _default_cache is not None or raw.strip().lower() in _OFF_WORDS
         ):
             return _default_cache
-        _default_signature = raw
+        _default_signature = (raw, raw_maxsize)
         value = raw.strip()
         if value.lower() in _OFF_WORDS:
             _default_cache = None
         elif value:
-            _default_cache = FitCache(path=os.path.expanduser(value))
+            _default_cache = FitCache(
+                max_entries=default_cache_maxsize(),
+                path=os.path.expanduser(value),
+            )
         else:
-            _default_cache = FitCache()
+            _default_cache = FitCache(max_entries=default_cache_maxsize())
         return _default_cache
 
 

@@ -222,6 +222,202 @@ def _solve_start(work: _StartWork) -> _StartOutcome:
     )
 
 
+class _WinnerSelection(NamedTuple):
+    """Outcome of the reduce → confirm → polish pipeline.
+
+    Shared by the single-fit path below and the fleet engine in
+    :mod:`repro.fitting.fleet`, so both reduce multi-start outcomes with
+    *exactly* the same rules (band-based winner selection, scipy
+    confirmation of batched winners, analytic polish) — the property
+    that makes fleet results bit-identical to per-episode fits.
+    """
+
+    sse: float
+    vector: tuple[float, ...]
+    message: str
+    converged: bool
+    winner_index: int
+    failures: int
+    confirm_nfev: int
+    confirm_njev: int
+    polish_nfev: int
+    polish_njev: int
+
+
+def _select_and_confirm(
+    family: ResilienceModel,
+    curve: ResilienceCurve,
+    start_vectors: Sequence[tuple[float, ...]],
+    outcomes: Sequence[Any],
+    *,
+    lower: tuple[float, ...],
+    upper: tuple[float, ...],
+    max_nfev: int,
+    sqrt_weights: tuple[float, ...] | None,
+    jac_mode: str,
+    engine_mode: str,
+    tracer: Any,
+) -> _WinnerSelection:
+    """Reduce multi-start *outcomes* to the final optimum.
+
+    Reduction happens in start order — identical on every backend
+    regardless of which produced the outcomes. The winner is the
+    earliest start whose SSE lies within the ``_REDUCE_RTOL`` band of
+    the best (see the constant's rationale), not the strict argmin.
+    Under ``engine_mode == "batched"`` the winning start is then
+    re-solved by scipy from its original x0 (the screen-then-confirm
+    contract), and 2-point winners of analytic families are polished.
+
+    *curve* and *sqrt_weights* describe the problem the confirmation
+    solves run on; the fleet engine screens padded copies of an episode
+    but confirms on the original, which is valid because zero-weight
+    padding rows contribute exactly nothing to the screened objective.
+
+    Raises
+    ------
+    ConvergenceError
+        If every start failed to produce a finite optimum.
+    """
+    failures = 0
+    min_sse = np.inf
+    for outcome in outcomes:
+        if outcome.vector is None:
+            failures += 1
+        elif outcome.sse < min_sse:
+            min_sse = outcome.sse
+
+    if not np.isfinite(min_sse):
+        raise ConvergenceError(
+            f"all {len(start_vectors)} starts failed fitting "
+            f"{family.name!r} to {curve.name or '<curve>'}"
+        )
+    threshold = min_sse + _REDUCE_RTOL * abs(min_sse)
+    winner_index = next(
+        index
+        for index, outcome in enumerate(outcomes)
+        if outcome.vector is not None and outcome.sse <= threshold
+    )
+    winner = outcomes[winner_index]
+    assert winner.vector is not None  # the generator above filters failures
+    best_sse = float(winner.sse)
+    best_vector: tuple[float, ...] = winner.vector
+    best_message = winner.message
+    best_converged = winner.converged
+
+    # The batched kernel only *screens* the starts: it finds the basin
+    # and ranks the candidates, but its iterates are not scipy's. Each
+    # in-band candidate is re-solved by scipy from its original x0, in
+    # start order, until one lands back inside the band — that solve is
+    # the exact trajectory the scipy engine would have produced for the
+    # same start, so rendered artifacts are byte-identical. (The loop,
+    # rather than a single confirmation, covers the rare start whose
+    # batched iterates and scipy iterates descend into different
+    # basins; in the common case exactly one solve runs.)
+    confirm_nfev = 0
+    confirm_njev = 0
+    if engine_mode == "batched":
+        chosen: _StartOutcome | None = None
+        fallback: _StartOutcome | None = None
+        for index, outcome in enumerate(outcomes):
+            if outcome.vector is None or outcome.sse > threshold:
+                continue
+            confirm = _solve_start(
+                _StartWork(
+                    family, curve, start_vectors[index], lower, upper,
+                    max_nfev, sqrt_weights, jac_mode,
+                )
+            )
+            confirm_nfev += confirm.nfev
+            confirm_njev += confirm.njev
+            if tracer.enabled:
+                tracer.record(
+                    "fit.confirm",
+                    confirm.seconds,
+                    index=index,
+                    nfev=confirm.nfev,
+                    njev=confirm.njev,
+                    converged=confirm.converged,
+                )
+            if confirm.vector is None:
+                continue
+            if fallback is None or confirm.sse < fallback.sse:
+                fallback = confirm
+            if confirm.sse <= threshold:
+                chosen = confirm
+                winner_index = index
+                break
+        if chosen is None:
+            # scipy never reached the screened basin from any in-band
+            # x0; restart it from the screened optimum itself so the
+            # result is still a scipy-converged point, and keep the
+            # best confirmation if that somehow does better.
+            rescue = _solve_start(
+                _StartWork(
+                    family, curve, best_vector, lower, upper, max_nfev,
+                    sqrt_weights, jac_mode,
+                )
+            )
+            confirm_nfev += rescue.nfev
+            confirm_njev += rescue.njev
+            contenders = [
+                o for o in (fallback, rescue) if o is not None and o.vector is not None
+            ]
+            if contenders:
+                chosen = min(contenders, key=lambda o: o.sse)
+        if chosen is not None:
+            best_sse = chosen.sse
+            best_vector = chosen.vector
+            best_message = chosen.message
+            best_converged = chosen.converged
+
+    # Forward differences cannot localize the optimum below their own
+    # noise floor (~√eps relative in the parameters), so a pure 2-point
+    # run would disagree with the analytic engine in the last rendered
+    # digit. Polishing the winner with the closed form — when the family
+    # has one — makes the final optimum independent of the exploration
+    # mode; the polish cost is counted in nfev/njev like everything else.
+    # The rule is engine-independent: the batched winner was already
+    # re-solved by scipy above, so it polishes under exactly the same
+    # condition the scipy path does.
+    polish_nfev = 0
+    polish_njev = 0
+    needs_polish = jac_mode == "2-point" and family.has_analytic_jacobian
+    if needs_polish:
+        polish = _solve_start(
+            _StartWork(
+                family, curve, best_vector, lower, upper, max_nfev,
+                sqrt_weights, "analytic",
+            )
+        )
+        polish_nfev, polish_njev = polish.nfev, polish.njev
+        if tracer.enabled:
+            tracer.record(
+                "fit.polish",
+                polish.seconds,
+                nfev=polish.nfev,
+                njev=polish.njev,
+                converged=polish.converged,
+            )
+        if polish.vector is not None and polish.sse <= best_sse:
+            best_sse = polish.sse
+            best_vector = polish.vector
+            best_message = polish.message
+            best_converged = polish.converged
+
+    return _WinnerSelection(
+        sse=best_sse,
+        vector=best_vector,
+        message=best_message,
+        converged=best_converged,
+        winner_index=int(winner_index),
+        failures=failures,
+        confirm_nfev=confirm_nfev,
+        confirm_njev=confirm_njev,
+        polish_nfev=polish_nfev,
+        polish_njev=polish_njev,
+    )
+
+
 def _resolve_jac_mode(family: ResilienceModel, jac: str) -> str:
     """Map the user-facing ``jac=`` choice onto a concrete mode."""
     if jac not in _JAC_MODES:
@@ -591,143 +787,27 @@ def _fit_least_squares(
             )
             tracer.metrics.observe("fit.start_seconds", outcome.seconds)
 
-    # Reduce in start order — identical on every backend regardless of
-    # which produced the outcomes. The winner is the earliest start
-    # whose SSE lies within the ``_REDUCE_RTOL`` band of the best (see
-    # the constant's rationale), not the strict argmin.
-    failures = 0
-    per_start_sse: list[float] = []
-    per_start_nfev: list[int] = []
-    per_start_njev: list[int] = []
-    per_start_seconds: list[float] = []
-    min_sse = np.inf
-    for outcome in outcomes:
-        per_start_sse.append(outcome.sse)
-        per_start_nfev.append(outcome.nfev)
-        per_start_njev.append(outcome.njev)
-        per_start_seconds.append(outcome.seconds)
-        if outcome.vector is None:
-            failures += 1
-        elif outcome.sse < min_sse:
-            min_sse = outcome.sse
+    per_start_sse: list[float] = [outcome.sse for outcome in outcomes]
+    per_start_nfev: list[int] = [outcome.nfev for outcome in outcomes]
+    per_start_njev: list[int] = [outcome.njev for outcome in outcomes]
+    per_start_seconds: list[float] = [outcome.seconds for outcome in outcomes]
 
-    if not np.isfinite(min_sse):
-        raise ConvergenceError(
-            f"all {len(start_vectors)} starts failed fitting "
-            f"{family.name!r} to {curve.name or '<curve>'}"
-        )
-    threshold = min_sse + _REDUCE_RTOL * abs(min_sse)
-    winner_index = next(
-        index
-        for index, outcome in enumerate(outcomes)
-        if outcome.vector is not None and outcome.sse <= threshold
+    selection = _select_and_confirm(
+        family, curve, start_vectors, outcomes,
+        lower=lower, upper=upper, max_nfev=max_nfev,
+        sqrt_weights=sqrt_weights, jac_mode=jac_mode,
+        engine_mode=engine_mode, tracer=tracer,
     )
-    winner = outcomes[winner_index]
-    assert winner.vector is not None  # the generator above filters failures
-    best_sse = float(winner.sse)
-    best_vector: tuple[float, ...] = winner.vector
-    best_message = winner.message
-    best_converged = winner.converged
-
-    # The batched kernel only *screens* the starts: it finds the basin
-    # and ranks the candidates, but its iterates are not scipy's. Each
-    # in-band candidate is re-solved by scipy from its original x0, in
-    # start order, until one lands back inside the band — that solve is
-    # the exact trajectory the scipy engine would have produced for the
-    # same start, so rendered artifacts are byte-identical. (The loop,
-    # rather than a single confirmation, covers the rare start whose
-    # batched iterates and scipy iterates descend into different
-    # basins; in the common case exactly one solve runs.)
-    confirm_nfev = 0
-    confirm_njev = 0
-    if engine_mode == "batched":
-        chosen: _StartOutcome | None = None
-        fallback: _StartOutcome | None = None
-        for index, outcome in enumerate(outcomes):
-            if outcome.vector is None or outcome.sse > threshold:
-                continue
-            confirm = _solve_start(
-                _StartWork(
-                    family, curve, start_vectors[index], lower, upper,
-                    max_nfev, sqrt_weights, jac_mode,
-                )
-            )
-            confirm_nfev += confirm.nfev
-            confirm_njev += confirm.njev
-            if tracer.enabled:
-                tracer.record(
-                    "fit.confirm",
-                    confirm.seconds,
-                    index=index,
-                    nfev=confirm.nfev,
-                    njev=confirm.njev,
-                    converged=confirm.converged,
-                )
-            if confirm.vector is None:
-                continue
-            if fallback is None or confirm.sse < fallback.sse:
-                fallback = confirm
-            if confirm.sse <= threshold:
-                chosen = confirm
-                winner_index = index
-                break
-        if chosen is None:
-            # scipy never reached the screened basin from any in-band
-            # x0; restart it from the screened optimum itself so the
-            # result is still a scipy-converged point, and keep the
-            # best confirmation if that somehow does better.
-            rescue = _solve_start(
-                _StartWork(
-                    family, curve, best_vector, lower, upper, max_nfev,
-                    sqrt_weights, jac_mode,
-                )
-            )
-            confirm_nfev += rescue.nfev
-            confirm_njev += rescue.njev
-            contenders = [
-                o for o in (fallback, rescue) if o is not None and o.vector is not None
-            ]
-            if contenders:
-                chosen = min(contenders, key=lambda o: o.sse)
-        if chosen is not None:
-            best_sse = chosen.sse
-            best_vector = chosen.vector
-            best_message = chosen.message
-            best_converged = chosen.converged
-
-    # Forward differences cannot localize the optimum below their own
-    # noise floor (~√eps relative in the parameters), so a pure 2-point
-    # run would disagree with the analytic engine in the last rendered
-    # digit. Polishing the winner with the closed form — when the family
-    # has one — makes the final optimum independent of the exploration
-    # mode; the polish cost is counted in nfev/njev like everything else.
-    # The rule is engine-independent: the batched winner was already
-    # re-solved by scipy above, so it polishes under exactly the same
-    # condition the scipy path does.
-    polish_nfev = 0
-    polish_njev = 0
-    needs_polish = jac_mode == "2-point" and family.has_analytic_jacobian
-    if needs_polish:
-        polish = _solve_start(
-            _StartWork(
-                family, curve, best_vector, lower, upper, max_nfev,
-                sqrt_weights, "analytic",
-            )
-        )
-        polish_nfev, polish_njev = polish.nfev, polish.njev
-        if tracer.enabled:
-            tracer.record(
-                "fit.polish",
-                polish.seconds,
-                nfev=polish.nfev,
-                njev=polish.njev,
-                converged=polish.converged,
-            )
-        if polish.vector is not None and polish.sse <= best_sse:
-            best_sse = polish.sse
-            best_vector = polish.vector
-            best_message = polish.message
-            best_converged = polish.converged
+    failures = selection.failures
+    winner_index = selection.winner_index
+    best_sse = selection.sse
+    best_vector = selection.vector
+    best_message = selection.message
+    best_converged = selection.converged
+    confirm_nfev = selection.confirm_nfev
+    confirm_njev = selection.confirm_njev
+    polish_nfev = selection.polish_nfev
+    polish_njev = selection.polish_njev
 
     if sqrt_weights is not None:
         # Selection used the weighted objective; report the unweighted

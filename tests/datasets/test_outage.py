@@ -1,0 +1,173 @@
+"""Tests for the synthetic outage-fleet generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shapes import classify_shape
+from repro.datasets.outage import (
+    SCENARIOS,
+    OutageBurst,
+    OutageScenario,
+    episode_curve,
+    generate_fleet,
+    iter_fleet_curves,
+)
+from repro.exceptions import DataError
+
+
+class TestScenarios:
+    def test_all_five_letters(self):
+        assert sorted(SCENARIOS) == ["K", "L", "U", "V", "W"]
+
+    def test_k_expects_l(self):
+        # A single aggregate curve cannot witness the K bifurcation;
+        # the classifier reads the kinked partial recovery as L.
+        assert SCENARIOS["K"].expected_shape == "L"
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(DataError, match="sum"):
+            OutageScenario(
+                label="X",
+                expected_shape="V",
+                mean_outages=50.0,
+                depth=0.3,
+                bursts=(OutageBurst(0.1, 0.2, 0.5, 0.1, 0.2, 1.0),),
+            )
+
+    def test_depth_validated(self):
+        with pytest.raises(DataError, match="depth"):
+            OutageScenario(
+                label="X",
+                expected_shape="V",
+                mean_outages=50.0,
+                depth=1.5,
+                bursts=(OutageBurst(0.1, 0.2, 1.0, 0.1, 0.2, 1.0),),
+            )
+
+    def test_bursts_required(self):
+        with pytest.raises(DataError, match="burst"):
+            OutageScenario(
+                label="X", expected_shape="V", mean_outages=50.0, depth=0.3
+            )
+
+
+class TestLabelsMatchClassifier:
+    """Every template's episodes classify as the label they carry."""
+
+    @pytest.mark.parametrize("label", sorted(SCENARIOS))
+    @given(
+        index=st.integers(min_value=0, max_value=50_000),
+        noise_std=st.sampled_from([0.0, 0.0005, 0.002]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_expected_shape(self, label, index, noise_std):
+        scenario = SCENARIOS[label]
+        curve = episode_curve(scenario, index, seed=11, noise_std=noise_std)
+        assert str(classify_shape(curve)) == scenario.expected_shape
+
+    @given(index=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_expected_shape_ragged_grids(self, index):
+        for n_points in (40, 48, 64):
+            curve = episode_curve("V", index, seed=3, n_points=n_points)
+            assert len(curve) == n_points
+            assert str(classify_shape(curve)) == "V"
+
+
+class TestDeterminism:
+    def test_chunk_size_invariant(self, tmp_path):
+        """The generated fleet is bit-identical for any chunk size."""
+        a = generate_fleet(50, tmp_path / "a", seed=5, chunk_size=7)
+        b = generate_fleet(50, tmp_path / "b", seed=5, chunk_size=50)
+        for name in ("times.bin", "values.bin", "lengths.bin", "labels.bin"):
+            assert (tmp_path / "a" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes()
+        assert list(a) == list(b)
+
+    def test_episode_curve_matches_fleet(self, tmp_path):
+        """One-off episodes equal their fleet counterparts bit for bit."""
+        store = generate_fleet(
+            8, tmp_path / "fleet", scenarios=["U"], seed=42, chunk_size=3
+        )
+        for i in range(8):
+            solo = episode_curve("U", i, seed=42)
+            episode = store.episode(i)
+            np.testing.assert_array_equal(solo.times, episode.times)
+            np.testing.assert_array_equal(solo.performance, episode.performance)
+
+    def test_seed_changes_fleet(self, tmp_path):
+        a = generate_fleet(6, tmp_path / "a", seed=1)
+        b = generate_fleet(6, tmp_path / "b", seed=2)
+        assert list(a) != list(b)
+
+
+class TestGenerateFleet:
+    def test_labels_recorded(self, tmp_path):
+        store = generate_fleet(
+            30, tmp_path / "fleet", scenarios=["V", "L"], seed=9
+        )
+        assert store.label_names == ("V", "L")
+        labels = {store.label(i) for i in range(len(store))}
+        assert labels <= {"V", "L"}
+        assert len(labels) == 2  # both appear at this fleet size
+
+    def test_weighted_mixture(self, tmp_path):
+        store = generate_fleet(
+            60, tmp_path / "fleet", scenarios={"V": 1.0, "W": 0.0}, seed=9
+        )
+        assert all(store.label(i) == "V" for i in range(len(store)))
+
+    def test_ragged_grid_choices(self, tmp_path):
+        store = generate_fleet(
+            40,
+            tmp_path / "fleet",
+            seed=4,
+            n_points_choices=(40, 44, 48),
+        )
+        lengths = {len(store.episode(i)) for i in range(len(store))}
+        assert lengths <= {40, 44, 48}
+        assert len(lengths) > 1
+
+    def test_manifest_config_snapshot(self, tmp_path):
+        store = generate_fleet(
+            5, tmp_path / "fleet", scenarios=["W"], seed=17, noise_std=0.002
+        )
+        config = store.manifest["config"]
+        assert config["generator"] == "repro.datasets.outage"
+        assert config["scenarios"] == ["W"]
+        assert config["noise_std"] == 0.002
+        assert store.manifest["seed"] == 17
+
+    def test_iter_fleet_curves(self, tmp_path):
+        store = generate_fleet(10, tmp_path / "fleet", seed=2)
+        curves = list(iter_fleet_curves(store, chunk_size=3))
+        assert curves == list(store)
+
+    def test_performance_bounded(self, tmp_path):
+        store = generate_fleet(20, tmp_path / "fleet", seed=8, noise_std=0.0)
+        for curve in store:
+            assert curve.performance[0] == 1.0
+            assert np.all(curve.performance >= 0.0)
+            assert np.all(curve.performance <= 1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"scenarios": ["Z"]}, "unknown"),
+            ({"scenarios": {}}, "at least one"),
+            ({"scenarios": {"V": -1.0}}, "non-negative"),
+        ],
+    )
+    def test_bad_scenarios(self, tmp_path, kwargs, match):
+        with pytest.raises(DataError, match=match):
+            generate_fleet(5, tmp_path / "fleet", **kwargs)
+
+    def test_bad_fleet_size(self, tmp_path):
+        with pytest.raises(DataError, match="n_episodes"):
+            generate_fleet(0, tmp_path / "fleet")
+
+    def test_unknown_episode_scenario(self):
+        with pytest.raises(DataError, match="unknown"):
+            episode_curve("Z")

@@ -1,0 +1,203 @@
+"""Tests for the columnar episode store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.store import (
+    STORE_SCHEMA_VERSION,
+    EpisodeStore,
+    EpisodeStoreWriter,
+)
+from repro.datasets.synthetic import make_shape_curve
+from repro.exceptions import DataError
+
+
+def _write_batch(root, n=5, n_points=12, **writer_kwargs):
+    """A small store of *n* episodes with distinct times/values."""
+    with EpisodeStoreWriter(root, **writer_kwargs) as writer:
+        lengths = np.full(n, n_points, dtype=np.int64)
+        times = np.concatenate([np.linspace(0.0, 10.0, n_points)] * n)
+        values = np.concatenate(
+            [1.0 - 0.01 * (i + 1) * np.ones(n_points) for i in range(n)]
+        )
+        labels = np.array(
+            [writer.label_code("AB"[i % 2]) for i in range(n)], dtype=np.int64
+        )
+        writer.append(times, values, lengths, labels=labels)
+        store = writer.close()
+    return store
+
+
+class TestRoundTrip:
+    def test_columnar_append(self, tmp_path):
+        store = _write_batch(tmp_path / "store", n=5)
+        assert len(store) == 5
+        assert store.n_samples == 60
+        episode = store.episode(2)
+        assert len(episode) == 12
+        np.testing.assert_array_equal(episode.times, np.linspace(0.0, 10.0, 12))
+        assert episode.performance[0] == pytest.approx(1.0 - 0.03)
+        assert store.label(2) == "A"
+        assert store.label(3) == "B"
+        assert episode.metadata["label"] == "A"
+        assert episode.metadata["episode"] == 2
+
+    def test_append_curve(self, tmp_path):
+        curves = [make_shape_curve("V", seed=i, n_points=20) for i in range(3)]
+        with EpisodeStoreWriter(tmp_path / "store") as writer:
+            for curve in curves:
+                writer.append_curve(curve, label="V")
+            store = writer.close()
+        assert len(store) == 3
+        for i, curve in enumerate(curves):
+            episode = store.episode(i)
+            np.testing.assert_array_equal(episode.times, curve.times)
+            np.testing.assert_array_equal(episode.performance, curve.performance)
+            assert episode.nominal == curve.nominal
+            assert store.label(i) == "V"
+
+    def test_negative_index(self, tmp_path):
+        store = _write_batch(tmp_path / "store", n=4)
+        assert store.episode(-1) == store.episode(3)
+
+    def test_iteration_matches_random_access(self, tmp_path):
+        store = _write_batch(tmp_path / "store", n=7)
+        for i, curve in enumerate(store):
+            assert curve == store.episode(i)
+
+    def test_ragged_lengths(self, tmp_path):
+        with EpisodeStoreWriter(tmp_path / "store") as writer:
+            lengths = np.array([3, 5], dtype=np.int64)
+            times = np.concatenate([np.arange(3.0), np.arange(5.0)])
+            values = np.concatenate([np.ones(3), np.full(5, 0.5)])
+            writer.append(times, values, lengths)
+            store = writer.close()
+        assert len(store.episode(0)) == 3
+        assert len(store.episode(1)) == 5
+        np.testing.assert_array_equal(store.episode(1).performance, np.full(5, 0.5))
+
+
+class TestChunks:
+    def test_chunks_cover_fleet(self, tmp_path):
+        store = _write_batch(tmp_path / "store", n=10)
+        chunks = list(store.iter_chunks(3))
+        assert [chunk.start for chunk in chunks] == [0, 3, 6, 9]
+        assert sum(chunk.n_episodes for chunk in chunks) == 10
+        reassembled = [curve for chunk in chunks for curve in chunk.curves()]
+        assert reassembled == list(store)
+
+    def test_chunk_offsets(self, tmp_path):
+        store = _write_batch(tmp_path / "store", n=4, n_points=6)
+        (chunk,) = store.iter_chunks(100)
+        np.testing.assert_array_equal(chunk.offsets(), [0, 6, 12, 18, 24])
+
+    def test_chunk_size_validated(self, tmp_path):
+        store = _write_batch(tmp_path / "store")
+        with pytest.raises(DataError, match="chunk_size"):
+            next(store.iter_chunks(0))
+
+
+class TestManifest:
+    def test_contents(self, tmp_path):
+        root = tmp_path / "store"
+        _write_batch(root, n=5, seed=123, config={"generator": "test"})
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["schema_version"] == STORE_SCHEMA_VERSION
+        assert manifest["n_episodes"] == 5
+        assert manifest["n_samples"] == 60
+        assert manifest["seed"] == 123
+        assert manifest["config"] == {"generator": "test"}
+        assert manifest["label_names"] == ["A", "B"]
+        assert manifest["columns"]["times"] == "float64"
+        assert manifest["columns"]["lengths"] == "int64"
+
+    def test_stores_byte_identical(self, tmp_path):
+        """No timestamps or other nondeterminism in the layout."""
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        _write_batch(a, seed=7)
+        _write_batch(b, seed=7)
+        for name in ("manifest.json", "times.bin", "values.bin", "lengths.bin"):
+            assert (a / name).read_bytes() == (b / name).read_bytes()
+
+
+class TestErrors:
+    def test_existing_store_needs_overwrite(self, tmp_path):
+        root = tmp_path / "store"
+        _write_batch(root)
+        with pytest.raises(DataError, match="already exists"):
+            EpisodeStoreWriter(root)
+        store = _write_batch(root, n=2, overwrite=True)
+        assert len(store) == 2
+
+    def test_missing_manifest(self, tmp_path):
+        root = tmp_path / "incomplete"
+        root.mkdir()
+        with pytest.raises(DataError, match="manifest"):
+            EpisodeStore(root)
+
+    def test_unsupported_schema(self, tmp_path):
+        root = tmp_path / "store"
+        _write_batch(root)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["schema_version"] = 99
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(DataError, match="schema"):
+            EpisodeStore(root)
+
+    def test_truncated_column(self, tmp_path):
+        root = tmp_path / "store"
+        _write_batch(root)
+        payload = (root / "values.bin").read_bytes()
+        (root / "values.bin").write_bytes(payload[:-8])
+        with pytest.raises(DataError, match="values"):
+            EpisodeStore(root)
+
+    def test_index_out_of_range(self, tmp_path):
+        store = _write_batch(tmp_path / "store", n=3)
+        with pytest.raises(DataError, match="out of range"):
+            store.episode(3)
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = EpisodeStoreWriter(tmp_path / "store")
+        writer.append(
+            np.arange(2.0), np.ones(2), np.array([2], dtype=np.int64)
+        )
+        writer.close()
+        with pytest.raises(DataError, match="closed"):
+            writer.append(
+                np.arange(2.0), np.ones(2), np.array([2], dtype=np.int64)
+            )
+
+    @pytest.mark.parametrize(
+        "times, values, lengths, match",
+        [
+            (np.arange(3.0), np.ones(3), [2], "sum"),
+            (np.arange(1.0), np.ones(1), [1], "at least 2"),
+            (np.array([0.0, np.nan]), np.ones(2), [2], "finite"),
+            (np.arange(2.0), np.array([1.0, np.inf]), [2], "finite"),
+            (np.array([0.0, 0.0]), np.ones(2), [2], "increasing"),
+            # time restarts at an episode boundary — allowed
+            (np.array([0.0, 1.0, 0.0, 1.0]), np.ones(4), [2, 2], None),
+        ],
+    )
+    def test_append_validation(self, tmp_path, times, values, lengths, match):
+        with EpisodeStoreWriter(tmp_path / "store") as writer:
+            lengths_arr = np.asarray(lengths, dtype=np.int64)
+            if match is None:
+                writer.append(times, values, lengths_arr)
+            else:
+                with pytest.raises(DataError, match=match):
+                    writer.append(times, values, lengths_arr)
+
+    def test_label_shape_validated(self, tmp_path):
+        with EpisodeStoreWriter(tmp_path / "store") as writer:
+            with pytest.raises(DataError, match="labels"):
+                writer.append(
+                    np.arange(2.0),
+                    np.ones(2),
+                    np.array([2], dtype=np.int64),
+                    labels=np.array([0, 1], dtype=np.int64),
+                )

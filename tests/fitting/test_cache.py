@@ -171,6 +171,42 @@ class TestResolution:
         cache = default_fit_cache()
         assert cache is not None and cache.path == tmp_path / "fits.json"
 
+    def test_env_maxsize_overrides_default(self, monkeypatch):
+        from repro.fitting.cache import (
+            DEFAULT_MAX_ENTRIES,
+            MAXSIZE_ENV_VAR,
+            default_cache_maxsize,
+        )
+
+        monkeypatch.delenv(MAXSIZE_ENV_VAR, raising=False)
+        monkeypatch.setenv(CACHE_ENV_VAR, "")
+        assert default_cache_maxsize() == DEFAULT_MAX_ENTRIES
+        assert default_fit_cache().max_entries == DEFAULT_MAX_ENTRIES
+        monkeypatch.setenv(MAXSIZE_ENV_VAR, "3")
+        assert default_cache_maxsize() == 3
+        # the default instance is rebuilt when the env var changes
+        cache = default_fit_cache()
+        assert cache.max_entries == 3
+        for i in range(5):
+            cache.put(f"k{i}", {"v": i})
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 2
+
+    @pytest.mark.parametrize("raw", ["zero", "0", "-4", "1.5"])
+    def test_env_maxsize_invalid_raises(self, monkeypatch, raw):
+        from repro.exceptions import FitError
+        from repro.fitting.cache import MAXSIZE_ENV_VAR, default_cache_maxsize
+
+        monkeypatch.setenv(MAXSIZE_ENV_VAR, raw)
+        with pytest.raises(FitError, match="positive integer"):
+            default_cache_maxsize()
+
+    def test_env_maxsize_registered(self):
+        from repro._env import REGISTERED_ENV_VARS
+        from repro.fitting.cache import MAXSIZE_ENV_VAR
+
+        assert MAXSIZE_ENV_VAR in REGISTERED_ENV_VARS
+
     def test_invalid_type_raises(self):
         with pytest.raises(TypeError):
             resolve_cache("yes")  # type: ignore[arg-type]

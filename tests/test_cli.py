@@ -237,3 +237,66 @@ class TestTraceOptions:
         monkeypatch.delenv(TRACE_FILE_ENV_VAR, raising=False)
         assert main(["fit", "quadratic", "1990-93"]) == 0
         assert "Trace summary" not in capsys.readouterr().err
+
+
+class TestFleetCommands:
+    def test_make_fleet_then_fit_fleet(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "fleet"
+        assert (
+            main(
+                ["make-fleet", str(root), "--episodes", "12", "--seed", "3",
+                 "--scenarios", "V", "U"]
+            )
+            == 0
+        )
+        made = json.loads(capsys.readouterr().out)
+        assert made["n_episodes"] == 12
+        assert made["label_names"] == ["V", "U"]
+        assert (root / "manifest.json").is_file()
+
+        assert (
+            main(
+                ["fit-fleet", str(root), "--families", "quadratic",
+                 "--engine", "batched", "--chunk-size", "8"]
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_episodes"] == 12
+        assert summary["engine"] == "batched"
+        assert summary["per_family"]["quadratic"]["failed"] == 0
+
+    def test_make_fleet_ragged(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "fleet"
+        assert (
+            main(
+                ["make-fleet", str(root), "--episodes", "6", "--ragged", "40,48"]
+            )
+            == 0
+        )
+        made = json.loads(capsys.readouterr().out)
+        assert made["n_samples"] <= 6 * 48
+
+    def test_fit_fleet_output_file(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "fleet"
+        assert main(["make-fleet", str(root), "--episodes", "6"]) == 0
+        out_path = tmp_path / "summary.json"
+        assert (
+            main(
+                ["fit-fleet", str(root), "--families", "quadratic",
+                 "--engine", "batched", "--output", str(out_path)]
+            )
+            == 0
+        )
+        summary = json.loads(out_path.read_text())
+        assert summary["n_episodes"] == 6
+
+    def test_fit_fleet_missing_store_errors(self, tmp_path, capsys):
+        assert main(["fit-fleet", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -158,3 +158,47 @@ class TestPerfGuard:
             f"{AUC_MIN_SPEEDUP}× faster than scalar quad "
             f"({scalar_best * 1e3:.2f} ms) — kernel regressed to scalar"
         )
+
+
+class TestFleetPerfGuard:
+    """Relative guard on cross-episode batching (machine-speed immune).
+
+    The full measurement (100k episodes, three engines, RSS proof)
+    lives in ``benchmarks/bench_fleet.py`` / ``BENCH_fleet.json``; this
+    tier-1 smoke only asserts that stacking episodes into one kernel
+    solve still beats the per-episode scipy loop at all. Measured ~4×
+    on this 32-episode slice; the 1.5× bound trips only if the fleet
+    path regresses to per-episode solving.
+    """
+
+    FLEET_MIN_SPEEDUP = 1.5
+
+    def test_cross_episode_beats_per_episode_loop(self, tmp_path):
+        from repro.datasets.outage import generate_fleet
+        from repro.fitting.fleet import fit_fleet
+
+        store = generate_fleet(32, tmp_path / "fleet", seed=13)
+        family = make_model("quadratic")
+
+        start = time.perf_counter()
+        fleet = fit_fleet(store, ("quadratic",), engine="batched")
+        fleet_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        looped = [
+            fit_least_squares(family, curve, engine="batched", cache=False)
+            for curve in store
+        ]
+        loop_elapsed = time.perf_counter() - start
+
+        # Same-engine bit-identity rides along for free.
+        for i, reference in enumerate(looped):
+            cell = fleet.fit(i, "quadratic")
+            assert tuple(cell.params) == tuple(reference.params)
+            assert cell.sse == reference.sse
+
+        assert fleet_elapsed * self.FLEET_MIN_SPEEDUP < loop_elapsed, (
+            f"fit_fleet took {fleet_elapsed:.2f}s vs {loop_elapsed:.2f}s for "
+            f"the per-episode loop (bound {self.FLEET_MIN_SPEEDUP}×) — "
+            "cross-episode batching regressed to per-episode solving"
+        )
