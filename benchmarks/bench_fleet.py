@@ -41,6 +41,7 @@ from pathlib import Path
 
 from benchmarks.conftest import run_once
 from benchmarks.provenance import provenance_block
+from repro.bench.artifact import write_bench_artifact
 from repro.datasets.outage import generate_fleet, iter_fleet_curves
 from repro.datasets.store import EpisodeStore
 from repro.fitting.fleet import fit_fleet
@@ -247,8 +248,7 @@ def test_bench_fleet(benchmark, artifact_dir, tmp_path):
             "rss_ratio_for_5x_fleet": rss_ratio,
         },
     }
-    path = artifact_dir / "BENCH_fleet.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_bench_artifact(artifact_dir / "BENCH_fleet.json", payload)
     print()
     print(json.dumps(payload, indent=2, sort_keys=True))
 

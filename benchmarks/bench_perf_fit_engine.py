@@ -40,6 +40,7 @@ from scipy import optimize
 from benchmarks.conftest import run_once
 from benchmarks.provenance import provenance_block
 from repro.analysis.experiments import table3, truncation_grid
+from repro.bench.artifact import write_bench_artifact
 from repro.fitting.cache import FitCache
 from repro.models.base import ResilienceModel
 from repro.utils.integrate import adaptive_quad
@@ -236,8 +237,7 @@ def test_fit_engine(benchmark, artifact_dir):
             },
         },
     }
-    path = artifact_dir / "BENCH_fit_engine.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path = write_bench_artifact(artifact_dir / "BENCH_fit_engine.json", payload)
     print()
     print(json.dumps(payload, indent=2))
     assert path.exists()
@@ -389,8 +389,7 @@ def test_jacobian_engine(artifact_dir):
             "nfev_saved_fraction": 1.0 - warm_grid_nfev / cold_grid_nfev,
         },
     }
-    path = artifact_dir / "BENCH_jacobian.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path = write_bench_artifact(artifact_dir / "BENCH_jacobian.json", payload)
     print()
     print(json.dumps(payload, indent=2))
     assert path.exists()

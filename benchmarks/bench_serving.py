@@ -23,7 +23,6 @@ Two things are asserted:
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
@@ -36,6 +35,7 @@ from repro.models.registry import make_model
 from repro.observability import Tracer
 from repro.serving import OnlineForecaster, RefitPolicy
 from benchmarks.provenance import provenance_block
+from repro.bench.artifact import write_bench_artifact
 
 #: The Table III workload this benchmark replays.
 DATASET = "1990-93"
@@ -131,8 +131,7 @@ def test_bench_serving(benchmark, artifact_dir):
         "final_params": [float(v) for v in final.model.params],
         "final_sse": float(final.sse),
     }
-    path = artifact_dir / "BENCH_serving.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_bench_artifact(artifact_dir / "BENCH_serving.json", payload)
     print()
     print(
         f"serving: warm p50 {warm['p50_ms']:.2f} ms vs cold p50 "

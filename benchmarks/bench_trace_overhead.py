@@ -30,6 +30,7 @@ from benchmarks.conftest import run_once
 from repro.analysis.experiments import table3
 from repro.cli import main
 from benchmarks.provenance import provenance_block
+from repro.bench.artifact import write_bench_artifact
 from repro.observability.tracer import (
     NULL_TRACER,
     Tracer,
@@ -154,7 +155,6 @@ def test_trace_overhead(benchmark, artifact_dir, tmp_path, capsys):
             "n_fit_spans": len(cli_fit_spans),
         },
     }
-    path = artifact_dir / "BENCH_trace.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_artifact(artifact_dir / "BENCH_trace.json", payload)
     print()
     print(json.dumps(payload, indent=2))

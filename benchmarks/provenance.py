@@ -1,56 +1,13 @@
-"""Shared provenance block for every ``BENCH_*.json`` artifact.
+"""Provenance block for benchmark artifacts — re-exported.
 
-Benchmark numbers are meaningless without the machine and configuration
-that produced them. :func:`provenance_block` captures both once, in one
-canonical shape, so every benchmark embeds the same ``"provenance"``
-key and artifacts from different machines or library versions can be
-compared (or discarded) honestly.
+The implementation moved into the library proper
+(:mod:`repro.bench.provenance`) so the ``repro bench`` runner and the
+standalone benchmark scripts share one definition; this module stays as
+the scripts' historical import path.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import os
-import platform
-import sys
-from typing import Any
+from repro.bench.provenance import REQUIRED_PROVENANCE_KEYS, provenance_block
 
-
-def provenance_block() -> dict[str, Any]:
-    """Machine + configuration snapshot embedded in BENCH payloads.
-
-    Everything here is JSON-serializable and cheap to collect: CPU
-    count, platform triple, interpreter and core numeric-library
-    versions, the repro package version, and the default
-    :class:`~repro.fitting.options.EngineOptions` fields (the knobs
-    that change fit cost). Engine-affecting environment variables are
-    recorded only when set.
-    """
-    import numpy
-    import scipy
-
-    import repro
-    from repro._env import REGISTERED_ENV_VARS, read_env
-    from repro.fitting.options import DEFAULT_ENGINE_OPTIONS
-
-    env: dict[str, str] = {}
-    for name in sorted(REGISTERED_ENV_VARS):
-        value = read_env(name)
-        if value is not None:
-            env[name] = value
-    options = {
-        key: value
-        for key, value in dataclasses.asdict(DEFAULT_ENGINE_OPTIONS).items()
-        if value is None or isinstance(value, (bool, int, float, str))
-    }
-    return {
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": sys.version.split()[0],
-        "numpy": numpy.__version__,
-        "scipy": scipy.__version__,
-        "repro": repro.__version__,
-        "engine_options": options,
-        "env": env,
-    }
+__all__ = ["REQUIRED_PROVENANCE_KEYS", "provenance_block"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["REGISTERED_ENV_VARS", "read_env"]
+__all__ = ["REGISTERED_ENV_VARS", "read_env", "spawn_env"]
 
 #: Every environment variable the library reads, with the reason it
 #: exists. Reading an unregistered name is a programming error — add
@@ -33,6 +33,12 @@ REGISTERED_ENV_VARS: dict[str, str] = {
     "REPRO_FIT_CACHE_MAXSIZE": "default fit-cache LRU capacity (positive int)",
     "REPRO_TRACE": "enable the process-default tracer",
     "REPRO_TRACE_FILE": "JSON-lines span file (implies tracing)",
+    "REPRO_PERF_STRICT": (
+        "enable the pure wall-clock assertions in the tier-1 perf "
+        "guards and strict wall gating in `repro bench compare` "
+        "(counters are always asserted; wall bounds flake on loaded "
+        "CI boxes, so they are opt-in)"
+    ),
 }
 
 
@@ -51,3 +57,27 @@ def read_env(name: str, default: str | None = None) -> str | None:
             "repro._env.REGISTERED_ENV_VARS; declare it there first"
         )
     return os.environ.get(name, default)
+
+
+def spawn_env(**overrides: str | None) -> dict[str, str]:
+    """The process environment for a child process, with *overrides*.
+
+    The benchmark runner launches workload scripts in subprocesses and
+    must hand them the full parent environment (PATH, PYTHONPATH, …)
+    plus engine-axis overrides. This is the one sanctioned way to do
+    that without reading ``os.environ`` outside this module: every
+    override key must be a registered variable, and a ``None`` value
+    removes the variable from the child environment.
+    """
+    env = dict(os.environ)
+    for name, value in overrides.items():
+        if name not in REGISTERED_ENV_VARS:
+            raise KeyError(
+                f"environment variable {name!r} is not registered in "
+                "repro._env.REGISTERED_ENV_VARS; declare it there first"
+            )
+        if value is None:
+            env.pop(name, None)
+        else:
+            env[name] = value
+    return env

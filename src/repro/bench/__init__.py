@@ -1,0 +1,86 @@
+"""Orchestrated benchmark matrix with a manifest-driven perf gate.
+
+The repo's speed claims (batched-engine speedup, warm-refit latency,
+kernel throughput, fleet episodes/sec) used to live in one-off
+``BENCH_*.json`` snapshots produced by hand-run scripts. This package
+turns them into a *gateable* surface:
+
+:mod:`repro.bench.registry`
+    Suite registry: every ``benchmarks/bench_*.py`` script is wrapped
+    as a registered :class:`~repro.bench.registry.Workload`, and a
+    set of fast native ``smoke.*`` workloads re-measure the headline
+    metrics at CI scale with deterministic counters.
+:mod:`repro.bench.runner`
+    ``repro bench run`` — executes a suite × workload × engine/executor
+    matrix and writes a per-run manifest directory (``config.json``,
+    ``env.json``, ``metrics.jsonl``, ``summary.json``, provenance).
+:mod:`repro.bench.compare`
+    ``repro bench compare`` — diffs a run against the committed
+    ``benchmarks/baseline.json`` under per-metric tolerance policies
+    (counted metrics exact, wall-clock metrics ratio-tolerant) and
+    exits nonzero on regression.
+:mod:`repro.bench.artifact`
+    Schema validation + canonical writer for every ``BENCH_*.json``
+    artifact the benchmark scripts emit.
+
+See ``docs/benchmarks.md`` for the matrix layout, the manifest schema,
+and the baseline update workflow.
+"""
+
+from __future__ import annotations
+
+from repro.bench.artifact import (
+    artifact_metrics,
+    check_bench_payload,
+    validate_artifact_file,
+    validate_bench_payload,
+    write_bench_artifact,
+)
+from repro.bench.compare import (
+    ComparisonResult,
+    MetricDiff,
+    compare_run,
+    load_baseline,
+    update_baseline,
+)
+from repro.bench.provenance import provenance_block
+from repro.bench.registry import (
+    BenchContext,
+    MetricSpec,
+    Workload,
+    get_workload,
+    iter_workloads,
+    load_builtin_workloads,
+    register_workload,
+    registered_scripts,
+    suite_names,
+    workload_names,
+)
+from repro.bench.runner import RunResult, WorkloadRecord, run_matrix
+
+__all__ = [
+    "BenchContext",
+    "ComparisonResult",
+    "MetricDiff",
+    "MetricSpec",
+    "RunResult",
+    "Workload",
+    "WorkloadRecord",
+    "artifact_metrics",
+    "check_bench_payload",
+    "compare_run",
+    "get_workload",
+    "iter_workloads",
+    "load_baseline",
+    "load_builtin_workloads",
+    "provenance_block",
+    "register_workload",
+    "registered_scripts",
+    "run_matrix",
+    "suite_names",
+    "update_baseline",
+    "validate_artifact_file",
+    "validate_bench_payload",
+    "workload_names",
+    "write_bench_artifact",
+]

@@ -1,0 +1,232 @@
+"""``repro bench`` — run the benchmark matrix and gate on a baseline.
+
+Subcommands
+-----------
+``repro bench list [--suite NAME]``
+    Show registered workloads, their suites, and their metrics.
+``repro bench run [--suite smoke] [--workload NAME ...] [axes]``
+    Execute a matrix selection, write a manifest directory, and exit
+    nonzero if any workload failed. ``--update-baseline`` rewrites the
+    committed baseline from the finished run.
+``repro bench compare RUN_DIR [--baseline PATH]``
+    Diff a run's ``summary.json`` against the committed baseline and
+    exit ``1`` on regression (``2`` on usage/load errors).
+
+The exit-code contract (0 clean / 1 regression or workload failure /
+2 bad input) is what CI's ``bench-smoke`` job scripts against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.compare import (
+    DEFAULT_WALL_TOLERANCE,
+    compare_run,
+    load_baseline,
+    update_baseline,
+)
+from repro.bench.registry import iter_workloads, suite_names
+from repro.bench.runner import run_matrix
+from repro.exceptions import BenchError, ReproError
+from repro.fitting.options import EngineOptions
+
+__all__ = ["DEFAULT_BASELINE", "build_parser", "main"]
+
+#: The committed baseline the smoke gate compares against.
+DEFAULT_BASELINE = Path("benchmarks") / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro bench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="benchmark matrix runner and baseline gate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="show registered workloads")
+    list_cmd.add_argument(
+        "--suite", default=None, help="restrict to one suite"
+    )
+
+    run_cmd = sub.add_parser("run", help="execute a matrix selection")
+    run_cmd.add_argument(
+        "--suite", default=None, help="suite to run (default: smoke)"
+    )
+    run_cmd.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="explicit workload (repeatable; overrides --suite)",
+    )
+    run_cmd.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="manifest directory (default: benchmarks/runs/<suite>-<ts>)",
+    )
+    run_cmd.add_argument(
+        "--engine",
+        default=None,
+        choices=("scipy", "batched"),
+        help="solver-engine axis",
+    )
+    run_cmd.add_argument(
+        "--executor",
+        default=None,
+        choices=("serial", "thread", "process"),
+        help="executor-backend axis",
+    )
+    run_cmd.add_argument(
+        "--seed", type=int, default=None, help="multi-start seed axis"
+    )
+    run_cmd.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        metavar="PATH",
+        help="baseline file for --update-baseline",
+    )
+    run_cmd.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's results",
+    )
+
+    cmp_cmd = sub.add_parser(
+        "compare", help="diff a run against the committed baseline"
+    )
+    cmp_cmd.add_argument(
+        "run_dir", metavar="RUN_DIR", help="manifest directory of the run"
+    )
+    cmp_cmd.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        metavar="PATH",
+        help="baseline file (default: benchmarks/baseline.json)",
+    )
+    cmp_cmd.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=DEFAULT_WALL_TOLERANCE,
+        metavar="RATIO",
+        help="wall-clock ratio band (default: %(default)s)",
+    )
+    cmp_cmd.add_argument(
+        "--strict-wall",
+        action="store_true",
+        help="fail on out-of-band wall metrics "
+        "(default: warn; REPRO_PERF_STRICT also enables)",
+    )
+    return parser
+
+
+def _cmd_list(suite: str | None) -> int:
+    shown = list(iter_workloads(suite))
+    if not shown:
+        print(f"no workloads in suite {suite!r}", file=sys.stderr)
+        print(f"known suites: {', '.join(suite_names())}", file=sys.stderr)
+        return 2
+    for workload in shown:
+        counted = [m.name for m in workload.metrics if m.kind == "counted"]
+        wall = [m.name for m in workload.metrics if m.kind == "wall"]
+        print(f"{workload.name}  [{', '.join(workload.suites)}]")
+        if workload.description:
+            print(f"    {workload.description}")
+        if counted:
+            print(f"    counted: {', '.join(counted)}")
+        if wall:
+            print(f"    wall:    {', '.join(wall)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suite = args.suite
+    workloads = args.workload
+    if workloads is None and suite is None:
+        suite = "smoke"
+    timestamp = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y%m%dT%H%M%SZ")
+    )
+    if args.output is not None:
+        out_dir = Path(args.output)
+    else:
+        label = suite if suite is not None else "custom"
+        out_dir = Path("benchmarks") / "runs" / f"{label}-{timestamp}"
+    options = EngineOptions().override(
+        engine=args.engine, executor=args.executor, seed=args.seed
+    )
+    result = run_matrix(
+        workloads,
+        suite=suite,
+        options=options,
+        out_dir=out_dir,
+        timestamp=timestamp,
+    )
+    for record in result.records:
+        status = record.status.upper()
+        print(f"{status:6s} {record.name}  ({record.seconds:.2f}s)")
+        if record.error:
+            print(f"       {record.error}")
+    print(f"manifest: {result.out_dir}")
+    if args.update_baseline:
+        if not result.ok:
+            print(
+                "not updating the baseline: "
+                f"workloads failed: {', '.join(result.failed)}",
+                file=sys.stderr,
+            )
+            return 1
+        update_baseline(result.summary, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+    return 0 if result.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    summary_path = Path(args.run_dir) / "summary.json"
+    try:
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchError(
+            f"cannot read run summary {summary_path}: {exc}"
+        ) from exc
+    baseline = load_baseline(args.baseline)
+    result = compare_run(
+        summary,
+        baseline,
+        wall_tolerance=args.wall_tolerance,
+        strict_wall=True if args.strict_wall else None,
+    )
+    print(result.render())
+    failed = summary.get("failed", [])
+    if failed:
+        print(
+            f"run itself had failed workloads: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args.suite)
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_compare(args)
+    except BenchError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro bench: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2

@@ -28,6 +28,9 @@ Commands
 ``lint``
     Run the project-invariant linter (``repro.devtools.lint``) over
     the tree; see ``docs/static-analysis.md``.
+``bench``
+    Benchmark matrix runner and baseline gate (``repro.bench``); see
+    ``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
@@ -400,6 +403,17 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=argparse.REMAINDER,
         help="arguments forwarded to repro.devtools.lint (try --help)",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark matrix runner and baseline gate (repro.bench)",
+        add_help=False,
+    )
+    bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.bench.cli (try --help)",
+    )
     return parser
 
 
@@ -679,6 +693,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.devtools.lint import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        # Same wholesale forwarding as `lint`: repro.bench.cli owns its
+        # own argparse surface (subcommands + option flags).
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     args.tracer = _build_tracer(args)

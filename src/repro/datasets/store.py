@@ -332,6 +332,15 @@ class EpisodeStore:
         self._offsets = np.concatenate(
             ([0], np.cumsum(self._columns["lengths"], dtype=np.int64))
         )
+        total = int(self._offsets[-1])
+        if total != self.n_samples:
+            raise DataError(
+                f"episode store at {self.root} is inconsistent: the "
+                f"lengths column sums to {total} samples but the "
+                f"manifest (and the times/values columns) hold "
+                f"{self.n_samples} — the store was truncated or its "
+                "columns were written by different runs"
+            )
 
     def __len__(self) -> int:
         return int(self.manifest["n_episodes"])

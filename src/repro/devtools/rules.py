@@ -181,11 +181,18 @@ def default_config() -> LintConfig:
                 required=frozenset({"options"}),
                 forbidden=only_options,
             ),
+            EntryPointSpec(
+                "src/repro/bench/runner.py",
+                "run_matrix",
+                required=frozenset({"options"}),
+                forbidden=only_options,
+            ),
         ),
         threading_prefixes=(
             "src/repro/fitting/",
             "src/repro/analysis/",
             "src/repro/serving/",
+            "src/repro/bench/",
         ),
         fit_path_prefixes=(
             "src/repro/fitting/",

@@ -18,6 +18,7 @@ __all__ = [
     "MetricError",
     "ServingError",
     "ShapeError",
+    "BenchError",
 ]
 
 
@@ -64,6 +65,16 @@ class MetricError(ReproError, ValueError):
 
 class ShapeError(ReproError, ValueError):
     """A curve-shape classification or generation request is invalid."""
+
+
+class BenchError(ReproError, ValueError):
+    """A benchmark artifact, manifest, or baseline failed validation.
+
+    Raised by :mod:`repro.bench` when a ``BENCH_*.json`` payload is
+    missing its provenance block or required metric keys, contains
+    non-finite numbers, or when a run/baseline comparison is asked to
+    operate on incompatible configurations.
+    """
 
 
 class ServingError(ReproError, RuntimeError):

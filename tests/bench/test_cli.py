@@ -1,0 +1,103 @@
+"""``repro bench`` CLI: forwarding, run manifests, compare gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.cli import main as repro_main
+
+
+class TestForwarding:
+    def test_repro_cli_forwards_bench(self, capsys):
+        assert repro_main(["bench", "list", "--suite", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke.fit_engine" in out
+        assert "counted:" in out
+
+    def test_bench_appears_in_repro_help(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main(["--help"])
+        assert "bench" in capsys.readouterr().out
+
+
+class TestList:
+    def test_list_unknown_suite_fails_with_hint(self, capsys):
+        assert bench_main(["list", "--suite", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "known suites" in err
+
+
+class TestRunAndCompare:
+    """One real (cheap) workload end to end through the CLI."""
+
+    WORKLOAD = "smoke.kernels"
+
+    def test_run_compare_roundtrip(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        baseline = tmp_path / "baseline.json"
+        code = bench_main(
+            [
+                "run",
+                "--workload",
+                self.WORKLOAD,
+                "--output",
+                str(run_dir),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and self.WORKLOAD in out
+        assert baseline.is_file()
+        summary = json.loads((run_dir / "summary.json").read_text())
+        assert summary["workloads"][self.WORKLOAD]["status"] == "ok"
+        assert summary["timestamp"], "CLI runs must be timestamped"
+
+        # A fresh run of the same workload passes the gate...
+        run2 = tmp_path / "run2"
+        assert (
+            bench_main(
+                ["run", "--workload", self.WORKLOAD, "--output", str(run2)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            bench_main(["compare", str(run2), "--baseline", str(baseline)])
+            == 0
+        )
+        assert "0 regressions" in capsys.readouterr().out
+
+        # ...and an injected counted regression trips it, readably.
+        tampered = json.loads(baseline.read_text())
+        tampered["workloads"][self.WORKLOAD]["counted"]["auc_match"] = 0
+        baseline.write_text(json.dumps(tampered))
+        code = bench_main(
+            ["compare", str(run2), "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+        assert f"{self.WORKLOAD}.auc_match" in out
+
+    def test_compare_missing_run_dir_is_usage_error(self, tmp_path, capsys):
+        assert bench_main(["compare", str(tmp_path / "nope")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_run_unknown_workload_is_usage_error(self, tmp_path, capsys):
+        code = bench_main(
+            [
+                "run",
+                "--workload",
+                "smoke.nope",
+                "--output",
+                str(tmp_path / "r"),
+            ]
+        )
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err

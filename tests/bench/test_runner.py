@@ -1,0 +1,172 @@
+"""Runner manifests: layout, determinism, and failure recording."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.registry import BenchContext, MetricSpec, Workload
+from repro.bench.runner import run_matrix
+from repro.exceptions import BenchError
+from repro.fitting.options import EngineOptions
+
+#: Value pool for stub metrics: finite and JSON-round-trippable.
+_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+    ),
+)
+
+
+def _stub(name: str, metrics: dict) -> Workload:
+    """A deterministic stub workload returning fixed metric values."""
+    specs = tuple(
+        MetricSpec(key, kind=("counted" if isinstance(value, int) else "wall"))
+        for key, value in metrics.items()
+    )
+    return Workload(
+        name=name,
+        runner=lambda ctx: dict(metrics),
+        metrics=specs,
+        suites=("stub",),
+    )
+
+
+def _fake_clock():
+    """A deterministic stand-in for perf_counter: 0, 1, 2, ..."""
+    counter = itertools.count()
+    return lambda: float(next(counter))
+
+
+class TestManifest:
+    def test_manifest_files_written(self, tmp_path):
+        workload = _stub("stub.one", {"count": 3, "seconds": 0.5})
+        result = run_matrix(
+            [workload],
+            options=EngineOptions(seed=7),
+            out_dir=tmp_path / "run",
+            clock=_fake_clock(),
+            timestamp="T0",
+        )
+        assert result.ok
+        for name in ("config.json", "env.json", "metrics.jsonl", "summary.json"):
+            assert (tmp_path / "run" / name).is_file()
+        config = json.loads((tmp_path / "run" / "config.json").read_text())
+        assert config["options"]["seed"] == 7
+        assert config["workloads"] == ["stub.one"]
+        env = json.loads((tmp_path / "run" / "env.json").read_text())
+        assert "REPRO_FIT_ENGINE" in env and "REPRO_PERF_STRICT" in env
+        summary = result.summary
+        entry = summary["workloads"]["stub.one"]
+        assert entry["counted"] == {"count": 3}
+        assert entry["wall"] == {"seconds": 0.5}
+        assert summary["failed"] == []
+
+    def test_workload_error_is_recorded_and_run_continues(self, tmp_path):
+        def boom(ctx: BenchContext) -> dict:
+            raise ValueError("deliberate")
+
+        bad = Workload(
+            name="stub.bad", runner=boom, metrics=(), suites=("stub",)
+        )
+        good = _stub("stub.good", {"count": 1})
+        result = run_matrix(
+            [bad, good],
+            options=EngineOptions(),
+            out_dir=tmp_path / "run",
+            clock=_fake_clock(),
+            timestamp="T0",
+        )
+        assert result.failed == ("stub.bad",)
+        assert not result.ok
+        entry = result.summary["workloads"]["stub.bad"]
+        assert entry["status"] == "error"
+        assert "deliberate" in entry["error"]
+        assert result.summary["workloads"]["stub.good"]["status"] == "ok"
+        lines = (
+            (tmp_path / "run" / "metrics.jsonl").read_text().splitlines()
+        )
+        assert len(lines) == 2
+
+    def test_undeclared_metric_is_an_error(self, tmp_path):
+        sneaky = Workload(
+            name="stub.sneaky",
+            runner=lambda ctx: {"declared": 1, "undeclared": 2},
+            metrics=(MetricSpec("declared", kind="counted"),),
+            suites=("stub",),
+        )
+        result = run_matrix(
+            [sneaky],
+            options=EngineOptions(),
+            out_dir=tmp_path / "run",
+            clock=_fake_clock(),
+            timestamp="T0",
+        )
+        assert result.failed == ("stub.sneaky",)
+        assert "undeclared" in result.summary["workloads"]["stub.sneaky"]["error"]
+
+    def test_empty_selection_rejected(self, tmp_path):
+        with pytest.raises(BenchError, match="workloads or a suite"):
+            run_matrix(None, out_dir=tmp_path / "run")
+        with pytest.raises(BenchError, match="empty workload"):
+            run_matrix([], out_dir=tmp_path / "run")
+
+
+class TestDeterminism:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        metrics=st.dictionaries(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            _values,
+            min_size=1,
+            max_size=4,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_summary_is_byte_identical_for_fixed_config(
+        self, tmp_path, metrics, seed
+    ):
+        """Two runs of the same workloads under the same config and
+        timestamp must write byte-identical manifests."""
+        options = EngineOptions(seed=seed, n_random_starts=2)
+        texts = []
+        for tag in ("a", "b"):
+            run_matrix(
+                [_stub("stub.det", metrics)],
+                options=options,
+                out_dir=tmp_path / tag,
+                clock=_fake_clock(),
+                timestamp="2026-01-01T00:00:00Z",
+            )
+            texts.append((tmp_path / tag / "summary.json").read_bytes())
+        assert texts[0] == texts[1]
+
+    def test_only_timestamp_differs_across_stamps(self, tmp_path):
+        workload = _stub("stub.ts", {"count": 5})
+        texts = []
+        for tag, stamp in (("a", "T1"), ("b", "T2")):
+            run_matrix(
+                [workload],
+                options=EngineOptions(),
+                out_dir=tmp_path / tag,
+                clock=_fake_clock(),
+                timestamp=stamp,
+            )
+            texts.append(
+                (tmp_path / tag / "summary.json").read_text().splitlines()
+            )
+        differing = [
+            (a, b) for a, b in zip(texts[0], texts[1]) if a != b
+        ]
+        assert len(texts[0]) == len(texts[1])
+        assert len(differing) == 1
+        assert "timestamp" in differing[0][0]

@@ -1,12 +1,22 @@
 """Wall-time regression guard for the fit engine.
 
-Tier-1 smoke bounds on the hot paths the perf work optimized. The
-bounds are deliberately generous — roughly 5× the measured single-CPU
-baseline with headroom for slow CI — so they only trip on
-*catastrophic* regressions (an accidental O(n²) loop, a kernel falling
-back to scalar quadrature), never on machine noise. The full
-measurement story lives in ``benchmarks/bench_perf_fit_engine.py`` /
-``BENCH_fit_engine.json``.
+Tier-1 smoke bounds on the hot paths the perf work optimized. Three
+kinds of guard, by flake risk:
+
+* **counter guards** (nfev/njev/iteration budgets, bit-identity) —
+  deterministic for a fixed seed, always asserted;
+* **relative guards** (batched-vs-scalar, fleet-vs-loop speedups) —
+  machine-speed immune, always asserted;
+* **pure wall-clock bounds** (absolute seconds) — opt-in behind the
+  ``REPRO_PERF_STRICT`` environment variable, because an absolute
+  bound on a loaded CI box measures the scheduler, not the code. The
+  bounds themselves stay deliberately generous (~5× the measured
+  single-CPU baseline) so even in strict mode they only trip on
+  *catastrophic* regressions.
+
+The full measurement story lives in
+``benchmarks/bench_perf_fit_engine.py`` / ``BENCH_fit_engine.json``
+and the ``repro bench`` smoke suite (``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
@@ -16,11 +26,19 @@ import time
 import numpy as np
 import pytest
 
+from repro._env import read_env
 from repro.datasets.recessions import load_recession
 from repro.fitting.least_squares import fit_least_squares
 from repro.models.base import ResilienceModel
 from repro.models.registry import make_model
 from repro.utils.integrate import adaptive_quad
+
+#: Pure wall-clock assertions are opt-in: absolute second bounds flake
+#: on loaded CI machines, so they only run when the caller asks.
+wall_clock_guard = pytest.mark.skipif(
+    not read_env("REPRO_PERF_STRICT"),
+    reason="pure wall-clock bound; set REPRO_PERF_STRICT=1 to enforce",
+)
 
 #: Multi-start mixture fit: ~1.4 s measured baseline.
 FIT_BOUND_SECONDS = 10.0
@@ -63,6 +81,7 @@ def batched_mixture_fit():
 
 
 class TestPerfGuard:
+    @wall_clock_guard
     def test_multistart_fit_wall_time(self, mixture_fit):
         _, elapsed = mixture_fit
         assert elapsed < FIT_BOUND_SECONDS, (
@@ -83,6 +102,7 @@ class TestPerfGuard:
             f"(bound {FIT_NFEV_BOUND}) — Jacobian path regression"
         )
 
+    @wall_clock_guard
     def test_batched_engine_wall_time(self, batched_mixture_fit):
         _, elapsed = batched_mixture_fit
         assert elapsed < BATCHED_FIT_BOUND_SECONDS, (
@@ -112,6 +132,7 @@ class TestPerfGuard:
         assert alt.sse == ref.sse
         assert alt.details["confirm_nfev"] > 0
 
+    @wall_clock_guard
     def test_derived_quantity_wall_time(self, mixture_fit):
         fit, _ = mixture_fit
         model = fit.model
