@@ -33,6 +33,14 @@ REGISTERED_ENV_VARS: dict[str, str] = {
     "REPRO_FIT_CACHE_MAXSIZE": "default fit-cache LRU capacity (positive int)",
     "REPRO_TRACE": "enable the process-default tracer",
     "REPRO_TRACE_FILE": "JSON-lines span file (implies tracing)",
+    "REPRO_SERVE_HOST": "forecast server bind host (repro serve)",
+    "REPRO_SERVE_PORT": "forecast server bind port (0 = ephemeral)",
+    "REPRO_SERVE_MAX_STREAMS": "admission cap on concurrently registered streams",
+    "REPRO_SERVE_MAX_INFLIGHT_REFITS": (
+        "first-fit solves allowed in flight before 429 rejections"
+    ),
+    "REPRO_SERVE_REFIT_INTERVAL": "seconds between batched refit ticks (0 = off)",
+    "REPRO_SERVE_REFIT_TIMEOUT": "deadline (s) for request-triggered first fits",
     "REPRO_PERF_STRICT": (
         "enable the pure wall-clock assertions in the tier-1 perf "
         "guards and strict wall gating in `repro bench compare` "

@@ -177,6 +177,7 @@ def _validation_sweep(
     train_fraction: float,
     confidence: float,
     title: str,
+    entry: str,
     options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
@@ -186,16 +187,18 @@ def _validation_sweep(
 
     The cells are independent fitting problems, so the grid runs on the
     chosen executor backend; results are assembled in grid order,
-    making the table identical on every backend. A ``trace=`` kwarg
-    (forwarded to every cell's fit) additionally wraps the whole grid
-    in one ``"table.grid"`` span. An ``options=``
+    making the table identical on every backend. Enabling tracing
+    (via ``options.trace``) additionally wraps the whole grid in one
+    ``"table.grid"`` span. An ``options=``
     :class:`~repro.fitting.options.EngineOptions` bundle fills in any
-    of executor/n_workers/fit_kwargs not given explicitly.
+    of executor/n_workers/fit_kwargs not given explicitly; *entry* is
+    the public entry point named by the deprecation warning when the
+    loose plumbing kwargs are used instead.
     """
     executor, n_workers, fit_kwargs = grid_engine_kwargs(
-        options, executor, n_workers, fit_kwargs
+        options, executor, n_workers, fit_kwargs, entry=entry
     )
-    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
+    tracer = resolve_tracer(fit_kwargs["options"].trace)
     recessions = load_all_recessions()
     cells = [
         _SweepCell(
@@ -232,6 +235,7 @@ def table1(
         train_fraction=train_fraction,
         confidence=confidence,
         title="Table I — Validation of prediction using two bathtub functions",
+        entry="table1",
         options=options,
         executor=executor,
         n_workers=n_workers,
@@ -254,6 +258,7 @@ def table3(
         train_fraction=train_fraction,
         confidence=confidence,
         title="Table III — Validation of prediction using mixture distributions",
+        entry="table3",
         options=options,
         executor=executor,
         n_workers=n_workers,
@@ -291,15 +296,16 @@ def _metric_table(
     train_fraction: float,
     alpha: float,
     title: str,
+    entry: str,
     options: EngineOptions | None = None,
     executor: ExecutorLike = None,
     n_workers: int | None = None,
     **fit_kwargs: object,
 ) -> TableMetricsResult:
     executor, n_workers, fit_kwargs = grid_engine_kwargs(
-        options, executor, n_workers, fit_kwargs
+        options, executor, n_workers, fit_kwargs, entry=entry
     )
-    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
+    tracer = resolve_tracer(fit_kwargs["options"].trace)
     curve = load_recession(dataset)
     cells = [
         _MetricCell(dataset, curve, model_name, train_fraction, alpha, dict(fit_kwargs))
@@ -334,6 +340,7 @@ def table2(
         train_fraction=train_fraction,
         alpha=alpha,
         title="Table II — Interval-based resilience metrics (bathtub models)",
+        entry="table2",
         options=options,
         executor=executor,
         n_workers=n_workers,
@@ -358,6 +365,7 @@ def table4(
         train_fraction=train_fraction,
         alpha=alpha,
         title="Table IV — Interval-based resilience metrics (mixture models)",
+        entry="table4",
         options=options,
         executor=executor,
         n_workers=n_workers,
@@ -491,7 +499,7 @@ def truncation_grid(
         Passed through to :func:`~repro.fitting.fit_least_squares`.
     """
     executor, n_workers, fit_kwargs = grid_engine_kwargs(
-        options, executor, n_workers, fit_kwargs
+        options, executor, n_workers, fit_kwargs, entry="truncation_grid"
     )
     if not fractions:
         raise DataError("truncation_grid needs at least one training fraction")
@@ -500,7 +508,7 @@ def truncation_grid(
         recessions = load_all_recessions()
     else:
         recessions = {name: load_recession(name) for name in datasets}
-    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
+    tracer = resolve_tracer(fit_kwargs["options"].trace)
     chains = [
         _TruncationChain(
             dataset_name, curve, model_name, ordered_fractions, confidence,

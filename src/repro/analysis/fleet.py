@@ -214,9 +214,9 @@ def episode_scorecard(
         ``executor=``/``n_workers=``/``fit_kwargs`` win over its fields.
     """
     executor, n_workers, fit_kwargs = grid_engine_kwargs(
-        options, executor, n_workers, fit_kwargs
+        options, executor, n_workers, fit_kwargs, entry="episode_scorecard"
     )
-    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
+    tracer = resolve_tracer(fit_kwargs["options"].trace)
     episodes = split_episodes(
         history, tolerance=tolerance, min_depth=min_depth, min_samples=min_samples
     )

@@ -75,32 +75,39 @@ def run_full_reproduction(
     grid and fit nested under it.
     """
     executor, n_workers, fit_kwargs = grid_engine_kwargs(
-        options, executor, n_workers, fit_kwargs
+        options, executor, n_workers, fit_kwargs, entry="run_full_reproduction"
     )
-    tracer = resolve_tracer(fit_kwargs.get("trace"))  # type: ignore[arg-type]
+    # The merged per-cell bundle carries the plumbing (cache/trace) for
+    # every nested artifact; the tables additionally get the grid-level
+    # executor folded in, while the figures keep their historical
+    # single-fit behavior (no grid executor).
+    cell_options: EngineOptions = fit_kwargs.pop("options")
+    grid_options = cell_options.override(executor=executor, n_workers=n_workers)
+    tracer = resolve_tracer(cell_options.trace)
     with tracer.span("pipeline.run", train_fraction=train_fraction):
         results = ReproductionResults(
             table_one=table1(
                 train_fraction=train_fraction, confidence=confidence,
-                executor=executor, n_workers=n_workers, **fit_kwargs
+                options=grid_options, **fit_kwargs
             ),
             table_two=table2(
                 train_fraction=train_fraction, alpha=alpha,
-                executor=executor, n_workers=n_workers, **fit_kwargs
+                options=grid_options, **fit_kwargs
             ),
             table_three=table3(
                 train_fraction=train_fraction, confidence=confidence,
-                executor=executor, n_workers=n_workers, **fit_kwargs
+                options=grid_options, **fit_kwargs
             ),
             table_four=table4(
                 train_fraction=train_fraction, alpha=alpha,
-                executor=executor, n_workers=n_workers, **fit_kwargs
+                options=grid_options, **fit_kwargs
             ),
         )
         results.figures["1"] = figure1()
         results.figures["2"] = figure2()
         for figure_id, builder in (("3", figure3), ("4", figure4), ("5", figure5), ("6", figure6)):
             results.figures[figure_id] = builder(
-                train_fraction=train_fraction, confidence=confidence, **fit_kwargs
+                train_fraction=train_fraction, confidence=confidence,
+                options=cell_options, **fit_kwargs
             )
         return results

@@ -68,6 +68,15 @@ ARTIFACT_REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
         "modeled_disabled_overhead_fraction",
         "overhead_budget_fraction",
     ),
+    "BENCH_service.json": (
+        "provenance",
+        "workload",
+        "streams",
+        "latency_ms",
+        "admission",
+        "refits",
+        "remediation",
+    ),
 }
 
 
@@ -196,6 +205,15 @@ _ARTIFACT_METRIC_PATHS: dict[str, tuple[tuple[str, str, str], ...]] = {
     "BENCH_trace.json": (
         ("n_fit_spans", "n_fit_spans", "counted"),
         ("modeled_disabled_overhead_fraction", "modeled_overhead", "wall"),
+    ),
+    "BENCH_service.json": (
+        ("streams.registered", "streams_registered", "counted"),
+        ("admission.rejected_register", "rejected_register", "counted"),
+        ("protocol_errors", "protocol_errors", "counted"),
+        ("remediation.reselected", "remediation_reselected", "counted"),
+        ("latency_ms.p50", "request_p50_ms", "wall"),
+        ("latency_ms.p99", "request_p99_ms", "wall"),
+        ("workload.requests_per_sec", "requests_per_sec", "wall"),
     ),
 }
 

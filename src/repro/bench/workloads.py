@@ -73,6 +73,7 @@ BENCH_SCRIPTS: tuple[str, ...] = (
     "bench_fleet.py",
     "bench_perf_fit_engine.py",
     "bench_robustness_reconstruction.py",
+    "bench_service.py",
     "bench_serving.py",
     "bench_table1_bathtub.py",
     "bench_table2_bathtub_metrics.py",
@@ -85,6 +86,7 @@ BENCH_SCRIPTS: tuple[str, ...] = (
 ARTIFACT_SCRIPTS: dict[str, tuple[str, ...]] = {
     "bench_perf_fit_engine.py": ("BENCH_fit_engine.json", "BENCH_jacobian.json"),
     "bench_fleet.py": ("BENCH_fleet.json",),
+    "bench_service.py": ("BENCH_service.json",),
     "bench_serving.py": ("BENCH_serving.json",),
     "bench_trace_overhead.py": ("BENCH_trace.json",),
 }
@@ -97,6 +99,7 @@ _HIGHER_IS_BETTER = frozenset(
         "fleet_speedup",
         "episodes_per_sec",
         "warm_speedup_p50",
+        "requests_per_sec",
     }
 )
 
@@ -279,6 +282,38 @@ def _run_serving(ctx: BenchContext) -> Mapping[str, float]:
     }
 
 
+def _run_serving_load(ctx: BenchContext) -> Mapping[str, float]:
+    from repro.serving.loadgen import run_load_sync
+    from repro.serving.server import ServerConfig
+
+    config = ServerConfig(
+        options=_smoke_options(ctx),
+        family="quadratic",
+        refit_interval=0.05,
+        refit_every_k=4,
+    )
+    report = run_load_sync(
+        config=config,
+        n_streams=200,
+        observations=8,
+        obs_batch=4,
+        connections=4,
+        forecast_streams=8,
+        reject_probes=8,
+        seed=SMOKE_SEED,
+        settle_seconds=0.2,
+        workdir=ctx.workdir / "smoke_serving_load",
+    )
+    return {
+        "streams_registered": report["streams"]["registered"],
+        "rejected_register": report["admission"]["rejected_register"],
+        "protocol_errors": report["protocol_errors"],
+        "forecasts_succeeded": report["forecasts"]["succeeded"],
+        "requests_per_sec": report["workload"]["requests_per_sec"],
+        "request_p99_ms": report["latency_ms"]["p99"],
+    }
+
+
 def _run_trace(ctx: BenchContext) -> Mapping[str, float]:
     from repro.datasets.recessions import load_recession
     from repro.fitting.least_squares import fit_least_squares
@@ -393,6 +428,23 @@ register_workload(
         suites=("smoke", "full"),
         description="1990-93 replay through OnlineForecaster: warm refit "
         "latency + finalize bit-identity",
+    )
+)
+register_workload(
+    Workload(
+        name="smoke.serving_load",
+        runner=_run_serving_load,
+        metrics=(
+            MetricSpec("streams_registered", kind="counted"),
+            MetricSpec("rejected_register", kind="counted"),
+            MetricSpec("protocol_errors", kind="counted"),
+            MetricSpec("forecasts_succeeded", kind="info"),
+            MetricSpec("requests_per_sec", direction="higher"),
+            MetricSpec("request_p99_ms", direction="lower"),
+        ),
+        suites=("smoke", "full"),
+        description="200-stream synthetic outage fleet through the asyncio "
+        "JSONL server: admission arithmetic + request SLO",
     )
 )
 register_workload(

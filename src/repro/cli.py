@@ -49,7 +49,7 @@ from repro.datasets.recessions import (
     load_recession,
     recession_shape_label,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import DataError, ReproError
 from repro.fitting.batched import ENGINE_NAMES
 from repro.metrics.predictive import predictive_metric_report
 from repro.models.registry import available_models, make_model
@@ -62,7 +62,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
     from repro.core.curve import ResilienceCurve
     from repro.datasets.stream import StreamEvent
+    from repro.fitting.options import EngineOptions
     from repro.observability.tracer import Tracer
+    from repro.serving.server import ServerConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -123,6 +125,15 @@ def _add_executor_arguments(command: argparse.ArgumentParser) -> None:
         help=(
             "also stream each span as one JSON line to PATH (implies "
             "--trace; default: $REPRO_TRACE_FILE)"
+        ),
+    )
+    command.add_argument(
+        "--options-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSON file of EngineOptions fields (EngineOptions.to_json "
+            "format); explicit flags override its entries"
         ),
     )
 
@@ -279,6 +290,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_arguments(serve)
 
+    server = sub.add_parser(
+        "serve",
+        help="run the asyncio JSONL-over-TCP forecast server until interrupted",
+    )
+    server.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: $REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    server.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port, 0 picks a free one (default: $REPRO_SERVE_PORT or 0)",
+    )
+    server.add_argument(
+        "--max-streams",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission cap on concurrently registered streams "
+            "(default: $REPRO_SERVE_MAX_STREAMS or 10000)"
+        ),
+    )
+    server.add_argument(
+        "--family",
+        default=None,
+        help="model family for new streams (default competing_risks)",
+    )
+    server.add_argument(
+        "--refit-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "cadence of the batched refit ticker "
+            "(default: $REPRO_SERVE_REFIT_INTERVAL or 0.25)"
+        ),
+    )
+    server.add_argument(
+        "--refit-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="per-stream refit policy: refit once K observations accumulate",
+    )
+    server.add_argument(
+        "--remediation-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cadence of the auto-remediation loop (default: off)",
+    )
+    _add_executor_arguments(server)
+
+    serve_load = sub.add_parser(
+        "serve-load",
+        help="self-host a forecast server and drive the synthetic load harness",
+    )
+    serve_load.add_argument(
+        "--streams",
+        type=int,
+        default=50,
+        metavar="N",
+        help="concurrently registered streams to sustain (default 50)",
+    )
+    serve_load.add_argument(
+        "--observations",
+        type=int,
+        default=8,
+        metavar="N",
+        help="observations per stream (default 8)",
+    )
+    serve_load.add_argument(
+        "--connections",
+        type=int,
+        default=4,
+        metavar="N",
+        help="pipelined client connections (default 4)",
+    )
+    serve_load.add_argument(
+        "--forecasts",
+        type=int,
+        default=8,
+        metavar="N",
+        help="streams to probe with forecast requests (default 8)",
+    )
+    serve_load.add_argument(
+        "--probes",
+        type=int,
+        default=8,
+        metavar="N",
+        help="extra registers sent into the full fleet; each must 429 "
+        "(default 8)",
+    )
+    serve_load.add_argument(
+        "--settle",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="pause between fill and probe phases (default 0.2)",
+    )
+    serve_load.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="outage-fleet generator seed (default 0)",
+    )
+    serve_load.add_argument(
+        "--family",
+        default="quadratic",
+        help="model family for the load run (default quadratic)",
+    )
+    _add_executor_arguments(serve_load)
+
     make_fleet = sub.add_parser(
         "make-fleet",
         help="generate a synthetic outage fleet into a columnar store",
@@ -423,6 +550,33 @@ def _load_curve(dataset: str) -> "ResilienceCurve":
     return curve_from_csv(dataset)
 
 
+def _engine_options(args: argparse.Namespace) -> "EngineOptions":
+    """One :class:`EngineOptions` bundle from the shared CLI flags.
+
+    ``--options-file`` (when given) supplies the base bundle; every
+    explicit flag overrides the corresponding field. The entry points
+    take only this bundle — the CLI never passes the deprecated loose
+    plumbing kwargs.
+    """
+    from repro.fitting.options import EngineOptions
+
+    if getattr(args, "options_file", None):
+        try:
+            with open(args.options_file, "r", encoding="utf-8") as handle:
+                base = EngineOptions.from_json(handle.read())
+        except (OSError, ValueError) as exc:
+            raise DataError(f"--options-file {args.options_file}: {exc}") from exc
+    else:
+        base = EngineOptions()
+    return base.override(
+        engine=getattr(args, "engine", None),
+        cache=getattr(args, "cache", None),
+        trace=args.tracer,
+        executor=getattr(args, "executor", None),
+        n_workers=getattr(args, "workers", None),
+    )
+
+
 def _build_tracer(args: argparse.Namespace) -> "Tracer | None":
     """Resolve ``--trace``/``--trace-file`` to a tracer (or ``None``).
 
@@ -470,11 +624,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         family,
         curve,
         train_fraction=args.train_fraction,
-        engine=args.engine,
-        executor=args.executor,
-        n_workers=args.workers,
-        cache=args.cache,
-        trace=args.tracer,
+        options=_engine_options(args),
     )
     measures = evaluation.measures
     print(f"Fitted {family.name} to {curve.name} (n={len(curve)}):")
@@ -534,10 +684,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         "3": experiments.table3,
         "4": experiments.table4,
     }
-    result = builders[key](
-        engine=args.engine, executor=args.executor, n_workers=args.workers,
-        cache=args.cache, trace=args.tracer,
-    )
+    result = builders[key](options=_engine_options(args))
     print(result.to_table())
     if args.csv:
         from repro.analysis.export import write_table_csv
@@ -554,7 +701,6 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     import json
 
     from repro.datasets.stream import interleave_streams, iter_curve
-    from repro.fitting.options import EngineOptions
     from repro.serving import RefitPolicy, replay_forecasts
 
     names = list(args.datasets) or list(RECESSION_NAMES)
@@ -573,14 +719,8 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         events = interleave_streams(streams)
 
     # The serving layer takes engine configuration only as EngineOptions;
-    # fold the shared CLI flags into one bundle.
-    options = EngineOptions(
-        engine=args.engine,
-        cache=args.cache,
-        trace=args.tracer,
-        executor=args.executor,
-        n_workers=args.workers,
-    )
+    # fold the shared CLI flags (and any --options-file) into one bundle.
+    options = _engine_options(args)
     policy = RefitPolicy(every_k=args.refit_every, sse_drift=args.sse_drift)
     records = replay_forecasts(
         events,  # type: ignore[arg-type]
@@ -602,6 +742,100 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     else:
         for record in records:
             print(json.dumps(record))
+    return 0
+
+
+def _server_config(args: argparse.Namespace) -> "ServerConfig":
+    """One ``ServerConfig`` from the environment plus explicit flags."""
+    from repro.serving.server import ServerConfig
+
+    config = ServerConfig.from_env()
+    overrides = {
+        name: value
+        for name, value in (
+            ("host", args.host),
+            ("port", args.port),
+            ("max_streams", args.max_streams),
+            ("family", args.family),
+            ("refit_interval", args.refit_interval),
+            ("refit_every_k", args.refit_every),
+            ("remediation_interval", args.remediation_interval),
+        )
+        if value is not None
+    }
+    return config.replace(options=_engine_options(args), **overrides)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serving.server import ForecastServer
+
+    config = _server_config(args)
+
+    async def _run() -> None:
+        server = ForecastServer(config)
+        host, port = await server.start()
+        print(
+            f"serving on {host}:{port} "
+            f"(max {config.max_streams} streams, "
+            f"refit every {config.refit_interval}s); Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            await asyncio.Event().wait()  # until cancelled
+        finally:
+            await server.stop()
+            print(json.dumps(server.stats()), file=sys.stderr)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutdown complete", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.loadgen import run_load_sync
+    from repro.serving.server import ServerConfig
+
+    config = ServerConfig.from_env().replace(
+        options=_engine_options(args),
+        family=args.family,
+        refit_interval=0.05,
+        refit_every_k=4,
+    )
+    report = run_load_sync(
+        config=config,
+        n_streams=args.streams,
+        observations=args.observations,
+        connections=args.connections,
+        forecast_streams=args.forecasts,
+        reject_probes=args.probes,
+        seed=args.seed,
+        settle_seconds=args.settle,
+    )
+    report.pop("server_stats", None)
+    print(json.dumps(report))
+    problems = []
+    if report["streams"]["registered"] != args.streams:
+        problems.append(
+            f"registered {report['streams']['registered']} of "
+            f"{args.streams} streams"
+        )
+    if report["protocol_errors"]:
+        problems.append(f"{report['protocol_errors']} protocol errors")
+    if report["admission"]["rejected_register"] != args.probes:
+        problems.append(
+            f"{report['admission']['rejected_register']} of "
+            f"{args.probes} admission probes rejected"
+        )
+    if problems:
+        print(f"error: serve-load failed: {'; '.join(problems)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -650,11 +884,7 @@ def _cmd_fit_fleet(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         length_bucket=args.length_bucket,
         confirm=not args.no_confirm,
-        engine=args.engine,
-        executor=args.executor,
-        n_workers=args.workers,
-        cache=args.cache,
-        trace=args.tracer,
+        options=_engine_options(args),
     )
     payload = json.dumps(result.summary(), indent=2, sort_keys=True)
     if args.output:
@@ -672,14 +902,7 @@ def _cmd_figure(number: int) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    print(
-        render_report(
-            run_full_reproduction(
-                engine=args.engine, executor=args.executor,
-                n_workers=args.workers, cache=args.cache, trace=args.tracer,
-            )
-        )
-    )
+    print(render_report(run_full_reproduction(options=_engine_options(args))))
     return 0
 
 
@@ -721,16 +944,16 @@ def main(argv: list[str] | None = None) -> int:
                 _load_curve(args.dataset),
                 model=args.model,
                 tolerance=args.tolerance,
-                engine=args.engine,
-                executor=args.executor,
-                n_workers=args.workers,
-                cache=args.cache,
-                trace=args.tracer,
+                options=_engine_options(args),
             )
             print(scorecard.to_table())
             return 0
         if args.command == "serve-replay":
             return _cmd_serve_replay(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "serve-load":
+            return _cmd_serve_load(args)
         if args.command == "make-fleet":
             return _cmd_make_fleet(args)
         if args.command == "fit-fleet":

@@ -182,6 +182,16 @@ def default_config() -> LintConfig:
                 forbidden=only_options,
             ),
             EntryPointSpec(
+                "src/repro/serving/server.py",
+                "ForecastServer.__init__",
+                forbidden=only_options,
+            ),
+            EntryPointSpec(
+                "src/repro/serving/remediation.py",
+                "RemediationLoop.__init__",
+                forbidden=only_options,
+            ),
+            EntryPointSpec(
                 "src/repro/bench/runner.py",
                 "run_matrix",
                 required=frozenset({"options"}),

@@ -83,4 +83,12 @@ class ServingError(ReproError, RuntimeError):
     Examples: observing a time stamp at or before the last one, asking
     for a forecast before any observations arrived, or registering two
     streams under the same key in a session.
+
+    ``code`` is the wire-protocol status code the JSONL server
+    (:mod:`repro.serving.server`) reports for the failure; the typed
+    subclasses in :mod:`repro.serving.errors` override it (429 for
+    admission rejections, 404 for unknown streams, 504 for refit
+    timeouts). The base value 400 is the generic "bad request" bucket.
     """
+
+    code = 400

@@ -57,6 +57,7 @@ from repro.fitting.multistart import generate_starts
 from repro.fitting.options import (
     DEFAULT_ENGINE_OPTIONS as DEFAULT_OPTIONS,
     EngineOptions,
+    warn_deprecated_engine_kwargs,
 )
 from repro.models.base import ResilienceModel
 from repro.models.registry import make_model
@@ -397,7 +398,10 @@ def fit_fleet(
         repeat a cache key); pass ``True`` or a
         :class:`~repro.fitting.cache.FitCache` to opt in.
     trace, executor, n_workers, n_random_starts, seed, max_nfev, jac:
-        As in :func:`~repro.fitting.fit_least_squares`.
+        As in :func:`~repro.fitting.fit_least_squares` — including the
+        deprecation: loose ``cache=``/``trace=``/``executor=``/
+        ``n_workers=`` still work but draw a ``DeprecationWarning``;
+        put the plumbing in ``options=``.
 
     Returns
     -------
@@ -405,6 +409,19 @@ def fit_fleet(
         Columnar per-(episode, family) parameters, SSE, convergence
         flags, and evaluation counts.
     """
+    warn_deprecated_engine_kwargs(
+        "fit_fleet",
+        [
+            name
+            for name, value in (
+                ("cache", cache),
+                ("trace", trace),
+                ("executor", executor),
+                ("n_workers", n_workers),
+            )
+            if value is not None
+        ],
+    )
     opts = (options or DEFAULT_OPTIONS).override(
         n_random_starts=n_random_starts,
         seed=seed,
@@ -669,9 +686,12 @@ def _fit_chunk_scipy(
         "max_nfev": opts.max_nfev,
         "jac": opts.jac,
         "engine": "scipy",
-        "cache": fleet_cache,
-        "trace": opts.trace,
-        "executor": "serial",
+        # Per-episode plumbing: the episode loop above is the parallel
+        # dimension, so each fit runs serially with the chunk's cache
+        # and tracer settings.
+        "options": DEFAULT_OPTIONS.override(
+            cache=fleet_cache, trace=opts.trace, executor="serial"
+        ),
     }
     work_units = [
         _EpisodeGridWork(curve, tuple(families), dict(fit_kwargs))

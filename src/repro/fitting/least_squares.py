@@ -55,6 +55,7 @@ from repro.fitting.options import (
     DEFAULT_ENGINE_OPTIONS as DEFAULT_OPTIONS,
     EngineOptions,
     grid_engine_kwargs,
+    warn_deprecated_engine_kwargs,
 )
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
@@ -530,6 +531,16 @@ def fit_least_squares(
     n_workers:
         Worker count for the pooled backends.
 
+    .. deprecated::
+        Passing ``cache=``, ``trace=``, ``executor=``, or
+        ``n_workers=`` as loose keyword arguments draws a
+        ``DeprecationWarning``; put the plumbing in ``options=``
+        (``EngineOptions(cache=..., trace=..., executor=...,
+        n_workers=...)``) instead. The values are still honored
+        exactly as before. The per-fit science knobs (``jac``,
+        ``engine``, ``seed``, ``n_random_starts``, ``max_nfev``)
+        remain first-class kwargs.
+
     Returns
     -------
     FitResult
@@ -547,6 +558,19 @@ def fit_least_squares(
     ConvergenceError
         If every start fails to produce a finite optimum.
     """
+    warn_deprecated_engine_kwargs(
+        "fit_least_squares",
+        [
+            name
+            for name, value in (
+                ("cache", cache),
+                ("trace", trace),
+                ("executor", executor),
+                ("n_workers", n_workers),
+            )
+            if value is not None
+        ],
+    )
     opts = (options or DEFAULT_OPTIONS).override(
         n_random_starts=n_random_starts,
         seed=seed,
@@ -970,14 +994,15 @@ def fit_many(
         problem). The per-family fits themselves run serially when the
         family loop is parallelized.
     kwargs:
-        Passed through to :func:`fit_least_squares`. A ``trace=``
-        kwarg both traces each per-family fit and wraps the whole call
-        in one ``"fit.many"`` span.
+        Passed through to :func:`fit_least_squares`. Enabling tracing
+        (``options.trace``, or the deprecated loose ``trace=`` kwarg)
+        both traces each per-family fit and wraps the whole call in
+        one ``"fit.many"`` span.
     """
     executor, n_workers, kwargs = grid_engine_kwargs(
-        options, executor, n_workers, kwargs
+        options, executor, n_workers, kwargs, entry="fit_many"
     )
-    tracer = resolve_tracer(kwargs.get("trace"))  # type: ignore[arg-type]
+    tracer = resolve_tracer(kwargs["options"].trace)
     work_units = [_FamilyWork(family, curve, dict(kwargs)) for family in families]
     with tracer.span(
         "fit.many", n_families=len(work_units), curve=curve.name or "<curve>"

@@ -27,6 +27,8 @@ Merge semantics (uniform across every entry point):
 from __future__ import annotations
 
 import dataclasses
+import json
+import warnings
 from dataclasses import dataclass
 from typing import Any, Mapping, NamedTuple
 
@@ -36,10 +38,25 @@ from repro.parallel import ExecutorLike, FitExecutor, get_executor
 
 __all__ = [
     "DEFAULT_ENGINE_OPTIONS",
+    "DEPRECATED_ENGINE_KWARGS",
     "EngineOptions",
     "ResolvedEngine",
     "grid_engine_kwargs",
+    "split_engine_kwargs",
+    "warn_deprecated_engine_kwargs",
 ]
+
+#: The engine-plumbing keyword arguments deprecated on every fit entry
+#: point in favor of ``options=``. The per-fit science knobs (``jac``,
+#: ``engine``, ``seed``, ``n_random_starts``, ``max_nfev``) are *not*
+#: deprecated — they vary per call; the plumbing below configures a
+#: process and belongs in one bundle.
+DEPRECATED_ENGINE_KWARGS: tuple[str, ...] = (
+    "cache",
+    "trace",
+    "executor",
+    "n_workers",
+)
 
 
 class ResolvedEngine(NamedTuple):
@@ -133,6 +150,73 @@ class EngineOptions:
                 kwargs[field.name] = value
         return kwargs
 
+    def to_dict(self) -> dict[str, Any]:
+        """Every field as a JSON-serializable mapping (lossless).
+
+        Unlike :meth:`to_kwargs` this does **not** drop default-valued
+        fields: the payload reconstructs this exact bundle via
+        :meth:`from_dict` even if the library's defaults change between
+        writing and reading. Fields holding live component instances
+        (a :class:`~repro.fitting.cache.FitCache`, a tracer, an
+        executor object) cannot survive a JSON trip and raise — config
+        files should name backends (``"thread"``) and use booleans for
+        cache/trace.
+
+        Raises
+        ------
+        ValueError
+            If ``cache``/``trace``/``executor`` hold component
+            instances rather than names, booleans, or ``None``.
+        """
+        payload: dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if not (
+                value is None
+                or isinstance(value, (bool, int, float, str))
+            ):
+                raise ValueError(
+                    f"EngineOptions.{field.name} holds a "
+                    f"{type(value).__name__} instance, which cannot be "
+                    f"serialized to JSON; use a backend name, a boolean, "
+                    f"or None in config files"
+                )
+            payload[field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EngineOptions":
+        """Rebuild a bundle from :meth:`to_dict` output.
+
+        Unknown keys raise (a config-file typo must not silently become
+        a default), missing keys keep their defaults (old config files
+        stay readable when the bundle grows a field).
+        """
+        field_names = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineOptions field(s) {unknown}; "
+                f"expected a subset of {sorted(field_names)}"
+            )
+        return cls(**dict(payload))
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering of :meth:`to_dict` (one line)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineOptions":
+        """Inverse of :meth:`to_json`; also accepts any JSON object
+        with a subset of the field names (hand-written config files)."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"EngineOptions JSON must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        return cls.from_dict(payload)
+
     def resolve(self) -> ResolvedEngine:
         """Concrete cache/tracer/executor with environment defaults applied.
 
@@ -153,11 +237,63 @@ class EngineOptions:
 DEFAULT_ENGINE_OPTIONS = EngineOptions()
 
 
+def warn_deprecated_engine_kwargs(entry: str, names: Any) -> None:
+    """Emit the one DeprecationWarning for loose engine-plumbing kwargs.
+
+    *names* is any iterable of kwarg names; only those listed in
+    :data:`DEPRECATED_ENGINE_KWARGS` are reported (in canonical order),
+    and nothing is emitted when none match. ``stacklevel=3`` points the
+    warning at the caller of the entry point, not at the entry point's
+    own merge plumbing.
+    """
+    given = [name for name in DEPRECATED_ENGINE_KWARGS if name in set(names)]
+    if not given:
+        return
+    rendered = ", ".join(f"{name}=..." for name in given)
+    warnings.warn(
+        f"{entry}: passing {', '.join(given)} as loose keyword "
+        f"argument(s) is deprecated; pass "
+        f"options=EngineOptions({rendered}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def split_engine_kwargs(
+    entry: str,
+    options: EngineOptions | None,
+    fit_kwargs: Mapping[str, Any],
+) -> tuple[EngineOptions | None, dict[str, Any]]:
+    """Pop deprecated plumbing knobs out of a loose ``**fit_kwargs``.
+
+    For entry points that forward ``**fit_kwargs`` opaquely (the
+    cross-validation helpers): the four deprecated names are removed
+    from the mapping, any non-``None`` values are folded into *options*
+    via :meth:`EngineOptions.override` (creating a bundle when the
+    caller passed none) with a single DeprecationWarning naming
+    *entry*, and the remaining science kwargs are returned untouched.
+    """
+    remaining = dict(fit_kwargs)
+    plumbing = {
+        name: remaining.pop(name)
+        for name in DEPRECATED_ENGINE_KWARGS
+        if name in remaining
+    }
+    given = {name: value for name, value in plumbing.items() if value is not None}
+    if given:
+        warn_deprecated_engine_kwargs(entry, given)
+        base = options if options is not None else DEFAULT_ENGINE_OPTIONS
+        options = base.override(**given)
+    return options, remaining
+
+
 def grid_engine_kwargs(
     options: EngineOptions | None,
     executor: ExecutorLike,
     n_workers: int | None,
     fit_kwargs: Mapping[str, Any],
+    *,
+    entry: str | None = None,
 ) -> tuple[ExecutorLike, int | None, dict[str, Any]]:
     """Merge *options* into a grid-style entry point's arguments.
 
@@ -167,18 +303,46 @@ def grid_engine_kwargs(
     per-cell fits run serially — while forwarding the remaining engine
     knobs into each cell's fit. This helper applies the same split to an
     options bundle: its executor fields fill the grid-level arguments
-    (when those were not given explicitly) and its remaining non-default
-    fields are folded *under* the explicit per-fit kwargs.
+    (when those were not given explicitly), its science fields
+    (``jac``/``engine``/``seed``/``n_random_starts``/``max_nfev``) are
+    folded *under* the explicit per-fit kwargs, and its plumbing fields
+    (``cache``/``trace``) travel to each cell as a per-cell
+    ``options=`` bundle in the returned kwargs rather than as the
+    deprecated loose knobs.
+
+    When *entry* is given, explicitly passed deprecated knobs — a
+    non-``None`` grid-level ``executor``/``n_workers`` or a non-``None``
+    ``cache``/``trace`` inside *fit_kwargs* — draw one
+    DeprecationWarning naming that entry point (they keep working; the
+    values are honored exactly as before).
     """
     merged = dict(fit_kwargs)
-    if options is None:
-        return executor, n_workers, merged
-    base = options.to_kwargs()
-    base.pop("executor", None)
-    base.pop("n_workers", None)
-    base.update(merged)
+    explicit = {
+        name: merged.pop(name) for name in ("cache", "trace") if name in merged
+    }
+    if entry is not None:
+        given = [name for name, value in explicit.items() if value is not None]
+        if executor is not None:
+            given.append("executor")
+        if n_workers is not None:
+            given.append("n_workers")
+        warn_deprecated_engine_kwargs(entry, given)
+    base_options = options if options is not None else DEFAULT_ENGINE_OPTIONS
     if executor is None:
-        executor = options.executor
+        executor = base_options.executor
     if n_workers is None:
-        n_workers = options.n_workers
-    return executor, n_workers, base
+        n_workers = base_options.n_workers
+    science = {
+        name: value
+        for name, value in base_options.to_kwargs().items()
+        if name not in DEPRECATED_ENGINE_KWARGS
+    }
+    science.update(merged)
+    # Per-cell plumbing: cache/trace from the bundle, overridden by the
+    # explicit loose knobs; executor/n_workers stay None so each cell
+    # keeps its historical serial/env-default resolution.
+    cell_options = DEFAULT_ENGINE_OPTIONS.override(
+        cache=base_options.cache, trace=base_options.trace
+    ).override(**{k: v for k, v in explicit.items() if v is not None})
+    science["options"] = cell_options
+    return executor, n_workers, science

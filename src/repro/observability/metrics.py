@@ -26,12 +26,17 @@ from typing import Any, Iterator
 
 from repro.utils.tables import format_table
 
-__all__ = ["MetricsRegistry", "TIMER_BUCKETS"]
+__all__ = ["MetricsRegistry", "PERCENTILE_WINDOW", "TIMER_BUCKETS"]
 
 #: Upper edges (seconds) of the histogram buckets; the final implicit
 #: bucket is +inf. Log-spaced so both a 0.5 ms cache hit and a 30 s
 #: grid land in an informative bin.
 TIMER_BUCKETS: tuple[float, ...] = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+#: Observations each histogram retains for exact percentiles. Beyond
+#: this the window slides (oldest dropped), so quantiles reflect the
+#: most recent observations — the behavior a latency SLO wants.
+PERCENTILE_WINDOW = 4096
 
 
 @dataclass
@@ -45,17 +50,44 @@ class _Histogram:
     buckets: list[int] = field(
         default_factory=lambda: [0] * (len(TIMER_BUCKETS) + 1)
     )
+    #: Sliding sample window backing :meth:`percentile`; a ring buffer
+    #: of the last :data:`PERCENTILE_WINDOW` observations.
+    samples: list[float] = field(default_factory=list)
+    _ring_next: int = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
+        if len(self.samples) < PERCENTILE_WINDOW:
+            self.samples.append(value)
+        else:
+            self.samples[self._ring_next] = value
+            self._ring_next = (self._ring_next + 1) % PERCENTILE_WINDOW
         for index, edge in enumerate(TIMER_BUCKETS):
             if value <= edge:
                 self.buckets[index] += 1
                 return
         self.buckets[-1] += 1
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0–100) over the sample window.
+
+        Exact (nearest-rank with linear interpolation, numpy
+        convention) while fewer than :data:`PERCENTILE_WINDOW`
+        observations have arrived; a sliding-window estimate after.
+        """
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (max(0.0, min(100.0, q)) / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
     def as_dict(self) -> dict[str, Any]:
         mean = self.total / self.count if self.count else 0.0
@@ -102,6 +134,22 @@ class MetricsRegistry:
             if histogram is None:
                 histogram = self._histograms[name] = _Histogram()
             histogram.observe(float(value))
+
+    def percentile(self, name: str, q: float) -> float:
+        """The *q*-th percentile (0–100) of histogram *name*.
+
+        Exact until the histogram's sample window
+        (:data:`PERCENTILE_WINDOW` observations) fills, then a
+        sliding-window estimate over the most recent observations.
+        ``0.0`` for a histogram that was never observed — the serving
+        SLO accountant reads p50/p99 through here without caring
+        whether traffic arrived yet.
+        """
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                return 0.0
+            return histogram.percentile(q)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:

@@ -7,25 +7,47 @@ curve's forecast fresh with warm-started incremental refits;
 such streams over one shared cache/tracer/executor; and
 :func:`~repro.serving.replay.replay_forecasts` replays recorded
 datasets through the service (the ``repro serve-replay`` CLI).
+:class:`~repro.serving.server.ForecastServer` puts the session behind
+an asyncio JSONL-over-TCP protocol (the ``repro serve`` CLI) with
+admission control and per-request SLO accounting, and
+:class:`~repro.serving.remediation.RemediationLoop` auto-heals streams
+whose incumbent family stopped tracking the curve.
 
 Unlike the batch entry points, everything here takes engine
 configuration only as an :class:`~repro.fitting.EngineOptions` bundle.
 """
 
+from repro.serving.errors import (
+    AdmissionError,
+    ProtocolError,
+    RefitTimeout,
+    StreamNotFound,
+    error_code,
+)
 from repro.serving.online import (
     Forecast,
     ForecastReport,
     OnlineForecaster,
     RefitPolicy,
 )
+from repro.serving.remediation import RemediationLoop
 from repro.serving.replay import replay_forecasts
+from repro.serving.server import ForecastServer, ServerConfig
 from repro.serving.session import ForecastSession
 
 __all__ = [
+    "AdmissionError",
     "Forecast",
     "ForecastReport",
+    "ForecastServer",
     "ForecastSession",
     "OnlineForecaster",
+    "ProtocolError",
     "RefitPolicy",
+    "RefitTimeout",
+    "RemediationLoop",
+    "ServerConfig",
+    "StreamNotFound",
+    "error_code",
     "replay_forecasts",
 ]

@@ -1,0 +1,80 @@
+"""Typed serving errors, mapped to wire-protocol status codes.
+
+The serving subsystem used to raise one flat
+:class:`~repro.exceptions.ServingError` for every misuse. A network
+front end needs more structure than that: the server must translate
+each failure into a machine-readable protocol error code, and clients
+must be able to distinguish "the fleet is full, back off" from "you
+asked about a stream that does not exist". Each subclass below carries
+a :attr:`ServingError.code` — an HTTP-flavored integer the JSONL
+protocol (:mod:`repro.serving.server`) embeds in its error responses —
+so the exception type *is* the protocol mapping.
+
+:class:`~repro.exceptions.ServingError` remains the base class (and
+keeps its historical ``code`` of 400, the generic bad-request bucket),
+so existing ``except ServingError`` handlers keep catching everything.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ServingError
+
+__all__ = [
+    "AdmissionError",
+    "ProtocolError",
+    "RefitTimeout",
+    "StreamNotFound",
+    "error_code",
+]
+
+
+class AdmissionError(ServingError):
+    """The server refused new work to protect the fleet.
+
+    Raised when registering a stream would exceed the ``max_streams``
+    cap, or when a fit-triggering request arrives while every
+    ``max_inflight_refits`` slot is busy. Protocol code 429: the client
+    should back off and retry.
+    """
+
+    code = 429
+
+
+class StreamNotFound(ServingError):
+    """A request referenced a stream key that is not registered.
+
+    Protocol code 404. Raised by
+    :meth:`~repro.serving.session.ForecastSession.__getitem__` and by
+    server operations that (unlike ``observe``) never auto-register.
+    """
+
+    code = 404
+
+
+class RefitTimeout(ServingError):
+    """A scheduled refit did not complete within the request deadline.
+
+    Protocol code 504. The solve keeps running in its worker — a later
+    request for the same stream may find the fit installed — but the
+    response the client is waiting on is abandoned.
+    """
+
+    code = 504
+
+
+class ProtocolError(ServingError):
+    """A request line could not be parsed or named an unknown operation.
+
+    Protocol code 400 (same bucket as the base class, but raised only
+    by the wire layer, so counters can tell malformed *requests* apart
+    from invalid *usage* of the session API).
+    """
+
+    code = 400
+
+
+def error_code(exc: BaseException) -> int:
+    """The protocol status code for *exc* (500 for non-serving errors)."""
+    if isinstance(exc, ServingError):
+        return int(getattr(exc, "code", 400))
+    return 500

@@ -1,0 +1,357 @@
+"""Synthetic load harness for :class:`~repro.serving.server.ForecastServer`.
+
+Drives the JSONL protocol with a fleet of synthetic outage episodes
+(the :func:`~repro.datasets.outage.generate_fleet` generator), proving
+the server's concurrency story at bench scale: every stream stays
+registered for the whole run — *n_streams* is the concurrent-stream
+count, not a total — while observations round-robin across the fleet
+over a handful of pipelined TCP connections.
+
+The run has three phases:
+
+1. **Fill**: every stream's observations are delivered in round-robin
+   rounds of ``obs_batch`` points, so the whole fleet is registered
+   (and concurrent) from the first round on.
+2. **Probe**: ``reject_probes`` extra ``register`` requests are sent
+   into the full fleet — each must be rejected with a 429, making the
+   admission-rejection count deterministic — and ``forecast`` requests
+   are issued for a sample of streams (retrying briefly on 429 when
+   the first-fit slots are saturated).
+3. **Account**: one ``stats`` request reads the server's SLO
+   percentiles and counters; the client folds in its own tallies
+   (responses by status, retries, wall clock, peak RSS).
+
+:func:`run_load` drives an already-running server;
+:func:`run_self_load` additionally hosts one on the same event loop —
+the shape the bench workload, the CI smoke job, and ``repro
+serve-load`` all use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.exceptions import ServingError
+from repro.serving.server import ForecastServer, ServerConfig
+
+__all__ = ["run_load", "run_load_sync", "run_self_load"]
+
+#: Requests a connection keeps in flight before reading responses.
+PIPELINE_WINDOW = 128
+
+
+class _Tally:
+    """Client-side accounting shared by every connection task."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.ok = 0
+        self.errors: dict[int, int] = {}
+        self.forecasts_ok = 0
+        self.forecast_retries = 0
+
+    def record(self, response: dict[str, Any]) -> None:
+        self.requests += 1
+        if response.get("ok"):
+            self.ok += 1
+            if response.get("op") == "forecast":
+                self.forecasts_ok += 1
+        else:
+            code = int(response.get("error", {}).get("code", 0))
+            self.errors[code] = self.errors.get(code, 0) + 1
+
+    def rejections(self) -> int:
+        return self.errors.get(429, 0)
+
+
+class _Connection:
+    """One pipelined JSONL connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._outstanding = 0
+
+    async def send(self, request: dict[str, Any], tally: _Tally) -> None:
+        """Pipeline one request, draining responses past the window."""
+        self.writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._outstanding += 1
+        if self._outstanding >= PIPELINE_WINDOW:
+            await self.writer.drain()
+            await self.drain(tally, keep=PIPELINE_WINDOW // 2)
+
+    async def call(self, request: dict[str, Any], tally: _Tally) -> dict[str, Any]:
+        """Round-trip one request (draining anything outstanding first)."""
+        await self.drain(tally, keep=0)
+        self.writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ServingError("server closed the connection mid-request")
+        response = json.loads(line)
+        tally.record(response)
+        return response
+
+    async def drain(self, tally: _Tally, *, keep: int = 0) -> None:
+        while self._outstanding > keep:
+            line = await self.reader.readline()
+            if not line:
+                raise ServingError(
+                    f"server closed the connection with "
+                    f"{self._outstanding} responses outstanding"
+                )
+            tally.record(json.loads(line))
+            self._outstanding -= 1
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # repro-lint: disable=R6
+            pass  # benign teardown race: the server closed first
+
+
+def _fleet_observations(
+    n_streams: int,
+    observations: int,
+    seed: int,
+    scenario: Sequence[str] | None,
+    workdir: Path,
+) -> list[tuple[str, list[tuple[float, float]]]]:
+    """``(key, [(t, p), ...])`` per stream from the outage generator."""
+    from repro.datasets.outage import generate_fleet, iter_fleet_curves
+
+    store = generate_fleet(
+        n_streams,
+        workdir / "loadgen_fleet",
+        scenarios=scenario,
+        seed=seed,
+        n_points=observations,
+        horizon=float(observations - 1),
+        chunk_size=min(max(n_streams, 1), 2048),
+        overwrite=True,
+    )
+    streams: list[tuple[str, list[tuple[float, float]]]] = []
+    for index, curve in enumerate(iter_fleet_curves(store)):
+        streams.append(
+            (
+                f"load-{index:06d}",
+                [
+                    (float(t), float(p))
+                    for t, p in zip(curve.times, curve.performance)
+                ],
+            )
+        )
+    return streams
+
+
+def _peak_rss_mb() -> float:
+    import resource
+
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return float(peak_kb) / 1024.0
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    n_streams: int = 1000,
+    observations: int = 10,
+    obs_batch: int = 5,
+    connections: int = 8,
+    forecast_streams: int = 64,
+    forecast_retries: int = 20,
+    reject_probes: int = 32,
+    scenario: Sequence[str] | None = None,
+    seed: int = 0,
+    horizon: float = 12.0,
+    settle_seconds: float = 0.0,
+    workdir: str | Path | None = None,
+) -> dict[str, Any]:
+    """Drive a running server; return the load report (see module doc).
+
+    *n_streams* streams stay concurrently registered for the whole run.
+    The target server must have ``max_streams == n_streams`` for the
+    ``reject_probes`` admission arithmetic to hold (extra registers
+    into a full fleet are deterministically rejected).
+    """
+    if n_streams < 1:
+        raise ServingError(f"n_streams must be >= 1, got {n_streams}")
+    if observations < 2:
+        raise ServingError(f"observations must be >= 2, got {observations}")
+    if obs_batch < 1:
+        raise ServingError(f"obs_batch must be >= 1, got {obs_batch}")
+    connections = max(1, min(connections, n_streams))
+
+    if workdir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-loadgen-")
+        workroot = Path(scratch.name)
+    else:
+        scratch = None
+        workroot = Path(workdir)
+    try:
+        streams = _fleet_observations(
+            n_streams, observations, seed, scenario, workroot
+        )
+        tally = _Tally()
+        links: list[_Connection] = []
+        for _ in range(connections):
+            reader, writer = await asyncio.open_connection(host, port)
+            links.append(_Connection(reader, writer))
+
+        start = time.perf_counter()
+
+        # Phase 1 — fill: round-robin batched observations, one slice of
+        # the fleet per connection, all connections concurrently.
+        async def fill(link: _Connection, slice_index: int) -> None:
+            mine = streams[slice_index::connections]
+            for offset in range(0, observations, obs_batch):
+                for key, points in mine:
+                    batch = points[offset : offset + obs_batch]
+                    if not batch:
+                        continue
+                    await link.send(
+                        {
+                            "op": "observe",
+                            "key": key,
+                            "points": [[t, p] for t, p in batch],
+                        },
+                        tally,
+                    )
+            await link.drain(tally, keep=0)
+
+        await asyncio.gather(
+            *(fill(link, index) for index, link in enumerate(links))
+        )
+        fill_seconds = time.perf_counter() - start
+
+        # Optional settle window between fill and probe, giving the
+        # server's refit ticker a chance to batch the fleet's due fits
+        # (so the probe-phase forecasts are served warm).
+        if settle_seconds > 0:
+            await asyncio.sleep(settle_seconds)
+
+        # Phase 2a — deterministic admission probes into the full fleet.
+        probe_link = links[0]
+        for probe in range(reject_probes):
+            await probe_link.send(
+                {"op": "register", "key": f"probe-{probe:04d}"}, tally
+            )
+        await probe_link.drain(tally, keep=0)
+
+        # Phase 2b — forecasts for a sample of streams, retrying briefly
+        # while the first-fit slots are saturated.
+        sample = streams[:: max(1, n_streams // max(forecast_streams, 1))]
+        sample = sample[:forecast_streams]
+        forecasts_requested = len(sample)
+        for index, (key, _points) in enumerate(sample):
+            link = links[index % connections]
+            for attempt in range(forecast_retries + 1):
+                response = await link.call(
+                    {"op": "forecast", "key": key, "horizon": horizon}, tally
+                )
+                if response.get("ok"):
+                    break
+                code = response.get("error", {}).get("code")
+                if code != 429 or attempt == forecast_retries:
+                    break
+                tally.forecast_retries += 1
+                await asyncio.sleep(0.05)
+
+        # Phase 3 — account: server-side SLO + counters.
+        stats = (await links[0].call({"op": "stats"}, tally))["result"]
+        wall = time.perf_counter() - start
+        for link in links:
+            await link.close()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+    server_counters = stats["server"]
+    return {
+        "workload": {
+            "n_streams": n_streams,
+            "observations": observations,
+            "obs_batch": obs_batch,
+            "connections": connections,
+            "seed": seed,
+            "requests": tally.requests,
+            "requests_per_sec": tally.requests / wall if wall > 0 else 0.0,
+            "fill_seconds": fill_seconds,
+            "wall_seconds": wall,
+        },
+        "streams": {
+            "registered": int(stats["session"]["streams"]),
+            "observations": int(stats["session"].get("observations", 0)),
+        },
+        "latency_ms": {
+            "p50": float(stats["slo"]["p50_ms"]),
+            "p99": float(stats["slo"]["p99_ms"]),
+        },
+        "admission": {
+            "rejected_register": int(
+                server_counters.get("serve.rejected_register", 0)
+            ),
+            "rejected_refit": int(server_counters.get("serve.rejected_refit", 0)),
+            "client_429_responses": tally.rejections(),
+            "reject_probes": reject_probes,
+        },
+        "refits": {
+            "ticks": int(server_counters.get("serve.refit_ticks", 0)),
+            "adopted": int(server_counters.get("serve.refits_adopted", 0)),
+            "first_fits": int(server_counters.get("serve.first_fits", 0)),
+        },
+        "forecasts": {
+            "requested": forecasts_requested,
+            "succeeded": tally.forecasts_ok,
+            "retries": tally.forecast_retries,
+        },
+        "protocol_errors": int(server_counters.get("serve.protocol_errors", 0)),
+        "max_rss_mb": _peak_rss_mb(),
+    }
+
+
+async def run_self_load(
+    config: ServerConfig | None = None, **load_kwargs: Any
+) -> dict[str, Any]:
+    """Host a server on this loop and drive :func:`run_load` against it.
+
+    The server's ``max_streams`` is pinned to the load's ``n_streams``
+    so the admission arithmetic in the report is exact. Returns the
+    load report with the final server stats attached under
+    ``"server_stats"``.
+    """
+    n_streams = int(load_kwargs.get("n_streams", 1000))
+    base = config if config is not None else ServerConfig()
+    server = ForecastServer(base.replace(max_streams=n_streams))
+    host, port = await server.start()
+    try:
+        report = await run_load(host, port, **load_kwargs)
+    finally:
+        await server.stop()
+    report["server_stats"] = server.stats()
+    return report
+
+
+def run_load_sync(
+    host: str | None = None,
+    port: int | None = None,
+    *,
+    config: ServerConfig | None = None,
+    **load_kwargs: Any,
+) -> dict[str, Any]:
+    """Synchronous wrapper: drive ``(host, port)``, or self-host when
+    no address is given."""
+    if host is not None and port is not None:
+        return asyncio.run(run_load(host, port, **load_kwargs))
+    if host is not None or port is not None:
+        raise ServingError("pass both host and port, or neither")
+    return asyncio.run(run_self_load(config, **load_kwargs))

@@ -398,6 +398,19 @@ class OnlineForecaster:
         fitted_per_point = self._fit.sse / self._fit_n
         return (sse_now / len(curve)) / fitted_per_point - 1.0
 
+    def drift(self) -> float | None:
+        """Relative per-point SSE drift of the incumbent fit.
+
+        How much worse (relative, e.g. ``0.25`` = 25%) the incumbent
+        model's per-point SSE is on the curve *as grown since the fit*,
+        compared to its per-point SSE at fit time. ``None`` when there
+        is no fit yet (or the fitted SSE is degenerate); ``inf`` when
+        the incumbent has gone non-finite on the new points. This is
+        the signal the remediation detector
+        (:mod:`repro.serving.remediation`) watches.
+        """
+        return self._drift()
+
     def refit_due(self) -> bool:
         """Whether the policy calls for a refit right now."""
         if not self.ready:
@@ -467,17 +480,33 @@ class OnlineForecaster:
         ):
             self._reselect(plan.curve)
 
+    def install_fit(
+        self, fit: FitResult, *, family: ResilienceModel | None = None
+    ) -> None:
+        """Install *fit* (and optionally a new incumbent *family*).
+
+        The adoption path for externally computed fits — the
+        remediation loop's verifier calls this after a proposed refit
+        or reselection beats the incumbent on held-out points. The
+        per-stream best-SSE watermark resets to the installed fit, so
+        reselection drift is measured against the new family from here
+        on.
+        """
+        if family is not None:
+            self._family = family
+        self._fit = fit
+        self._fit_n = len(self._times)
+        self._n_refits += 1
+        self._best_per_point = fit.sse / max(self._fit_n, 1)
+
     def _reselect(self, curve: ResilienceCurve) -> None:
         """Refit all candidate families cold and adopt the best."""
         families = list(self._candidates)
         if all(f.name != self._family.name for f in families):
             families.insert(0, self._family)
-        results = fit_many(
-            families,
-            curve,
-            options=self._fit_options,
-            executor=self._engine.executor,
-        )
+        # _fit_options already pins executor to the resolved backend, so
+        # the candidate loop parallelizes on it via the options bundle.
+        results = fit_many(families, curve, options=self._fit_options)
         self.stats["reselections"] += 1
         if self._tracer.enabled:
             self._tracer.metrics.inc("serving.reselections")
@@ -529,6 +558,7 @@ class OnlineForecaster:
         *,
         n_points: int = 25,
         confidence: float = 0.95,
+        allow_refit: bool = True,
     ) -> Forecast:
         """Predicted trajectory over the next *horizon* time units.
 
@@ -536,12 +566,26 @@ class OnlineForecaster:
         evaluated on an ``n_points`` grid from the last observation to
         ``last + horizon``; the recovery time is the model's first
         return to the nominal level.
+
+        ``allow_refit=False`` serves the incumbent fit as-is even when
+        the policy says a refit is due (raising if there is no fit
+        yet). The async server forecasts this way so a request never
+        blocks the event loop on a solve; freshness is delegated to the
+        batched refit ticker and the remediation loop.
         """
         if horizon <= 0.0:
             raise ServingError(f"horizon must be positive, got {horizon}")
         if n_points < 2:
             raise ServingError(f"n_points must be >= 2, got {n_points}")
-        fit, refit_performed = self._ensure_fit()
+        if allow_refit:
+            fit, refit_performed = self._ensure_fit()
+        else:
+            if self._fit is None:
+                raise ServingError(
+                    f"stream {self.key!r} has no fit yet and allow_refit "
+                    f"is off"
+                )
+            fit, refit_performed = self._fit, False
         last = self._times[-1]
         future = np.linspace(last, last + float(horizon), int(n_points))
         band = confidence_band(

@@ -16,13 +16,14 @@ from typing import Any, Iterator, Mapping, NamedTuple, Sequence
 from repro.core.curve import ResilienceCurve
 from repro.datasets.stream import StreamEvent
 from repro.exceptions import ServingError
+from repro.serving.errors import StreamNotFound
 from repro.fitting.least_squares import fit_least_squares
 from repro.fitting.options import EngineOptions
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
 from repro.serving.online import Forecast, ForecastReport, OnlineForecaster, RefitPolicy
 
-__all__ = ["ForecastSession"]
+__all__ = ["ForecastSession", "PlannedRefit"]
 
 
 class _BatchRefitWork(NamedTuple):
@@ -41,6 +42,29 @@ class _BatchRefitWork(NamedTuple):
     solver_kwargs: dict
 
 
+class PlannedRefit(NamedTuple):
+    """One stream's due refit, snapshotted by :meth:`ForecastSession.refit_plans`.
+
+    The snapshot pins the forecaster *instance* alongside its key:
+    :meth:`ForecastSession.adopt_refits` only installs the fit if that
+    exact instance is still registered under the key, so streams
+    removed — or removed and re-registered — while the batch was in
+    flight are skipped instead of being corrupted with a stale fit.
+    """
+
+    key: str
+    forecaster: OnlineForecaster
+    plan: Any  # _RefitPlan; private to repro.serving.online
+    work: _BatchRefitWork
+
+
+#: Plumbing for batch work units: the batch itself is the parallel
+#: dimension, and cache/trace handles cannot cross a process boundary,
+#: so each unit solves serially with both disabled (the session
+#: re-attaches hit-rate accounting in the parent).
+_BATCH_REFIT_OPTIONS = EngineOptions(cache=False, trace=False, executor="serial")
+
+
 def _execute_batch_refit(work: _BatchRefitWork) -> tuple[str, FitResult]:
     # Plan kwargs (warm starts, shrunk budgets) win over the session's
     # baseline solver kwargs, mirroring the inline merge order.
@@ -48,9 +72,7 @@ def _execute_batch_refit(work: _BatchRefitWork) -> tuple[str, FitResult]:
     return work.key, fit_least_squares(
         work.family,
         work.curve,
-        executor="serial",
-        cache=False,
-        trace=False,
+        options=_BATCH_REFIT_OPTIONS,
         **kwargs,
     )
 
@@ -122,12 +144,31 @@ class ForecastSession:
         self._forecasters[key] = forecaster
         return forecaster
 
+    def unregister(self, key: str) -> OnlineForecaster:
+        """Remove and return the stream under *key*.
+
+        A batched refit already in flight for the stream is discarded at
+        adoption time (see :meth:`adopt_refits`) rather than installed
+        into a forecaster the session no longer tracks.
+
+        Raises
+        ------
+        StreamNotFound
+            If *key* is not registered.
+        """
+        try:
+            return self._forecasters.pop(key)
+        except KeyError:
+            raise StreamNotFound(
+                f"unknown stream {key!r}; {len(self._forecasters)} registered"
+            ) from None
+
     def __getitem__(self, key: str) -> OnlineForecaster:
         try:
             return self._forecasters[key]
         except KeyError:
-            raise ServingError(
-                f"unknown stream {key!r}; registered: {sorted(self._forecasters)}"
+            raise StreamNotFound(
+                f"unknown stream {key!r}; {len(self._forecasters)} registered"
             ) from None
 
     def __contains__(self, key: str) -> bool:
@@ -165,6 +206,63 @@ class ForecastSession:
     # ------------------------------------------------------------------
     # Batch refitting
     # ------------------------------------------------------------------
+    def refit_plans(self) -> list[PlannedRefit]:
+        """Snapshot every stream's due refit, without solving anything.
+
+        The plan/execute/adopt split exists for the async server: plans
+        are built on the event loop (cheap — each is a curve snapshot
+        plus solver kwargs), :meth:`execute_refits` runs the blocking
+        solves on a worker thread, and :meth:`adopt_refits` installs the
+        results back on the loop. The registry is snapshotted up front,
+        so streams may be added or removed while the solves run.
+        """
+        solver_kwargs = {
+            name: value
+            for name, value in self.options.to_kwargs().items()
+            if name in ("jac", "seed", "n_random_starts", "max_nfev")
+        }
+        planned: list[PlannedRefit] = []
+        for key, forecaster in list(self._forecasters.items()):
+            plan = forecaster.refit_plan()
+            if plan is not None:
+                work = _BatchRefitWork(
+                    key, plan.family, plan.curve, plan.fit_kwargs, solver_kwargs
+                )
+                planned.append(PlannedRefit(key, forecaster, plan, work))
+        return planned
+
+    def execute_refits(self, planned: Sequence[PlannedRefit]) -> list[FitResult]:
+        """Solve *planned* as one batch on the shared executor.
+
+        Pure compute: session state is untouched, so this step is safe
+        to run off-thread while the event loop keeps serving.
+        """
+        if not planned:
+            return []
+        outcomes = self._engine.executor.map(
+            _execute_batch_refit, [entry.work for entry in planned]
+        )
+        return [fit for _, fit in outcomes]
+
+    def adopt_refits(
+        self, planned: Sequence[PlannedRefit], fits: Sequence[FitResult]
+    ) -> dict[str, FitResult]:
+        """Install batch results through each forecaster's adoption path.
+
+        A plan whose stream was unregistered — or unregistered and
+        re-registered as a *new* forecaster — while the batch was in
+        flight is skipped: the solve is discarded rather than installed
+        into a stream it no longer describes. Returns the fits actually
+        adopted, keyed by stream.
+        """
+        results: dict[str, FitResult] = {}
+        for entry, fit in zip(planned, fits):
+            if self._forecasters.get(entry.key) is not entry.forecaster:
+                continue
+            entry.forecaster.adopt_fit(fit, entry.plan)
+            results[entry.key] = fit
+        return results
+
     def refit_stale(self) -> dict[str, FitResult]:
         """Refit every stream whose policy says a refit is due.
 
@@ -172,30 +270,14 @@ class ForecastSession:
         executor — each solve runs serially inside its work unit — and
         the results are installed through each forecaster's normal
         adoption path (counters, reselection). Results are keyed by
-        stream and identical to refitting each stream inline.
+        stream and identical to refitting each stream inline. Streams
+        unregistered between planning and adoption are skipped (see
+        :meth:`adopt_refits`).
         """
-        plans = []
-        for key, forecaster in self._forecasters.items():
-            plan = forecaster.refit_plan()
-            if plan is not None:
-                plans.append((key, forecaster, plan))
-        if not plans:
+        planned = self.refit_plans()
+        if not planned:
             return {}
-        solver_kwargs = {
-            name: value
-            for name, value in self.options.to_kwargs().items()
-            if name in ("jac", "seed", "n_random_starts", "max_nfev")
-        }
-        work = [
-            _BatchRefitWork(key, plan.family, plan.curve, plan.fit_kwargs, solver_kwargs)
-            for key, _, plan in plans
-        ]
-        outcomes = self._engine.executor.map(_execute_batch_refit, work)
-        results: dict[str, FitResult] = {}
-        for (key, forecaster, plan), (_, fit) in zip(plans, outcomes):
-            forecaster.adopt_fit(fit, plan)
-            results[key] = fit
-        return results
+        return self.adopt_refits(planned, self.execute_refits(planned))
 
     # ------------------------------------------------------------------
     # Forecast surface

@@ -20,6 +20,7 @@ from repro._typing import ArrayLike, FloatArray
 from repro.core.curve import ResilienceCurve
 from repro.exceptions import ConvergenceError, FitError
 from repro.fitting.least_squares import fit_least_squares
+from repro.fitting.options import DEFAULT_ENGINE_OPTIONS, split_engine_kwargs
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
 from repro.parallel import ExecutorLike, get_executor
@@ -130,9 +131,15 @@ def residual_bootstrap(
     """
     if n_replications < 10:
         raise FitError(f"n_replications must be >= 10, got {n_replications}")
-    # Synthetic resampled curves are unique per (seed, replication), so
-    # cache lookups can never hit; skip the hashing overhead entirely.
-    fit_kwargs.setdefault("cache", False)
+    # Loose engine plumbing in fit_kwargs is deprecated; fold it into a
+    # per-replication options bundle. Synthetic resampled curves are
+    # unique per (seed, replication), so cache lookups can never hit —
+    # caching defaults off unless the caller opted in.
+    options, fit_kwargs = split_engine_kwargs("residual_bootstrap", None, fit_kwargs)
+    cell_options = options if options is not None else DEFAULT_ENGINE_OPTIONS
+    if cell_options.cache is None:
+        cell_options = cell_options.replace(cache=False)
+    fit_kwargs["options"] = cell_options
     curve = fit.curve
     predictions = fit.predict(curve.times)
     residuals = curve.performance - predictions

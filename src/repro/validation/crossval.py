@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from repro.core.curve import ResilienceCurve
 from repro.exceptions import MetricError
 from repro.fitting.least_squares import fit_least_squares
-from repro.fitting.options import EngineOptions
+from repro.fitting.options import (
+    DEFAULT_ENGINE_OPTIONS,
+    DEPRECATED_ENGINE_KWARGS,
+    EngineOptions,
+    split_engine_kwargs,
+)
 from repro.fitting.result import FitResult
 from repro.models.base import ResilienceModel
 from repro.validation.gof import GoodnessOfFit, adjusted_r_squared, pmse
@@ -66,6 +71,7 @@ def evaluate_predictive(
     *,
     train_fraction: float = 0.9,
     confidence: float = 0.95,
+    options: EngineOptions | None = None,
     **fit_kwargs: object,
 ) -> PredictiveEvaluation:
     """Run the paper's fit/predict/validate protocol on one curve.
@@ -80,11 +86,20 @@ def evaluate_predictive(
         Fraction used for fitting (the paper uses 90%).
     confidence:
         Level of the Eq. (13) band (the paper uses 95%).
+    options:
+        :class:`~repro.fitting.options.EngineOptions` bundle for the
+        training fit. Engine plumbing passed as loose *fit_kwargs*
+        (``cache=``/``trace=``/``executor=``/``n_workers=``) is
+        deprecated: it still works, but draws a ``DeprecationWarning``
+        and is folded into this bundle.
     fit_kwargs:
         Passed through to :func:`~repro.fitting.fit_least_squares`.
     """
+    options, fit_kwargs = split_engine_kwargs(
+        "evaluate_predictive", options, fit_kwargs
+    )
     train, test = curve.train_test_split(train_fraction)
-    fit = fit_least_squares(family, train, **fit_kwargs)  # type: ignore[arg-type]
+    fit = fit_least_squares(family, train, options=options, **fit_kwargs)  # type: ignore[arg-type]
 
     train_pred = fit.predict(train.times)
     test_pred = fit.predict(test.times)
@@ -130,13 +145,31 @@ def rolling_origin(
     bundle fills in fit kwargs not given explicitly; like an explicit
     ``n_random_starts=`` kwarg, a non-default ``options.n_random_starts``
     disables the warm budget shrink (the caller asked for that budget).
+    Loose ``cache=``/``trace=``/``executor=``/``n_workers=`` in
+    *fit_kwargs* are deprecated (they still work, with a
+    ``DeprecationWarning``) — put them in the bundle.
     """
+    options, fit_kwargs = split_engine_kwargs("rolling_origin", options, fit_kwargs)
     if options is not None:
         # The origin loop is inherently sequential (each fit warm-starts
         # the next), so every options field — including executor, which
-        # here parallelizes the multi-starts *within* each fit — merges
-        # straight into the per-fit kwargs.
-        fit_kwargs = {**options.to_kwargs(), **fit_kwargs}
+        # here parallelizes the multi-starts *within* each fit — flows
+        # into the per-fit call. Science knobs merge as loose kwargs
+        # (so the warm-shrink ``setdefault`` below still defers to a
+        # non-default ``options.n_random_starts``); the plumbing rides
+        # in a per-fit ``options=`` bundle.
+        science = {
+            name: value
+            for name, value in options.to_kwargs().items()
+            if name not in DEPRECATED_ENGINE_KWARGS
+        }
+        fit_kwargs = {**science, **fit_kwargs}
+        fit_kwargs["options"] = DEFAULT_ENGINE_OPTIONS.override(
+            cache=options.cache,
+            trace=options.trace,
+            executor=options.executor,
+            n_workers=options.n_workers,
+        )
     if min_train <= family.n_params:
         raise MetricError(
             f"min_train={min_train} must exceed the parameter count "

@@ -71,13 +71,13 @@ class TestGridEngineKwargs:
             None, "thread", 2, {"seed": 1}
         )
         assert (executor, n_workers) == ("thread", 2)
-        assert kwargs == {"seed": 1}
+        assert kwargs == {"seed": 1, "options": EngineOptions()}
 
     def test_executor_fields_split_off(self):
         options = EngineOptions(executor="thread", n_workers=2, seed=9)
         executor, n_workers, kwargs = grid_engine_kwargs(options, None, None, {})
         assert (executor, n_workers) == ("thread", 2)
-        assert kwargs == {"seed": 9}
+        assert kwargs == {"seed": 9, "options": EngineOptions()}
 
     def test_explicit_arguments_win(self):
         options = EngineOptions(executor="thread", n_workers=2, seed=9)
@@ -85,7 +85,30 @@ class TestGridEngineKwargs:
             options, "serial", 1, {"seed": 4}
         )
         assert (executor, n_workers) == ("serial", 1)
-        assert kwargs == {"seed": 4}
+        assert kwargs == {"seed": 4, "options": EngineOptions()}
+
+    def test_plumbing_rides_in_cell_options(self):
+        # cache/trace leave the loose kwargs and travel per-cell as an
+        # options bundle; executor/n_workers stay None inside it so each
+        # cell keeps its serial/env-default resolution.
+        options = EngineOptions(executor="thread", cache=False, trace=False)
+        executor, n_workers, kwargs = grid_engine_kwargs(options, None, None, {})
+        assert executor == "thread"
+        assert kwargs == {"options": EngineOptions(cache=False, trace=False)}
+
+    def test_explicit_loose_plumbing_warns_and_wins(self):
+        options = EngineOptions(cache=False)
+        with pytest.warns(DeprecationWarning, match="table1: passing cache"):
+            _, _, kwargs = grid_engine_kwargs(
+                options, None, None, {"cache": True}, entry="table1"
+            )
+        assert kwargs == {"options": EngineOptions(cache=True)}
+
+    def test_no_entry_never_warns(self, recwarn):
+        grid_engine_kwargs(None, "thread", 2, {"cache": False})
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
 
 
 class TestResolveEnvPrecedence:
@@ -194,3 +217,125 @@ class TestFitEquivalence:
         assert sorted(via_options) == sorted(via_kwargs)
         for name in via_kwargs:
             assert via_options[name].model.params == via_kwargs[name].model.params
+
+
+class TestJsonRoundTrip:
+    """to_json/from_json are lossless, with a drift pin on the schema."""
+
+    def test_field_schema_is_pinned(self):
+        # Growing EngineOptions is fine — update this pin deliberately
+        # when you do, and keep from_dict's missing-keys-keep-defaults
+        # behavior so old config files stay readable.
+        assert EngineOptions().to_dict() == {
+            "jac": "auto",
+            "engine": None,
+            "cache": None,
+            "trace": None,
+            "executor": None,
+            "n_workers": None,
+            "seed": None,
+            "n_random_starts": 8,
+            "max_nfev": 2000,
+        }
+
+    def test_round_trip_is_lossless(self):
+        options = EngineOptions(
+            jac="2-point", engine="batched", cache=False, trace=True,
+            executor="thread", n_workers=3, seed=11, n_random_starts=2,
+            max_nfev=500,
+        )
+        assert EngineOptions.from_json(options.to_json()) == options
+
+    def test_to_json_is_canonical_one_line(self):
+        text = EngineOptions(seed=1).to_json()
+        assert "\n" not in text
+        assert text == EngineOptions(seed=1).to_json()
+
+    def test_to_dict_keeps_default_valued_fields(self):
+        # Unlike to_kwargs: the payload reconstructs this exact bundle
+        # even if the library's defaults change between write and read.
+        assert EngineOptions(seed=5).to_dict()["n_random_starts"] == 8
+
+    def test_component_instances_refuse_to_serialize(self):
+        with pytest.raises(ValueError, match="cache"):
+            EngineOptions(cache=FitCache()).to_dict()
+        with pytest.raises(ValueError, match="trace"):
+            EngineOptions(trace=Tracer()).to_dict()
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(ValueError, match="unknown EngineOptions field"):
+            EngineOptions.from_dict({"n_random_start": 3})
+
+    def test_subset_payload_keeps_defaults(self):
+        assert EngineOptions.from_json('{"seed": 9}') == EngineOptions(seed=9)
+
+    def test_non_object_json_raises(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            EngineOptions.from_json("[1, 2]")
+
+
+class TestDeprecatedLooseKwargs:
+    """The plumbing knobs still work loose, but draw a DeprecationWarning."""
+
+    def test_fit_least_squares_loose_plumbing_warns(self, simple_curve):
+        family = make_model("quadratic")
+        with pytest.warns(
+            DeprecationWarning, match="fit_least_squares: passing cache, trace"
+        ):
+            loose = fit_least_squares(
+                family, simple_curve, n_random_starts=2, cache=False, trace=False
+            )
+        bundled = fit_least_squares(
+            family,
+            simple_curve,
+            n_random_starts=2,
+            options=EngineOptions(cache=False, trace=False),
+        )
+        assert loose.model.params == bundled.model.params
+
+    def test_options_bundle_does_not_warn(self, simple_curve, recwarn):
+        fit_least_squares(
+            make_model("quadratic"),
+            simple_curve,
+            n_random_starts=2,
+            options=EngineOptions(cache=False, trace=False, executor="serial"),
+        )
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_science_kwargs_do_not_warn(self, simple_curve, recwarn):
+        fit_least_squares(
+            make_model("quadratic"),
+            simple_curve,
+            n_random_starts=2,
+            seed=3,
+            max_nfev=800,
+            jac="auto",
+            options=EngineOptions(cache=False, trace=False),
+        )
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_split_engine_kwargs_folds_into_options(self):
+        from repro.fitting.options import split_engine_kwargs
+
+        with pytest.warns(DeprecationWarning, match="my_entry: passing executor"):
+            options, remaining = split_engine_kwargs(
+                "my_entry", EngineOptions(seed=5), {"executor": "thread", "seed": 7}
+            )
+        assert options == EngineOptions(seed=5, executor="thread")
+        assert remaining == {"seed": 7}
+
+    def test_split_engine_kwargs_none_values_do_not_warn(self, recwarn):
+        from repro.fitting.options import split_engine_kwargs
+
+        options, remaining = split_engine_kwargs(
+            "my_entry", None, {"cache": None, "seed": 7}
+        )
+        assert options is None
+        assert remaining == {"seed": 7}
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]

@@ -1,0 +1,90 @@
+"""The load harness: a small self-hosted run with exact accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.fitting.options import EngineOptions
+from repro.serving.loadgen import run_load_sync
+from repro.serving.server import ServerConfig
+
+CHEAP_OPTIONS = EngineOptions(
+    cache=False, trace=False, n_random_starts=2, seed=0, executor="serial"
+)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    config = ServerConfig(
+        options=CHEAP_OPTIONS,
+        family="quadratic",
+        refit_interval=0.05,
+        refit_every_k=4,
+    )
+    return run_load_sync(
+        config=config,
+        n_streams=40,
+        observations=6,
+        obs_batch=3,
+        connections=4,
+        forecast_streams=4,
+        reject_probes=5,
+        seed=0,
+        workdir=tmp_path_factory.mktemp("loadgen"),
+    )
+
+
+class TestSelfHostedRun:
+    def test_every_stream_stays_registered(self, report):
+        assert report["streams"]["registered"] == 40
+        assert report["streams"]["observations"] == 40 * 6
+
+    def test_admission_arithmetic_is_exact(self, report):
+        admission = report["admission"]
+        assert admission["rejected_register"] == 5
+        assert admission["client_429_responses"] >= 5
+        assert admission["reject_probes"] == 5
+
+    def test_no_protocol_errors(self, report):
+        assert report["protocol_errors"] == 0
+
+    def test_sampled_forecasts_are_answered(self, report):
+        forecasts = report["forecasts"]
+        assert forecasts["requested"] == 4
+        assert forecasts["succeeded"] == 4
+
+    def test_report_shape(self, report):
+        assert set(report) >= {
+            "workload",
+            "streams",
+            "latency_ms",
+            "admission",
+            "refits",
+            "forecasts",
+            "protocol_errors",
+            "max_rss_mb",
+            "server_stats",
+        }
+        assert report["latency_ms"]["p50"] >= 0.0
+        assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"]
+        assert report["workload"]["requests"] > 0
+        assert report["max_rss_mb"] > 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_streams": 0},
+            {"observations": 1},
+            {"obs_batch": 0},
+        ],
+    )
+    def test_bad_workload_knobs_raise(self, kwargs):
+        with pytest.raises(ServingError):
+            run_load_sync(config=ServerConfig(), **kwargs)
+
+    def test_host_without_port_raises(self):
+        with pytest.raises(ServingError, match="both host and port"):
+            run_load_sync(host="127.0.0.1")

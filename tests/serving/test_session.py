@@ -139,3 +139,104 @@ class TestSessionSurface:
         assert stats["observations"] == len(recession_1990)
         assert stats["refits_cold"] == 1
         assert stats["cache"] == cache.stats()
+
+
+class TestConcurrentMutation:
+    """refit_stale() while the registry mutates mid-batch.
+
+    The plan/execute/adopt split snapshots the registry up front and
+    re-validates at adoption, so streams added, removed, or replaced
+    while the solves are in flight must never receive a stale fit —
+    and must never corrupt the batch for the streams that stayed.
+    """
+
+    def _fill(self, session, *keys):
+        for key in keys:
+            for t, p in V_POINTS:
+                session.observe(key, t, p)
+
+    def test_unregistered_stream_is_skipped_at_adoption(self):
+        session = make_session(policy=RefitPolicy(every_k=1))
+        self._fill(session, "a", "b")
+        planned = session.refit_plans()
+        fits = session.execute_refits(planned)
+        session.unregister("b")
+        adopted = session.adopt_refits(planned, fits)
+        assert set(adopted) == {"a"}
+        assert session["a"].fit is not None
+
+    def test_reregistered_stream_is_not_corrupted(self):
+        # Same key, new forecaster instance: the in-flight solve
+        # describes the OLD stream and must be discarded.
+        session = make_session(policy=RefitPolicy(every_k=1))
+        self._fill(session, "a", "b")
+        planned = session.refit_plans()
+        fits = session.execute_refits(planned)
+        session.unregister("b")
+        self._fill(session, "b")
+        adopted = session.adopt_refits(planned, fits)
+        assert set(adopted) == {"a"}
+        assert session["b"].fit is None
+
+    def test_streams_added_mid_batch_wait_for_next_plan(self):
+        session = make_session(policy=RefitPolicy(every_k=1))
+        self._fill(session, "a")
+        planned = session.refit_plans()
+        self._fill(session, "late")
+        adopted = session.adopt_refits(planned, session.execute_refits(planned))
+        assert set(adopted) == {"a"}
+        assert session["late"].fit is None
+        second = session.refit_plans()
+        assert "late" in [entry.key for entry in second]
+
+    def test_refit_in_flight_survives_registry_mutation(self, monkeypatch):
+        """A real thread race: the batch blocks mid-solve while the
+        main thread removes, replaces, and adds streams."""
+        import threading
+
+        from repro.serving import session as session_module
+
+        session = make_session(policy=RefitPolicy(every_k=1))
+        self._fill(session, "keep", "drop", "swap")
+
+        started = threading.Event()
+        release = threading.Event()
+        original = session_module._execute_batch_refit
+
+        def gated(work):
+            started.set()
+            assert release.wait(timeout=30)
+            return original(work)
+
+        monkeypatch.setattr(session_module, "_execute_batch_refit", gated)
+
+        results = {}
+        errors = []
+
+        def run():
+            try:
+                results.update(session.refit_stale())
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        assert started.wait(timeout=30)
+
+        # Mutate while the solves are blocked in flight.
+        session.unregister("drop")
+        session.unregister("swap")
+        self._fill(session, "swap")  # same key, NEW forecaster
+        session.observe("new", 0.0, 1.0)
+
+        release.set()
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+        assert errors == []
+
+        assert set(results) == {"keep"}
+        assert session["keep"].fit is not None
+        assert session["keep"].pending == 0
+        assert "drop" not in session
+        assert session["swap"].fit is None  # stale solve discarded
+        assert "new" in session

@@ -110,6 +110,47 @@ class TestTableExportOptions:
         assert "wrote" in capsys.readouterr().out
 
 
+class TestOptionsFile:
+    """``--options-file`` loads an EngineOptions JSON as the base bundle."""
+
+    def test_fit_reads_options_file(self, tmp_path, capsys):
+        from repro.fitting.options import EngineOptions
+
+        path = tmp_path / "engine.json"
+        path.write_text(
+            EngineOptions(n_random_starts=2, cache=False, trace=False).to_json()
+        )
+        assert main(["fit", "quadratic", "1990-93", "--options-file", str(path)]) == 0
+        assert "SSE" in capsys.readouterr().out
+
+    def test_flags_override_the_file(self, tmp_path):
+        from repro.cli import _engine_options
+
+        path = tmp_path / "engine.json"
+        path.write_text('{"executor": "thread", "n_workers": 2, "seed": 7}')
+        args = build_parser().parse_args(
+            ["fit", "quadratic", "1990-93",
+             "--options-file", str(path), "--executor", "serial"]
+        )
+        args.tracer = None
+        options = _engine_options(args)
+        assert options.executor == "serial"  # flag wins
+        assert options.n_workers == 2  # file survives where no flag given
+        assert options.seed == 7
+
+    def test_unknown_key_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "engine.json"
+        path.write_text('{"n_random_start": 3}')
+        assert main(["fit", "quadratic", "1990-93", "--options-file", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "--options-file" in err
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main(["fit", "quadratic", "1990-93", "--options-file", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFigureCommands:
     @pytest.mark.parametrize("number", ["1", "3"])
     def test_more_figures(self, capsys, number):
@@ -300,3 +341,78 @@ class TestFleetCommands:
     def test_fit_fleet_missing_store_errors(self, tmp_path, capsys):
         assert main(["fit-fleet", str(tmp_path / "nope")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeCommands:
+    def test_serve_load_runs_and_reports(self, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "serve-load",
+                "--streams",
+                "10",
+                "--observations",
+                "4",
+                "--connections",
+                "2",
+                "--forecasts",
+                "2",
+                "--probes",
+                "3",
+                "--settle",
+                "0",
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["streams"]["registered"] == 10
+        assert report["protocol_errors"] == 0
+        assert report["admission"]["rejected_register"] == 3
+
+    def test_serve_load_reads_options_file(self, tmp_path, capsys):
+        from repro.fitting.options import EngineOptions
+
+        path = tmp_path / "engine.json"
+        path.write_text(
+            EngineOptions(n_random_starts=2, cache=False, trace=False).to_json()
+        )
+        exit_code = main(
+            [
+                "serve-load",
+                "--streams",
+                "6",
+                "--observations",
+                "4",
+                "--connections",
+                "2",
+                "--forecasts",
+                "1",
+                "--probes",
+                "1",
+                "--settle",
+                "0",
+                "--options-file",
+                str(path),
+            ]
+        )
+        assert exit_code == 0
+
+    def test_serve_flags_override_env_config(self):
+        from repro.cli import _server_config, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--max-streams", "77", "--family", "quadratic"]
+        )
+        args.tracer = None
+        config = _server_config(args)
+        assert config.max_streams == 77
+        assert config.family == "quadratic"
+
+    def test_serve_bad_options_file_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "engine.json"
+        path.write_text('{"not_a_field": 1}')
+        exit_code = main(["serve", "--options-file", str(path)])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "--options-file" in err

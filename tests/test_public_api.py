@@ -41,3 +41,32 @@ def test_no_public_surface_drift():
 
 def test_version_matches_package_metadata():
     assert repro.__version__ == "1.1.0"
+
+
+def test_serving_surface_is_pinned():
+    """``repro.serving.__all__`` is the serving API contract.
+
+    The server protocol maps the typed errors to wire codes, so a
+    rename or removal here is a protocol break, not a refactor.
+    """
+    import repro.serving
+
+    assert list(repro.serving.__all__) == sorted(repro.serving.__all__)
+    assert set(repro.serving.__all__) == {
+        "AdmissionError",
+        "Forecast",
+        "ForecastReport",
+        "ForecastServer",
+        "ForecastSession",
+        "OnlineForecaster",
+        "ProtocolError",
+        "RefitPolicy",
+        "RefitTimeout",
+        "RemediationLoop",
+        "ServerConfig",
+        "StreamNotFound",
+        "error_code",
+        "replay_forecasts",
+    }
+    for name in repro.serving.__all__:
+        assert hasattr(repro.serving, name), f"serving exports missing {name!r}"
