@@ -19,20 +19,30 @@ import importlib
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.devtools.astcache import AstCache, default_cache_path
     from repro.devtools.baseline import load_baseline, render_baseline
+    from repro.devtools.callgraph import CallGraph, build_callgraph
     from repro.devtools.findings import Finding, suppressions_for
+    from repro.devtools.graph_rules import GRAPH_RULES
     from repro.devtools.lint import LintResult, main, run_lint
     from repro.devtools.rules import ALL_RULES, LintConfig, default_config
+    from repro.devtools.sarif import render_sarif
 
 __all__ = [
     "ALL_RULES",
+    "AstCache",
+    "CallGraph",
     "Finding",
+    "GRAPH_RULES",
     "LintConfig",
     "LintResult",
+    "build_callgraph",
+    "default_cache_path",
     "default_config",
     "load_baseline",
     "main",
     "render_baseline",
+    "render_sarif",
     "run_lint",
     "suppressions_for",
 ]
@@ -40,13 +50,19 @@ __all__ = [
 #: Public name → submodule that defines it (for lazy loading).
 _EXPORTS = {
     "ALL_RULES": "rules",
+    "AstCache": "astcache",
+    "CallGraph": "callgraph",
     "Finding": "findings",
+    "GRAPH_RULES": "graph_rules",
     "LintConfig": "rules",
     "LintResult": "lint",
+    "build_callgraph": "callgraph",
+    "default_cache_path": "astcache",
     "default_config": "rules",
     "load_baseline": "baseline",
     "main": "lint",
     "render_baseline": "baseline",
+    "render_sarif": "sarif",
     "run_lint": "lint",
     "suppressions_for": "findings",
 }

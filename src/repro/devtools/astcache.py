@@ -1,0 +1,132 @@
+"""On-disk AST cache keyed by file identity (mtime + size).
+
+Parsing ~120 modules dominates a warm ``repro lint`` run now that the
+call-graph rules need every file's tree up front. The cache pickles
+parsed :class:`ast.Module` objects keyed by absolute path, validated
+against ``st_mtime_ns`` and ``st_size`` so any edit (or checkout)
+invalidates the entry. Failure is never fatal: a missing, unreadable,
+version-skewed, or corrupted cache file silently degrades to clean
+parses, and findings are byte-identical with the cache on or off (the
+cache stores only what ``ast.parse`` would have produced).
+
+The location is controlled by the registered ``REPRO_ANALYSIS_CACHE``
+environment knob: unset/empty picks ``.repro-lint-cache`` at the
+project root, an off word (``0``/``off``/``no``/``none``/``false``/
+``disabled``) disables caching, anything else is used as the path.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pickle
+from pathlib import Path
+
+from repro._env import read_env
+
+__all__ = ["AstCache", "CACHE_ENV_VAR", "DEFAULT_CACHE_FILENAME", "default_cache_path"]
+
+CACHE_ENV_VAR = "REPRO_ANALYSIS_CACHE"
+
+DEFAULT_CACHE_FILENAME = ".repro-lint-cache"
+
+#: Bump when the on-disk layout changes; mismatched files are discarded.
+_CACHE_VERSION = 1
+
+_OFF_WORDS = frozenset({"0", "off", "no", "none", "false", "disabled"})
+
+
+def default_cache_path(root: Path) -> Path | None:
+    """Resolve the cache location for *root*, honoring the env knob.
+
+    Returns ``None`` when caching is disabled via an off word.
+    """
+    raw = read_env(CACHE_ENV_VAR, "") or ""
+    value = raw.strip()
+    if value.lower() in _OFF_WORDS:
+        return None
+    if value:
+        return Path(value).expanduser()
+    return root / DEFAULT_CACHE_FILENAME
+
+
+@dataclasses.dataclass
+class AstCache:
+    """Pickled ``{path: (mtime_ns, size, tree)}`` with stat validation.
+
+    ``path=None`` is the disabled cache: every lookup misses and
+    :meth:`save` is a no-op, so callers never need to branch.
+    """
+
+    path: Path | None
+    entries: dict[str, tuple[int, int, ast.Module]] = dataclasses.field(
+        default_factory=dict
+    )
+    hits: int = 0
+    misses: int = 0
+    _dirty: bool = dataclasses.field(default=False, repr=False)
+
+    @classmethod
+    def load(cls, path: Path | None) -> AstCache:
+        """Read the cache at *path*; any failure yields an empty cache."""
+        if path is None or not path.exists():
+            return cls(path)
+        try:
+            payload = pickle.loads(path.read_bytes())
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != _CACHE_VERSION
+                or not isinstance(payload.get("entries"), dict)
+            ):
+                return cls(path)
+            return cls(path, entries=payload["entries"])
+        except Exception:
+            # Corrupted / truncated / unpicklable: fall back to clean
+            # parses and overwrite on the next save.
+            return cls(path)
+
+    def get(self, path: Path) -> ast.Module | None:
+        """The cached tree for *path* if its mtime+size still match."""
+        if self.path is None:
+            return None
+        entry = self.entries.get(str(path))
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            stat = path.stat()
+        except OSError:
+            self.misses += 1
+            return None
+        mtime_ns, size, tree = entry
+        if stat.st_mtime_ns != mtime_ns or stat.st_size != size:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tree
+
+    def put(self, path: Path, tree: ast.Module) -> None:
+        """Record the freshly parsed *tree* for *path*."""
+        if self.path is None:
+            return
+        try:
+            stat = path.stat()
+        except OSError:
+            return
+        self.entries[str(path)] = (stat.st_mtime_ns, stat.st_size, tree)
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache; I/O errors are non-fatal."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {"version": _CACHE_VERSION, "entries": self.entries}
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_bytes(pickle.dumps(payload))
+            tmp.replace(self.path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                return

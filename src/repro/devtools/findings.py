@@ -18,12 +18,15 @@ The comment must sit on the same line the finding is reported on.
 from __future__ import annotations
 
 import dataclasses
+import io
 import re
+import tokenize
 from typing import Any, Iterable, Mapping
 
 __all__ = ["Finding", "is_suppressed", "suppressions_for"]
 
-#: ``# repro-lint: disable=R1,R2`` (or ``disable=all``).
+#: Matches the same-line marker ``repro-lint: disable=R1,R2`` (the
+#: sentinel ``disable=all`` silences every rule on the line).
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
@@ -74,13 +77,38 @@ class Finding:
         return f"{self.path}:{self.line}: {self.rule} {self.message}{tail}"
 
 
+def _comment_lines(source: str) -> frozenset[int] | None:
+    """1-based line numbers carrying a real ``#`` comment token.
+
+    Tokenizing keeps suppression *examples* inside docstrings and
+    string literals from registering as live suppressions. ``None``
+    means the source does not tokenize (syntax errors the AST layer
+    reports separately) and the caller should fall back to treating
+    every line as comment-bearing.
+    """
+    lines: set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return frozenset(lines)
+
+
 def suppressions_for(lines: Iterable[str]) -> dict[int, frozenset[str]]:
     """Map of 1-based line number → rule ids suppressed on that line.
 
-    ``disable=all`` yields the sentinel entry ``{"all"}``.
+    ``disable=all`` yields the sentinel entry ``{"all"}``. Only real
+    comment tokens count — the marker inside a docstring or string
+    literal (e.g. this module's own syntax examples) is inert.
     """
+    stripped = [line.rstrip("\n") for line in lines]
+    commented = _comment_lines("\n".join(stripped) + "\n")
     table: dict[int, frozenset[str]] = {}
-    for number, line in enumerate(lines, start=1):
+    for number, line in enumerate(stripped, start=1):
+        if commented is not None and number not in commented:
+            continue
         match = _SUPPRESS_RE.search(line)
         if match is None:
             continue

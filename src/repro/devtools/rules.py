@@ -47,6 +47,8 @@ __all__ = [
     "ModuleSource",
     "OptionsThreadingRule",
     "PicklabilityRule",
+    "ProtocolSpec",
+    "SharedStateSpec",
     "StructureRule",
     "default_config",
 ]
@@ -83,6 +85,37 @@ class EntryPointSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class SharedStateSpec:
+    """One piece of cross-task shared state and its mutation funnels (R8).
+
+    ``attr`` is the attribute name (matched on any ``self.<attr>`` /
+    ``obj.<attr>`` mutation); ``allowed`` lists the bare method names
+    permitted to mutate it (``__init__`` is always allowed).
+    """
+
+    attr: str
+    allowed: frozenset[str] = frozenset()
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolSpec:
+    """One wire-protocol surface checked by R10.
+
+    ``ops_const`` names a module-level tuple of op strings in
+    ``module``; every op must appear as a string constant inside the
+    ``dispatcher`` method, and the ``handler`` method must catch one of
+    ``catch_types`` and map it through one of ``mappers``.
+    """
+
+    module: str
+    ops_const: str
+    dispatcher: str
+    handler: str
+    catch_types: frozenset[str] = frozenset({"ReproError", "ServingError"})
+    mappers: frozenset[str] = frozenset({"error_code", "_error_body"})
+
+
+@dataclasses.dataclass(frozen=True)
 class LintConfig:
     """Project-specific knobs consumed by the rules.
 
@@ -103,6 +136,25 @@ class LintConfig:
         Receiver-name fragments that identify an executor/pool for R4
         (matched case-insensitively against the last attribute
         segment).
+    async_prefixes:
+        Path prefixes whose ``async def`` functions are R7 roots: no
+        blocking sink may be guard-reachable from them.
+    blocking_sinks:
+        Blocking-call registry for R7 — dotted names, bare-name
+        suffixes, or ``pkg.mod.*`` prefixes (see
+        :class:`repro.devtools.callgraph.CallGraph.blocking_path`).
+    guard_params:
+        Keyword parameters whose ``=False`` call sites prune
+        guard-annotated edges during reachability (``allow_refit``).
+    shared_state:
+        Mutation-funnel contracts checked by R8.
+    kernel_prefixes:
+        Path prefixes of numeric kernel modules checked by R9.
+    error_base:
+        Bare class name rooting the R10 error hierarchy; every
+        transitive subclass must define or inherit a ``code``.
+    protocols:
+        Wire-protocol surfaces checked by R10.
     """
 
     env_allowlist: frozenset[str] = frozenset()
@@ -110,6 +162,13 @@ class LintConfig:
     threading_prefixes: tuple[str, ...] = ()
     fit_path_prefixes: tuple[str, ...] = ()
     executor_names: tuple[str, ...] = ("executor", "pool")
+    async_prefixes: tuple[str, ...] = ()
+    blocking_sinks: tuple[str, ...] = ()
+    guard_params: tuple[str, ...] = ()
+    shared_state: tuple[SharedStateSpec, ...] = ()
+    kernel_prefixes: tuple[str, ...] = ()
+    error_base: str = ""
+    protocols: tuple[ProtocolSpec, ...] = ()
 
 
 def default_config() -> LintConfig:
@@ -211,6 +270,48 @@ def default_config() -> LintConfig:
             "src/repro/validation/",
             "src/repro/analysis/",
             "src/repro/observability/",
+        ),
+        async_prefixes=("src/repro/serving/",),
+        blocking_sinks=(
+            "scipy.optimize.*",
+            "repro.fitting.least_squares.fit_least_squares",
+            "repro.fitting.least_squares.fit_many",
+            "repro.fitting.fleet.fit_fleet",
+            "repro.serving.session.ForecastSession.execute_refits",
+            "repro.serving.session.ForecastSession.refit_stale",
+            "repro.serving.remediation.execute_remediation",
+            "repro.serving.remediation.RemediationLoop.execute",
+            "repro.serving.remediation.RemediationLoop.run_cycle",
+            "repro.datasets.store.EpisodeStore.iter_chunks",
+            "repro.datasets.store.EpisodeStore.episode",
+            "repro.datasets.store.EpisodeStoreWriter.append",
+            "time.sleep",
+            "open",
+            "subprocess.*",
+        ),
+        guard_params=("allow_refit", "allow_reselect"),
+        shared_state=(
+            SharedStateSpec(
+                "_first_fits",
+                frozenset({"_ensure_first_fit", "_forget_first_fit"}),
+            ),
+            SharedStateSpec("_inflight_refits", frozenset({"_run_first_fit"})),
+            SharedStateSpec("_forecasters", frozenset({"register", "unregister"})),
+        ),
+        kernel_prefixes=(
+            "src/repro/fitting/batched.py",
+            "src/repro/models/",
+            "src/repro/distributions/",
+            "src/repro/metrics/",
+        ),
+        error_base="ServingError",
+        protocols=(
+            ProtocolSpec(
+                module="src/repro/serving/server.py",
+                ops_const="SERVER_OPS",
+                dispatcher="ForecastServer._dispatch",
+                handler="ForecastServer._handle_line",
+            ),
         ),
     )
 

@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 renderer for lint results.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code-scanning UIs ingest; emitting it lets CI upload `repro
+lint` findings as a reviewable artifact without any custom tooling.
+One run object, one result per finding; baselined findings are
+included with ``baselineState: "unchanged"`` so the artifact reflects
+the full picture while gating stays with the text/JSON exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.devtools.findings import Finding
+
+__all__ = ["SARIF_VERSION", "render_sarif"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint import LintResult
+
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: type) -> dict[str, Any]:
+    return {
+        "id": rule.RULE_ID,  # type: ignore[attr-defined]
+        "name": rule.NAME,  # type: ignore[attr-defined]
+        "shortDescription": {
+            "text": rule.DESCRIPTION  # type: ignore[attr-defined]
+        },
+    }
+
+
+def _result(finding: Finding, *, baselined: bool) -> dict[str, Any]:
+    message = finding.message
+    if finding.hint:
+        message = f"{message} ({finding.hint})"
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "note" if baselined else "error",
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }
+    if baselined:
+        result["baselineState"] = "unchanged"
+    return result
+
+
+def render_sarif(result: "LintResult") -> str:
+    """The full SARIF 2.1.0 log for one lint run (stable output)."""
+    from repro.devtools.graph_rules import GRAPH_RULES
+    from repro.devtools.rules import ALL_RULES
+
+    rules = [_rule_descriptor(rule) for rule in (*ALL_RULES, *GRAPH_RULES)]
+    known = {descriptor["id"] for descriptor in rules}
+    # Synthesized rule ids (E1 parse errors, W1 unused suppressions)
+    # only appear in the driver when a finding references them.
+    extra = sorted(
+        {
+            finding.rule
+            for finding in (*result.new, *result.baselined)
+            if finding.rule not in known
+        }
+    )
+    rules.extend(
+        {"id": rule_id, "name": rule_id, "shortDescription": {"text": rule_id}}
+        for rule_id in extra
+    )
+    log = {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    *(_result(f, baselined=False) for f in result.new),
+                    *(_result(f, baselined=True) for f in result.baselined),
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

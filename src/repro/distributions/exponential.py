@@ -64,7 +64,9 @@ class Exponential(LifetimeDistribution):
         """
         t = np.asarray(times, dtype=np.float64)
         theta = np.asarray(params, dtype=np.float64)[:, :1]
-        return np.where(t < 0.0, 0.0, -np.expm1(-np.maximum(t, 0.0) / theta))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            column = -np.expm1(-np.maximum(t, 0.0) / theta)
+        return np.where(t < 0.0, 0.0, column)
 
     @classmethod
     def cdf_gradient_batch(cls, times: FloatArray, params: FloatArray) -> FloatArray:
@@ -72,7 +74,8 @@ class Exponential(LifetimeDistribution):
         t = np.asarray(times, dtype=np.float64)
         theta = np.asarray(params, dtype=np.float64)[:, :1]
         clipped = np.maximum(t, 0.0)
-        column = -(clipped / (theta * theta)) * safe_exp(-clipped / theta)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            column = -(clipped / (theta * theta)) * safe_exp(-clipped / theta)
         return np.where(t < 0.0, 0.0, column)[:, :, np.newaxis]
 
     def hazard(self, times: ArrayLike) -> FloatArray:

@@ -60,15 +60,17 @@ class LogLogistic(LifetimeDistribution):
         probs = as_float_array(probabilities, "probabilities")
         if np.any((probs < 0.0) | (probs >= 1.0)):
             raise ValueError("probabilities must lie in [0, 1)")
-        with np.errstate(divide="ignore"):
+        with np.errstate(divide="ignore", over="ignore"):
             odds = probs / (1.0 - probs)
-        return self.alpha * np.power(odds, 1.0 / self.beta)
+            quantiles = self.alpha * np.power(odds, 1.0 / self.beta)
+        return quantiles
 
     def mean(self) -> float:
         if self.beta <= 1.0:
             raise ValueError("log-logistic mean is undefined for beta <= 1")
         b = math.pi / self.beta
-        return self.alpha * b / math.sin(b)
+        # beta > 1 (checked above) puts b in (0, pi), where sin(b) > 0.
+        return self.alpha * b / math.sin(b)  # repro-lint: disable=R9
 
     def median(self) -> float:
         return self.alpha

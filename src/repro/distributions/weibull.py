@@ -101,8 +101,8 @@ class Weibull(LifetimeDistribution):
         p = np.asarray(params, dtype=np.float64)
         theta = p[:, :1]
         k = p[:, 1:2]
-        scaled = np.maximum(t, 0.0) / theta
         with np.errstate(divide="ignore", over="ignore"):
+            scaled = np.maximum(t, 0.0) / theta
             z = np.power(scaled, k)
         return np.where(t < 0.0, 0.0, -np.expm1(-z))
 
@@ -113,19 +113,23 @@ class Weibull(LifetimeDistribution):
         p = np.asarray(params, dtype=np.float64)
         theta = p[:, :1]
         k = p[:, 1:2]
-        scaled = np.maximum(t, 0.0) / theta
         with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            scaled = np.maximum(t, 0.0) / theta
             z = np.power(scaled, k)
             decay = np.where(np.isfinite(z), z * safe_exp(-z), 0.0)
             log_scaled = np.log(np.where(scaled > 0.0, scaled, 1.0))
-        gradient = np.stack([-(k / theta) * decay, log_scaled * decay], axis=2)
+            gradient = np.stack(
+                [-(k / theta) * decay, log_scaled * decay], axis=2
+            )
         return np.where((t > 0.0)[:, :, np.newaxis], gradient, 0.0)
 
     def quantile(self, probabilities: ArrayLike) -> FloatArray:
         probs = as_float_array(probabilities, "probabilities")
         if np.any((probs < 0.0) | (probs >= 1.0)):
             raise ValueError("probabilities must lie in [0, 1)")
-        return self.theta * np.power(-np.log1p(-probs), 1.0 / self.k)
+        # -log1p(-p) >= 0 for the validated p in [0, 1) and 1/k > 0, so
+        # the power is total here.
+        return self.theta * np.power(-np.log1p(-probs), 1.0 / self.k)  # repro-lint: disable=R9
 
     def mean(self) -> float:
         return self.theta * math.gamma(1.0 + 1.0 / self.k)

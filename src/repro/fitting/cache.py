@@ -51,6 +51,7 @@ __all__ = [
     "default_fit_cache",
     "default_cache_maxsize",
     "resolve_cache",
+    "sequence_of_vectors",
 ]
 
 logger = logging.getLogger("repro.fitting.cache")

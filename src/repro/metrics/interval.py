@@ -181,12 +181,18 @@ def performance_from_minimum(ctx: MetricContext) -> float:
 def average_performance_preserved(ctx: MetricContext) -> float:
     """Eq. (19), Reed et al.: time-average of performance over the
     window."""
-    return performance_preserved(ctx) / (ctx.recovery_time - ctx.hazard_time)
+    span = ctx.recovery_time - ctx.hazard_time
+    if span <= 0.0:
+        raise MetricError("averaging window has zero length")
+    return performance_preserved(ctx) / span
 
 
 def average_performance_lost(ctx: MetricContext) -> float:
     """Eq. (20), Reed et al.: time-average of performance lost."""
-    return performance_lost(ctx) / (ctx.recovery_time - ctx.hazard_time)
+    span = ctx.recovery_time - ctx.hazard_time
+    if span <= 0.0:
+        raise MetricError("averaging window has zero length")
+    return performance_lost(ctx) / span
 
 
 def weighted_average_preserved(ctx: MetricContext, alpha: float = 0.5) -> float:

@@ -138,5 +138,6 @@ def performance_distribution_at(
     t = np.array([float(time)])
     values = np.array([float(model.evaluate(t, tuple(d))[0]) for d in draws])
     if include_noise:
-        values = values + rng.normal(0.0, np.sqrt(uncertainty.sigma2), size=n_samples)
+        sigma = float(np.sqrt(max(uncertainty.sigma2, 0.0)))
+        values = values + rng.normal(0.0, sigma, size=n_samples)
     return values

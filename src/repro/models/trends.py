@@ -165,7 +165,9 @@ class LinearTrend(TransitionTrend):
 
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
-        return target / t_end
+        # default_beta already floors t_end at 1.0; the max keeps the
+        # inversion total for direct callers too.
+        return target / max(t_end, 1.0)
 
 
 class ExponentialTrend(TransitionTrend):
@@ -202,7 +204,7 @@ class ExponentialTrend(TransitionTrend):
     def _solve_beta(cls, target: float, t_end: float) -> float:
         if target <= 0.0:
             return 0.0
-        return float(np.log(target) / t_end)
+        return float(np.log(target) / max(t_end, 1.0))
 
 
 class LogTrend(TransitionTrend):
@@ -238,8 +240,10 @@ class LogTrend(TransitionTrend):
 
     @classmethod
     def _solve_beta(cls, target: float, t_end: float) -> float:
+        # log(max(t_end, 2)) >= ln 2 ~ 0.69, so the floor below never
+        # binds; it just makes the denominator's positivity explicit.
         log_end = float(np.log(max(t_end, 2.0)))
-        return target / log_end
+        return target / max(log_end, 0.5)
 
 
 _REGISTRY: dict[str, Type[TransitionTrend]] = {}

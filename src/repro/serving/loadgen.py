@@ -198,8 +198,16 @@ async def run_load(
         scratch = None
         workroot = Path(workdir)
     try:
-        streams = _fleet_observations(
-            n_streams, observations, seed, scenario, workroot
+        # Fleet-fixture generation writes an episode store — blocking
+        # I/O that must not stall the loop driving the connections.
+        streams = await asyncio.get_running_loop().run_in_executor(
+            None,
+            _fleet_observations,
+            n_streams,
+            observations,
+            seed,
+            scenario,
+            workroot,
         )
         tally = _Tally()
         links: list[_Connection] = []

@@ -462,8 +462,21 @@ class OnlineForecaster:
             plan.family, plan.curve, options=self._fit_options, **plan.fit_kwargs
         )
 
-    def adopt_fit(self, fit: FitResult, plan: _RefitPlan) -> None:
-        """Install a fit computed from *plan* (inline or by a session)."""
+    def adopt_fit(
+        self,
+        fit: FitResult,
+        plan: _RefitPlan,
+        *,
+        allow_reselect: bool = True,
+    ) -> None:
+        """Install a fit computed from *plan* (inline or by a session).
+
+        ``allow_reselect=False`` installs the fit but skips the
+        drift-triggered model reselection (a cold ``fit_many`` sweep).
+        The async server adopts this way on the event loop — the drift
+        watermark still updates, and the remediation loop performs the
+        actual reselection off-thread.
+        """
         self._fit = fit
         self._fit_n = len(plan.curve)
         self._n_refits += 1
@@ -474,7 +487,8 @@ class OnlineForecaster:
         if self._best_per_point is None or per_point < self._best_per_point:
             self._best_per_point = per_point
         elif (
-            self.policy.reselect_drift is not None
+            allow_reselect
+            and self.policy.reselect_drift is not None
             and self._best_per_point > 0.0
             and per_point / self._best_per_point - 1.0 > self.policy.reselect_drift
         ):
@@ -622,6 +636,7 @@ class OnlineForecaster:
         n_points: int = 25,
         confidence: float = 0.95,
         alpha: float = 0.5,
+        allow_refit: bool = True,
     ) -> ForecastReport:
         """Forecast plus the eight interval metrics on the observed curve.
 
@@ -629,12 +644,17 @@ class OnlineForecaster:
         interval (split at the first observation), comparing the model's
         trajectory against everything seen so far. *horizon* defaults to
         half the observed duration (at least one time unit).
+        ``allow_refit`` threads through to :meth:`forecast` — the async
+        server reports with it off so a report never solves inline.
         """
         curve = self.curve
         if horizon is None:
             horizon = max(curve.duration / 2.0, 1.0)
         forecast = self.forecast(
-            horizon, n_points=n_points, confidence=confidence
+            horizon,
+            n_points=n_points,
+            confidence=confidence,
+            allow_refit=allow_refit,
         )
         fit = self._fit
         assert fit is not None

@@ -61,7 +61,7 @@ from repro.serving.errors import (
     StreamNotFound,
     error_code,
 )
-from repro.serving.online import RefitPolicy
+from repro.serving.online import OnlineForecaster, RefitPolicy
 from repro.serving.remediation import RemediationLoop
 from repro.serving.session import ForecastSession
 
@@ -353,7 +353,10 @@ class ForecastServer:
             fits = await loop.run_in_executor(
                 None, self.session.execute_refits, planned
             )
-        adopted = self.session.adopt_refits(planned, fits)
+        # allow_reselect=False: adoption happens on the loop, so a
+        # drift-triggered reselection sweep (cold fit_many) must not
+        # ride along — the remediation loop reselects off-thread.
+        adopted = self.session.adopt_refits(planned, fits, allow_reselect=False)
         self.metrics.inc("serve.refit_ticks")
         self.metrics.inc("serve.refits_adopted", len(adopted))
         return adopted
@@ -480,7 +483,7 @@ class ForecastServer:
             return self._op_register(key, request)
         if op == "unregister":
             self.session.unregister(key)
-            self._first_fits.pop(key, None)
+            self._forget_first_fit(key)
             return {"key": key, "streams": len(self.session)}
         if op == "observe":
             return self._op_observe(key, request)
@@ -565,14 +568,15 @@ class ForecastServer:
         # fit the same way forecast does by reporting through the
         # forecaster only after the first fit exists.
         report = forecaster.report(
-            horizon=float(horizon) if isinstance(horizon, (int, float)) else None
+            horizon=float(horizon) if isinstance(horizon, (int, float)) else None,
+            allow_refit=False,
         )
         return report.to_dict()
 
     # ------------------------------------------------------------------
     # First-fit admission
     # ------------------------------------------------------------------
-    async def _ensure_first_fit(self, key: str) -> Any:
+    async def _ensure_first_fit(self, key: str) -> OnlineForecaster:
         """The stream's forecaster, cold-fitting it first if needed.
 
         The solve runs in the loop's default executor under the
@@ -599,7 +603,7 @@ class ForecastServer:
                 )
             task = asyncio.create_task(self._run_first_fit(key, forecaster))
             self._first_fits[key] = task
-            task.add_done_callback(lambda _t: self._first_fits.pop(key, None))
+            task.add_done_callback(lambda _t: self._forget_first_fit(key))
         try:
             # shield: one waiter timing out must not cancel the shared
             # solve other waiters (and the stream itself) rely on.
@@ -615,7 +619,17 @@ class ForecastServer:
             ) from None
         return forecaster
 
-    async def _run_first_fit(self, key: str, forecaster: Any) -> None:
+    def _forget_first_fit(self, key: str) -> None:
+        """Drop the stream's in-flight first-fit entry (if any).
+
+        The single mutation funnel for removals from ``_first_fits`` —
+        unregister and task-completion callbacks both route through it.
+        """
+        self._first_fits.pop(key, None)
+
+    async def _run_first_fit(
+        self, key: str, forecaster: OnlineForecaster
+    ) -> None:
         self._inflight_refits += 1
         try:
             plan = forecaster.refit_plan()
@@ -624,7 +638,9 @@ class ForecastServer:
             loop = asyncio.get_running_loop()
             fit = await loop.run_in_executor(None, forecaster._execute_plan, plan)
             if self.session.forecasters.get(key) is forecaster:
-                forecaster.adopt_fit(fit, plan)
+                # allow_reselect=False: adopting on the loop; drift
+                # reselection belongs to the remediation loop.
+                forecaster.adopt_fit(fit, plan, allow_reselect=False)
                 self.metrics.inc("serve.first_fits")
         finally:
             self._inflight_refits -= 1

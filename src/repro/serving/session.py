@@ -245,7 +245,11 @@ class ForecastSession:
         return [fit for _, fit in outcomes]
 
     def adopt_refits(
-        self, planned: Sequence[PlannedRefit], fits: Sequence[FitResult]
+        self,
+        planned: Sequence[PlannedRefit],
+        fits: Sequence[FitResult],
+        *,
+        allow_reselect: bool = True,
     ) -> dict[str, FitResult]:
         """Install batch results through each forecaster's adoption path.
 
@@ -253,13 +257,18 @@ class ForecastSession:
         re-registered as a *new* forecaster — while the batch was in
         flight is skipped: the solve is discarded rather than installed
         into a stream it no longer describes. Returns the fits actually
-        adopted, keyed by stream.
+        adopted, keyed by stream. ``allow_reselect`` threads through to
+        :meth:`OnlineForecaster.adopt_fit` — pass ``False`` when
+        adopting on an event loop so drift never triggers an inline
+        reselection sweep.
         """
         results: dict[str, FitResult] = {}
         for entry, fit in zip(planned, fits):
             if self._forecasters.get(entry.key) is not entry.forecaster:
                 continue
-            entry.forecaster.adopt_fit(fit, entry.plan)
+            entry.forecaster.adopt_fit(
+                fit, entry.plan, allow_reselect=allow_reselect
+            )
             results[entry.key] = fit
         return results
 
@@ -289,11 +298,15 @@ class ForecastSession:
         *,
         n_points: int = 25,
         confidence: float = 0.95,
+        allow_refit: bool = True,
     ) -> Forecast:
         """Forecast for one stream (see
         :meth:`OnlineForecaster.forecast`)."""
         return self[key].forecast(
-            horizon, n_points=n_points, confidence=confidence
+            horizon,
+            n_points=n_points,
+            confidence=confidence,
+            allow_refit=allow_refit,
         )
 
     def report(self, key: str, **kwargs: Any) -> ForecastReport:

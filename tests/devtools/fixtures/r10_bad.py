@@ -1,0 +1,35 @@
+"""R10 fixture: protocol surface with holes.
+
+One error subclass without a wire code, one registered op without a
+dispatch arm, and a handler that catches the wrong exception type.
+"""
+
+__all__ = ["LostError", "OPS", "Server", "ServingError"]
+
+OPS = ("ping", "forecast", "report")
+
+
+class ServingError(Exception):
+    code = "error"
+
+    def error_code(self):
+        return self.code
+
+
+class LostError(ServingError):
+    pass
+
+
+class Server:
+    def _dispatch(self, op):
+        if op == "ping":
+            return {}
+        if op == "forecast":
+            return {}
+        raise LostError(op)
+
+    def _handle(self, line):
+        try:
+            return self._dispatch(line)
+        except ValueError:
+            return None

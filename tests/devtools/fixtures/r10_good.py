@@ -1,0 +1,31 @@
+"""R10 fixture: complete protocol surface."""
+
+__all__ = ["LostError", "OPS", "Server", "ServingError"]
+
+OPS = ("ping", "forecast")
+
+
+class ServingError(Exception):
+    code = "error"
+
+    def error_code(self):
+        return self.code
+
+
+class LostError(ServingError):
+    code = "lost"
+
+
+class Server:
+    def _dispatch(self, op):
+        if op == "ping":
+            return {}
+        if op == "forecast":
+            return {}
+        raise LostError(op)
+
+    def _handle(self, line):
+        try:
+            return self._dispatch(line)
+        except ServingError as exc:
+            return {"error": exc.error_code()}

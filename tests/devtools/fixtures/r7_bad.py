@@ -1,0 +1,25 @@
+"""R7 fixture: a blocking sink guard-reachable from an async handler.
+
+Seeded regression of the serving-layer bug this rule was built to
+catch: an async protocol handler walks through a synchronous helper
+into a blocking call on the event loop.
+"""
+
+import time
+
+__all__ = ["handle_report", "refresh", "solve"]
+
+
+def solve(data):
+    time.sleep(0.5)
+    return sum(data)
+
+
+def refresh(data, allow_refit=True):
+    if allow_refit:
+        return solve(data)
+    return sum(data)
+
+
+async def handle_report(data):
+    return refresh(data)

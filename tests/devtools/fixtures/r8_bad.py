@@ -1,0 +1,22 @@
+"""R8 fixture: await under a sync lock and an out-of-funnel mutation."""
+
+import asyncio
+import threading
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._streams = {}
+
+    def _admit(self, key):
+        self._streams[key] = True
+
+    async def run(self, key):
+        with self._lock:
+            await asyncio.sleep(0)
+
+    async def evict(self, key):
+        self._streams.pop(key, None)

@@ -1,0 +1,19 @@
+"""R8 fixture: async lock discipline and funneled mutation."""
+
+import asyncio
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._streams = {}
+
+    def _admit(self, key):
+        self._streams[key] = True
+
+    async def run(self, key):
+        async with self._lock:
+            await asyncio.sleep(0)
+        self._admit(key)

@@ -1,0 +1,17 @@
+"""R9 fixture: unguarded kernel arithmetic."""
+
+import numpy as np
+
+__all__ = ["log_scale", "rate", "root"]
+
+
+def rate(values, total):
+    return values / total
+
+
+def log_scale(values):
+    return np.log(values)
+
+
+def root(values, shift):
+    return np.sqrt(values - shift)

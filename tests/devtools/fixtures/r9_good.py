@@ -1,0 +1,25 @@
+"""R9 fixture: guarded kernel arithmetic."""
+
+import numpy as np
+
+__all__ = ["log_scale", "rate", "root", "spread"]
+
+
+def rate(values, total):
+    if total == 0.0:
+        raise ValueError("empty averaging window")
+    return values / total
+
+
+def log_scale(values):
+    floored = np.maximum(values, 1e-12)
+    return np.log(floored)
+
+
+def root(values):
+    return np.sqrt(np.abs(values))
+
+
+def spread(values, total):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return values / total

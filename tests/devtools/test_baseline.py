@@ -92,11 +92,10 @@ class TestRoundTrip:
         regenerated = render_baseline(result.all_findings)
         assert regenerated == committed
 
-    def test_committed_baseline_only_grandfathers_r5(self):
+    def test_committed_baseline_is_drained(self):
         baseline = load_baseline(ROOT / BASELINE_FILENAME)
         assert baseline is not None
-        rules = {key[0] for key in baseline}
-        assert rules <= {"R5"}
+        assert sum(baseline.values()) == 0
 
 
 class TestCli:
@@ -105,10 +104,11 @@ class TestCli:
         out = capsys.readouterr().out
         assert "0 finding(s)" in out
 
-    def test_no_baseline_exposes_grandfathered(self, capsys):
-        assert main(["--no-baseline"]) == 1
+    def test_tree_is_clean_even_without_baseline(self, capsys):
+        """The baseline is drained: nothing is grandfathered anymore."""
+        assert main(["--no-baseline"]) == 0
         out = capsys.readouterr().out
-        assert "R5" in out
+        assert "0 finding(s)" in out
 
     def test_warn_only_zero_exit(self, capsys):
         assert main(["--no-baseline", "--warn-only"]) == 0

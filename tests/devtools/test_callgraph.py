@@ -1,0 +1,215 @@
+"""The interprocedural substrate: symbol table, call edges, guard
+dataflow, sink matching, and the mtime+size-keyed AST cache."""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+
+from repro.devtools.astcache import (
+    CACHE_ENV_VAR,
+    DEFAULT_CACHE_FILENAME,
+    AstCache,
+    default_cache_path,
+)
+from repro.devtools.callgraph import build_callgraph, module_name_for
+from repro.devtools.lint import discover_project_root, run_lint
+from repro.devtools.rules import LintConfig, ModuleSource
+
+FIXTURES = Path(__file__).parent / "fixtures"
+ROOT = discover_project_root(Path(__file__))
+
+
+def load_fixture(name: str) -> ModuleSource:
+    path = FIXTURES / name
+    text = path.read_text(encoding="utf-8")
+    return ModuleSource(
+        relpath=path.relative_to(ROOT).as_posix(),
+        tree=ast.parse(text),
+        lines=tuple(text.splitlines()),
+    )
+
+
+def fixture_graph(*names: str, guard_params: tuple[str, ...] = ("allow_refit",)):
+    config = LintConfig(guard_params=guard_params)
+    return build_callgraph([load_fixture(name) for name in names], config)
+
+
+def qual(name: str, symbol: str) -> str:
+    return f"{module_name_for((FIXTURES / name).relative_to(ROOT).as_posix())}.{symbol}"
+
+
+class TestModuleName:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/serving/server.py") == (
+            "repro.serving.server"
+        )
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for("src/repro/devtools/__init__.py") == (
+            "repro.devtools"
+        )
+
+
+class TestSymbolTable:
+    def test_functions_and_async_flags(self):
+        graph = fixture_graph("r7_bad.py")
+        handler = graph.functions[qual("r7_bad.py", "handle_report")]
+        solver = graph.functions[qual("r7_bad.py", "solve")]
+        assert handler.is_async and not solver.is_async
+        assert handler.shortname == "handle_report"
+
+    def test_methods_and_classes(self):
+        graph = fixture_graph("r8_bad.py")
+        cls = graph.classes[qual("r8_bad.py", "Registry")]
+        assert set(cls.methods) == {"__init__", "_admit", "run", "evict"}
+        run = graph.functions[qual("r8_bad.py", "Registry.run")]
+        assert run.shortname == "Registry.run"
+
+    def test_subclasses_and_class_consts(self):
+        graph = fixture_graph("r10_bad.py")
+        (lost,) = graph.subclasses_of("ServingError")
+        assert lost.name == "LostError"
+        base = graph.classes[qual("r10_bad.py", "ServingError")]
+        assert "code" in base.class_consts and "code" not in lost.class_consts
+
+    def test_lookup_method_walks_bases(self):
+        graph = fixture_graph("r10_bad.py")
+        found = graph.lookup_method(qual("r10_bad.py", "LostError"), "error_code")
+        assert found == qual("r10_bad.py", "ServingError.error_code")
+
+
+class TestCallEdges:
+    def test_local_call_resolved_exactly(self):
+        graph = fixture_graph("r7_bad.py")
+        sites = graph.calls[qual("r7_bad.py", "handle_report")]
+        assert any(
+            qual("r7_bad.py", "refresh") in site.callees and site.exact
+            for site in sites
+        )
+
+    def test_guarded_call_annotated(self):
+        graph = fixture_graph("r7_bad.py")
+        sites = graph.calls[qual("r7_bad.py", "refresh")]
+        (solve_site,) = [
+            s for s in sites if qual("r7_bad.py", "solve") in s.callees
+        ]
+        assert solve_site.requires == frozenset({"allow_refit"})
+
+    def test_callable_argument_is_not_an_edge(self):
+        # run_in_executor(None, solve, data) funnels work off the loop;
+        # passing the callable must not register a call to it.
+        graph = fixture_graph("r7_good.py")
+        sites = graph.calls[qual("r7_good.py", "handle_report")]
+        assert all(
+            qual("r7_good.py", "solve") not in site.callees for site in sites
+        )
+
+
+class TestBlockingPath:
+    def test_path_found_and_rendered(self):
+        graph = fixture_graph("r7_bad.py")
+        path = graph.blocking_path(
+            qual("r7_bad.py", "handle_report"), ["time.sleep"]
+        )
+        assert path is not None
+        assert path.render() == "handle_report -> refresh -> solve -> time.sleep"
+
+    def test_falsy_guard_constant_prunes(self):
+        graph = fixture_graph("r7_good.py")
+        path = graph.blocking_path(qual("r7_good.py", "peek"), ["time.sleep"])
+        assert path is None
+
+    def test_unregistered_guard_does_not_prune(self):
+        graph = fixture_graph("r7_good.py", guard_params=())
+        path = graph.blocking_path(qual("r7_good.py", "peek"), ["time.sleep"])
+        assert path is not None
+
+    def test_suffix_and_prefix_sink_matching(self):
+        graph = fixture_graph("r7_bad.py")
+        root = qual("r7_bad.py", "handle_report")
+        assert graph.blocking_path(root, ["sleep"]) is not None
+        assert graph.blocking_path(root, ["time.*"]) is not None
+        assert graph.blocking_path(root, ["scipy.optimize.*"]) is None
+
+
+class TestAstCache:
+    def write(self, tmp_path: Path, text: str = "x = 1\n") -> Path:
+        target = tmp_path / "mod.py"
+        target.write_text(text)
+        return target
+
+    def test_roundtrip_hit(self, tmp_path):
+        target = self.write(tmp_path)
+        cache = AstCache.load(tmp_path / "cache")
+        assert cache.get(target) is None
+        cache.put(target, ast.parse(target.read_text()))
+        cache.save()
+        reloaded = AstCache.load(tmp_path / "cache")
+        tree = reloaded.get(target)
+        assert tree is not None and isinstance(tree, ast.Module)
+        assert reloaded.hits == 1 and cache.misses == 1
+
+    def test_mtime_change_invalidates(self, tmp_path):
+        target = self.write(tmp_path)
+        cache = AstCache.load(tmp_path / "cache")
+        cache.put(target, ast.parse(target.read_text()))
+        # Same size, different mtime: the entry must not be served.
+        stat = target.stat()
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        assert cache.get(target) is None
+        assert cache.misses == 1
+
+    def test_size_change_invalidates(self, tmp_path):
+        target = self.write(tmp_path)
+        cache = AstCache.load(tmp_path / "cache")
+        cache.put(target, ast.parse(target.read_text()))
+        target.write_text("x = 1  # grown\n")
+        assert cache.get(target) is None
+
+    def test_corrupted_cache_file_degrades_silently(self, tmp_path):
+        target = self.write(tmp_path)
+        cache_path = tmp_path / "cache"
+        cache_path.write_bytes(b"\x00not a pickle")
+        cache = AstCache.load(cache_path)
+        assert cache.entries == {}
+        assert cache.get(target) is None  # miss, no crash
+        cache.put(target, ast.parse(target.read_text()))
+        cache.save()  # overwrites the corrupt file
+        assert AstCache.load(cache_path).get(target) is not None
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        target = self.write(tmp_path)
+        cache = AstCache(path=None)
+        cache.put(target, ast.parse(target.read_text()))
+        assert cache.get(target) is None
+        cache.save()
+        assert list(tmp_path.glob("cache*")) == []
+
+    def test_findings_byte_identical_with_cache(self, tmp_path):
+        cold = run_lint([FIXTURES], root=ROOT)
+        cache = AstCache.load(tmp_path / "cache")
+        warm_fill = run_lint([FIXTURES], root=ROOT, cache=cache)
+        cache.save()
+        warm = run_lint(
+            [FIXTURES], root=ROOT, cache=AstCache.load(tmp_path / "cache")
+        )
+        assert cold.new == warm_fill.new == warm.new
+        assert cold.suppressed == warm.suppressed
+        assert cold.checked_files == warm.checked_files
+
+
+class TestDefaultCachePath:
+    def test_unset_uses_project_root(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert default_cache_path(tmp_path) == tmp_path / DEFAULT_CACHE_FILENAME
+
+    def test_off_words_disable(self, monkeypatch, tmp_path):
+        for word in ("off", "0", "none", "FALSE", "Disabled"):
+            monkeypatch.setenv(CACHE_ENV_VAR, word)
+            assert default_cache_path(tmp_path) is None
+
+    def test_explicit_path_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "elsewhere.bin"))
+        assert default_cache_path(Path("/irrelevant")) == tmp_path / "elsewhere.bin"

@@ -224,6 +224,57 @@ class TestSuppressions:
         assert not is_suppressed(finding, table)
 
 
+class TestUnusedSuppressions:
+    def test_stale_suppression_flagged(self, tmp_path):
+        path = tmp_path / "stale.py"
+        path.write_text("x = 1  # repro-lint: disable=R1\n")
+        result = run_lint([path], fixture_config(), root=tmp_path)
+        assert [f.rule for f in result.new] == ["W1"]
+        assert "suppression for R1 matches no finding" in result.new[0].message
+
+    def test_stale_disable_all_flagged(self, tmp_path):
+        path = tmp_path / "stale.py"
+        path.write_text("x = 1  # repro-lint: disable=all\n")
+        result = run_lint([path], fixture_config(), root=tmp_path)
+        assert [f.rule for f in result.new] == ["W1"]
+        assert "disable=all" in result.new[0].message
+
+    def test_partially_used_suppression_flags_the_rest(self, tmp_path):
+        path = tmp_path / "partial.py"
+        path.write_text(
+            'import os\nVALUE = os.getenv("X")  # repro-lint: disable=R1,R2\n'
+        )
+        result = run_lint([path], fixture_config(), root=tmp_path)
+        assert result.suppressed == 1
+        assert [f.rule for f in result.new] == ["W1"]
+        assert "suppression for R2" in result.new[0].message
+
+    def test_w1_token_opts_out(self, tmp_path):
+        path = tmp_path / "optout.py"
+        path.write_text("x = 1  # repro-lint: disable=R1,W1\n")
+        result = run_lint([path], fixture_config(), root=tmp_path)
+        assert result.new == ()
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        path = tmp_path / "docs.py"
+        path.write_text(
+            '"""Explains the marker:\n\n'
+            "    x = 1  # repro-lint: disable=R1\n"
+            '"""\n'
+        )
+        result = run_lint([path], fixture_config(), root=tmp_path)
+        assert result.new == ()
+
+    def test_partial_runs_skip_the_check(self, tmp_path):
+        # A restricted rule set cannot prove a suppression stale.
+        path = tmp_path / "stale.py"
+        path.write_text("x = 1  # repro-lint: disable=R1\n")
+        result = run_lint(
+            [path], fixture_config(), root=tmp_path, rules=[EnvBoundaryRule]
+        )
+        assert result.new == ()
+
+
 @pytest.mark.parametrize("rule", ALL_RULES)
 def test_rule_metadata(rule):
     assert rule.RULE_ID.startswith("R")

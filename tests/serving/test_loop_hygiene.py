@@ -1,0 +1,91 @@
+"""Event-loop hygiene smoke test: the loop never solves.
+
+Runs a full protocol session — cold first fit, forecasts, reports, a
+batched refit tick — under asyncio debug mode with a strict
+``slow_callback_duration``. Any blocking solve that leaks back onto the
+loop (the exact regressions lint rule R7 guards against statically)
+surfaces here dynamically as an ``Executing ... took`` warning from the
+``asyncio`` logger, and the test fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from tests.serving.test_server import Client, cheap_config
+from repro.serving.server import ForecastServer
+
+#: Callbacks longer than this count as blocking the loop. Generous
+#: enough for protocol bookkeeping on a loaded CI box, far below the
+#: cost of any least-squares solve.
+SLOW_CALLBACK_SECONDS = 0.25
+
+#: Enough dip-and-recover points to make every stream refit-due
+#: (refit_every_k=4) after the cold fit.
+DIP = [
+    (0.0, 1.0), (1.0, 0.8), (2.0, 0.6), (3.0, 0.5), (4.0, 0.55),
+    (5.0, 0.65), (6.0, 0.8), (7.0, 0.9), (8.0, 1.0),
+]
+
+
+class _SlowCallbackRecorder(logging.Handler):
+    """Collects asyncio's debug-mode blocking-callback warnings."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.WARNING)
+        self.blocking: list[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if "Executing" in message and "took" in message:
+            self.blocking.append(message)
+
+
+def test_full_session_never_blocks_the_loop():
+    recorder = _SlowCallbackRecorder()
+    asyncio_logger = logging.getLogger("asyncio")
+
+    async def body() -> None:
+        loop = asyncio.get_running_loop()
+        loop.set_debug(True)
+        loop.slow_callback_duration = SLOW_CALLBACK_SECONDS
+        server = ForecastServer(cheap_config())
+        await server.start()
+        client = await Client.connect(server)
+        try:
+            assert (await client.rpc(op="ping"))["ok"]
+            for key in ("s1", "s2"):
+                filled = await client.fill(key, DIP)
+                assert filled["result"]["ready"]
+            # Cold forecast: the first fit must run off-loop.
+            for key in ("s1", "s2"):
+                assert (await client.rpc(op="forecast", key=key))["ok"]
+            # More observations make both streams refit-due again.
+            for key in ("s1", "s2"):
+                later = [[t + 9.0, p] for t, p in DIP]
+                assert (
+                    await client.rpc(op="observe", key=key, points=later)
+                )["ok"]
+            # Batched refits: solves execute on the worker, adoption
+            # happens back on the loop with reselection deferred.
+            adopted = await server.refit_tick()
+            assert sorted(adopted) == ["s1", "s2"]
+            assert (await client.rpc(op="report", key="s1"))["ok"]
+            assert (await client.rpc(op="stats"))["ok"]
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio_logger.addHandler(recorder)
+    old_level = asyncio_logger.level
+    asyncio_logger.setLevel(logging.WARNING)
+    try:
+        asyncio.run(body())
+    finally:
+        asyncio_logger.setLevel(old_level)
+        asyncio_logger.removeHandler(recorder)
+
+    assert recorder.blocking == [], (
+        "event loop executed blocking callbacks: " + "; ".join(recorder.blocking)
+    )

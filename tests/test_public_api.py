@@ -70,3 +70,35 @@ def test_serving_surface_is_pinned():
     }
     for name in repro.serving.__all__:
         assert hasattr(repro.serving, name), f"serving exports missing {name!r}"
+
+
+def test_devtools_surface_is_pinned():
+    """``repro.devtools.__all__`` is the analysis API contract.
+
+    CI, editor integrations, and the tests drive the linter through
+    these names (``run_lint``, the call graph, the SARIF/baseline
+    renderers), so the surface changes deliberately or not at all.
+    """
+    import repro.devtools
+
+    assert list(repro.devtools.__all__) == sorted(repro.devtools.__all__)
+    assert set(repro.devtools.__all__) == {
+        "ALL_RULES",
+        "AstCache",
+        "CallGraph",
+        "Finding",
+        "GRAPH_RULES",
+        "LintConfig",
+        "LintResult",
+        "build_callgraph",
+        "default_cache_path",
+        "default_config",
+        "load_baseline",
+        "main",
+        "render_baseline",
+        "render_sarif",
+        "run_lint",
+        "suppressions_for",
+    }
+    for name in repro.devtools.__all__:
+        assert hasattr(repro.devtools, name), f"devtools exports missing {name!r}"
